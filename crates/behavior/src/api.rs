@@ -1,0 +1,208 @@
+//! The application interface agents drive.
+//!
+//! Agents (legitimate or malicious) never touch the reservation system or
+//! SMS gateway directly — they go through [`App`], which `fg-scenario`
+//! implements as the defended application façade. The outcome of every call
+//! tells the agent what a real client would learn from the HTTP response:
+//! success, a specific domain failure, or a defence action — the feedback
+//! loop that adaptive attackers (§IV-A) exploit.
+
+use fg_core::ids::{BookingRef, ClientId, FlightId, PhoneNumber};
+use fg_core::money::Money;
+use fg_core::time::SimTime;
+use fg_fingerprint::attributes::Fingerprint;
+use fg_inventory::error::InventoryError;
+use fg_inventory::flight::Availability;
+use fg_inventory::passenger::Passenger;
+use fg_mitigation::gating::TrustTier;
+use fg_netsim::ip::IpAddress;
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// Everything a client presents with one request.
+#[derive(Clone, Debug)]
+pub struct ClientRequest {
+    /// Ground-truth client identity (simulation bookkeeping; the defence
+    /// never keys on it).
+    pub client: ClientId,
+    /// Source address (direct or proxy exit).
+    pub ip: IpAddress,
+    /// Presented browser fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Account standing.
+    pub tier: TrustTier,
+    /// `true` for automated clients — used ONLY to route CAPTCHA solving
+    /// through the solver-economics model, never as a detection input.
+    pub is_bot: bool,
+}
+
+/// What one API call produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiOutcome<T> {
+    /// The application served the request.
+    Ok(T),
+    /// A block rule or verdict block refused it.
+    Blocked,
+    /// A rate limit refused it.
+    RateLimited,
+    /// The client's tier may not use this feature.
+    TierDenied,
+    /// A CAPTCHA was demanded and the client failed/abandoned it.
+    ChallengeFailed,
+    /// The application itself refused (sold out, party too large, …).
+    Domain(InventoryError),
+    /// The SMS could not be sent because the contracted quota is exhausted.
+    QuotaExceeded,
+}
+
+impl<T> ApiOutcome<T> {
+    /// `true` on success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ApiOutcome::Ok(_))
+    }
+
+    /// `true` when the defence (not the domain) refused the request — the
+    /// signal that makes adaptive attackers rotate.
+    pub fn defence_refused(&self) -> bool {
+        matches!(
+            self,
+            ApiOutcome::Blocked
+                | ApiOutcome::RateLimited
+                | ApiOutcome::TierDenied
+                | ApiOutcome::ChallengeFailed
+        )
+    }
+
+    /// Unwraps the success value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not `Ok`.
+    pub fn unwrap(self) -> T
+    where
+        T: fmt::Debug,
+    {
+        match self {
+            ApiOutcome::Ok(v) => v,
+            other => panic!("called unwrap on a non-Ok outcome: {other:?}"),
+        }
+    }
+
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            ApiOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for ApiOutcome<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiOutcome::Ok(v) => write!(f, "ok({v:?})"),
+            ApiOutcome::Blocked => write!(f, "blocked"),
+            ApiOutcome::RateLimited => write!(f, "rate-limited"),
+            ApiOutcome::TierDenied => write!(f, "tier-denied"),
+            ApiOutcome::ChallengeFailed => write!(f, "challenge-failed"),
+            ApiOutcome::Domain(e) => write!(f, "domain-error({e})"),
+            ApiOutcome::QuotaExceeded => write!(f, "quota-exceeded"),
+        }
+    }
+}
+
+/// The defended application, as seen by a client.
+pub trait App {
+    /// Browses / searches flights (GET traffic; feeds behaviour detection).
+    fn search(&mut self, req: &ClientRequest, now: SimTime) -> ApiOutcome<()>;
+
+    /// Places a seat hold.
+    fn hold(
+        &mut self,
+        req: &ClientRequest,
+        flight: FlightId,
+        passengers: Vec<Passenger>,
+        now: SimTime,
+    ) -> ApiOutcome<BookingRef>;
+
+    /// Pays for a held booking (also issues the e-ticket on success).
+    fn pay(&mut self, req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()>;
+
+    /// Requests an OTP SMS to `phone`.
+    fn send_otp(&mut self, req: &ClientRequest, phone: PhoneNumber, now: SimTime) -> ApiOutcome<()>;
+
+    /// Requests boarding-pass delivery via SMS for a ticketed booking.
+    fn boarding_pass_sms(
+        &mut self,
+        req: &ClientRequest,
+        booking: BookingRef,
+        phone: PhoneNumber,
+        now: SimTime,
+    ) -> ApiOutcome<()>;
+
+    /// Public seat availability for a flight (what any client can scrape).
+    fn availability(&self, flight: FlightId) -> Option<Availability>;
+
+    /// The flight's departure time (public schedule data).
+    fn departure(&self, flight: FlightId) -> Option<SimTime>;
+
+    /// The current fare quote per seat, when the application runs dynamic
+    /// pricing. Defaults to `None` (fixed-fare applications).
+    fn quote(&self, flight: FlightId, now: SimTime) -> Option<Money> {
+        let _ = (flight, now);
+        None
+    }
+}
+
+/// A simulation agent: woken by the engine, drives the app, says when to be
+/// woken next.
+pub trait Agent {
+    /// Performs this agent's actions at `now`; returns the next wake time,
+    /// or `None` when the agent is finished.
+    fn wake(&mut self, app: &mut dyn App, now: SimTime, rng: &mut StdRng) -> Option<SimTime>;
+
+    /// A short label for progress reports.
+    fn label(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        let ok: ApiOutcome<u32> = ApiOutcome::Ok(5);
+        assert!(ok.is_ok());
+        assert!(!ok.defence_refused());
+        assert_eq!(ok.clone().ok(), Some(5));
+        assert_eq!(ok.unwrap(), 5);
+
+        for refused in [
+            ApiOutcome::<u32>::Blocked,
+            ApiOutcome::RateLimited,
+            ApiOutcome::TierDenied,
+            ApiOutcome::ChallengeFailed,
+        ] {
+            assert!(refused.defence_refused(), "{refused}");
+            assert!(!refused.is_ok());
+        }
+        let domain: ApiOutcome<u32> = ApiOutcome::Domain(InventoryError::EmptyParty);
+        assert!(!domain.defence_refused(), "domain errors are not defence actions");
+        assert_eq!(domain.ok(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Ok outcome")]
+    fn unwrap_panics_on_refusal() {
+        ApiOutcome::<u32>::Blocked.unwrap();
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(ApiOutcome::<u32>::Blocked.to_string(), "blocked");
+        assert_eq!(ApiOutcome::Ok(3u32).to_string(), "ok(3)");
+        assert!(ApiOutcome::<u32>::Domain(InventoryError::EmptyParty)
+            .to_string()
+            .contains("domain-error"));
+    }
+}

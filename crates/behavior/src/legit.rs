@@ -1,0 +1,522 @@
+//! The legitimate booker population.
+//!
+//! Generates the traffic Fig. 1's "average week" bar is made of: bookings
+//! dominated by one- and two-passenger parties, diurnal arrivals, and a
+//! realistic funnel (search → hold → pay) with abandonment — abandoned holds
+//! simply lapse, exactly like the real feature. When a NiP cap is introduced,
+//! larger groups *split* into multiple bookings at the cap, reproducing the
+//! paper's observation that after the Airline A mitigation "there was a
+//! significant rise in four-passenger reservations" from legitimate group
+//! bookings too.
+
+use crate::api::{Agent, App, ClientRequest};
+use crate::namegen::legit_party;
+use fg_core::event::EventQueue;
+use fg_core::ids::{BookingRef, ClientId, CountryCode, FlightId, PhoneNumber};
+use fg_core::stats::Categorical;
+use fg_core::time::{SimDuration, SimTime};
+use fg_fingerprint::population::PopulationModel;
+use fg_inventory::error::InventoryError;
+use fg_mitigation::gating::TrustTier;
+use fg_netsim::geo::GeoDatabase;
+use fg_netsim::ip::IpClass;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the legitimate population.
+#[derive(Clone, Debug)]
+pub struct LegitConfig {
+    /// Mean bookers arriving per day.
+    pub arrivals_per_day: f64,
+    /// NiP distribution as `(party_size, weight)` pairs.
+    pub nip_weights: Vec<(usize, f64)>,
+    /// Probability a held booking is paid (the rest lapse).
+    pub pay_prob: f64,
+    /// Payment delay range in minutes after the hold.
+    pub pay_delay_mins: (i64, i64),
+    /// Probability a booker triggers an OTP SMS at login.
+    pub otp_prob: f64,
+    /// Probability a paid booker requests a boarding pass via SMS.
+    pub bp_sms_prob: f64,
+    /// Flights the population books across.
+    pub flights: Vec<FlightId>,
+    /// No new arrivals after this instant (pending follow-ups still run).
+    pub end_time: SimTime,
+}
+
+impl LegitConfig {
+    /// The Fig. 1 "average week" configuration for an airline with the given
+    /// flights.
+    pub fn default_airline(flights: Vec<FlightId>, end_time: SimTime) -> Self {
+        LegitConfig {
+            arrivals_per_day: 400.0,
+            nip_weights: vec![
+                (1, 52.0),
+                (2, 30.0),
+                (3, 7.0),
+                (4, 5.0),
+                (5, 2.5),
+                (6, 1.5),
+                (7, 1.0),
+                (8, 0.6),
+                (9, 0.4),
+            ],
+            pay_prob: 0.72,
+            pay_delay_mins: (2, 25),
+            otp_prob: 0.35,
+            bp_sms_prob: 0.45,
+            flights,
+            end_time,
+        }
+    }
+}
+
+/// Observable statistics of the legitimate population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegitStats {
+    /// Bookers who arrived.
+    pub arrivals: u64,
+    /// Holds successfully placed.
+    pub holds_placed: u64,
+    /// Bookings paid.
+    pub paid: u64,
+    /// Extra bookings created because a party had to split under a NiP cap.
+    pub cap_splits: u64,
+    /// Bookers turned away by the defence (block/challenge/tier/limit).
+    pub defence_friction: u64,
+    /// Bookers turned away by sold-out inventory — the DoI harm metric.
+    pub denied_by_stock: u64,
+    /// OTP SMS requested.
+    pub otp_sent: u64,
+    /// Boarding-pass SMS requested.
+    pub bp_sms_sent: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Pending {
+    Pay {
+        req: ClientRequest,
+        booking: BookingRef,
+        phone: PhoneNumber,
+        want_bp_sms: bool,
+    },
+    BoardingPass {
+        req: ClientRequest,
+        booking: BookingRef,
+        phone: PhoneNumber,
+    },
+}
+
+/// The legitimate population agent.
+#[derive(Debug)]
+pub struct LegitPopulation {
+    config: LegitConfig,
+    geo: GeoDatabase,
+    model: PopulationModel,
+    nip: Categorical<usize>,
+    home_countries: Categorical<CountryCode>,
+    phone_countries: Categorical<CountryCode>,
+    next_client: u64,
+    next_arrival: SimTime,
+    pending: EventQueue<Pending>,
+    stats: LegitStats,
+    label: String,
+}
+
+/// Mainstream-heavy country weights with a small but non-zero tail across
+/// every modelled country (Table I needs defined baselines everywhere).
+fn world_weights(geo: &GeoDatabase, mainstream_boost: f64) -> Categorical<CountryCode> {
+    const MAINSTREAM: &[&str] = &["GB", "US", "FR", "DE", "ES", "IT", "CN", "TH", "SG", "JP"];
+    let pairs: Vec<(CountryCode, f64)> = geo
+        .countries()
+        .iter()
+        .map(|&c| {
+            let w = if MAINSTREAM.contains(&c.as_str()) {
+                mainstream_boost
+            } else {
+                1.0
+            };
+            (c, w)
+        })
+        .collect();
+    Categorical::new(pairs).expect("static weights are valid")
+}
+
+impl LegitPopulation {
+    /// Creates the population agent. `first_client_id` namespaces its ground
+    /// truth client ids away from attacker ids.
+    pub fn new(config: LegitConfig, geo: GeoDatabase, first_client_id: u64) -> Self {
+        let nip = Categorical::new(config.nip_weights.clone()).expect("nip weights are valid");
+        let home_countries = world_weights(&geo, 14.0);
+        let phone_countries = world_weights(&geo, 20.0);
+        LegitPopulation {
+            config,
+            geo,
+            model: PopulationModel::default_web(),
+            nip,
+            home_countries,
+            phone_countries,
+            next_client: first_client_id,
+            next_arrival: SimTime::ZERO,
+            pending: EventQueue::new(),
+            stats: LegitStats::default(),
+            label: "legit-population".to_owned(),
+        }
+    }
+
+    /// The population's observable statistics.
+    pub fn stats(&self) -> LegitStats {
+        self.stats
+    }
+
+    fn diurnal_factor(now: SimTime) -> f64 {
+        // Peak mid-day, trough at night; never fully zero.
+        let h = now.hour_of_day() as f64;
+        0.4 + 0.6 * (1.0 - ((h - 14.0).abs() / 14.0))
+    }
+
+    fn next_interarrival(&self, now: SimTime, rng: &mut StdRng) -> SimDuration {
+        let base_mean_secs = 86_400.0 / self.config.arrivals_per_day.max(1e-9);
+        let exp = Exp::new(1.0 / base_mean_secs).expect("positive rate");
+        let raw: f64 = exp.sample(rng);
+        SimDuration::from_millis((raw / Self::diurnal_factor(now) * 1_000.0) as i64)
+    }
+
+    fn fresh_request(&mut self, rng: &mut StdRng) -> ClientRequest {
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        let home = *self.home_countries.sample(rng);
+        let ip = self
+            .geo
+            .sample_ip(home, IpClass::Residential, rng)
+            .expect("all configured countries have residential space");
+        // Most airline bookers sign in with an existing account; a minority
+        // checks out as guests.
+        let tier = if rng.gen_bool(0.70) {
+            TrustTier::Verified
+        } else if rng.gen_bool(0.5) {
+            TrustTier::Loyalty
+        } else {
+            TrustTier::Anonymous
+        };
+        ClientRequest {
+            client,
+            ip,
+            fingerprint: self.model.sample_human(rng),
+            tier,
+            is_bot: false,
+        }
+    }
+
+    fn run_booker(&mut self, app: &mut dyn App, now: SimTime, rng: &mut StdRng) {
+        self.stats.arrivals += 1;
+        let req = self.fresh_request(rng);
+        let phone_country = *self.phone_countries.sample(rng);
+        let phone = PhoneNumber::new(phone_country, 100_000_000 + req.client.as_u64());
+
+        // Browse.
+        let browses = rng.gen_range(1..=3);
+        for i in 0..browses {
+            let outcome = app.search(&req, now + SimDuration::from_secs(i * 20));
+            if outcome.defence_refused() {
+                self.stats.defence_friction += 1;
+                return;
+            }
+        }
+
+        // Optional OTP at login.
+        if rng.gen_bool(self.config.otp_prob) {
+            let o = app.send_otp(&req, phone, now + SimDuration::from_secs(70));
+            if o.is_ok() {
+                self.stats.otp_sent += 1;
+            } else if o.defence_refused() {
+                self.stats.defence_friction += 1;
+                return;
+            }
+        }
+
+        // Hold, splitting under a NiP cap if necessary.
+        let flight = self.config.flights[rng.gen_range(0..self.config.flights.len())];
+        let party_size = *self.nip.sample(rng);
+        let t_hold = now + SimDuration::from_secs(90);
+        let mut remaining = party_size;
+        let mut bookings: Vec<BookingRef> = Vec::new();
+        let mut attempt_size = party_size;
+        while remaining > 0 {
+            let party = legit_party(rng, attempt_size.min(remaining));
+            match app.hold(&req, flight, party, t_hold) {
+                crate::api::ApiOutcome::Ok(reference) => {
+                    remaining -= attempt_size.min(remaining);
+                    bookings.push(reference);
+                    if bookings.len() > 1 {
+                        self.stats.cap_splits += 1;
+                    }
+                }
+                crate::api::ApiOutcome::Domain(InventoryError::PartyTooLarge { max, .. }) => {
+                    // Adapt: rebook at the cap, as real groups do.
+                    attempt_size = max as usize;
+                    if attempt_size == 0 {
+                        return;
+                    }
+                }
+                crate::api::ApiOutcome::Domain(InventoryError::InsufficientSeats { .. }) => {
+                    self.stats.denied_by_stock += 1;
+                    return;
+                }
+                crate::api::ApiOutcome::Domain(_) => return,
+                _refused => {
+                    self.stats.defence_friction += 1;
+                    return;
+                }
+            }
+        }
+        self.stats.holds_placed += bookings.len() as u64;
+
+        // Decide payment per booker (all-or-nothing for the party).
+        if rng.gen_bool(self.config.pay_prob) {
+            let delay = rng.gen_range(self.config.pay_delay_mins.0..=self.config.pay_delay_mins.1);
+            let want_bp = rng.gen_bool(self.config.bp_sms_prob);
+            for booking in bookings {
+                self.pending.schedule(
+                    t_hold + SimDuration::from_mins(delay),
+                    Pending::Pay {
+                        req: req.clone(),
+                        booking,
+                        phone,
+                        want_bp_sms: want_bp,
+                    },
+                );
+            }
+        }
+        // Unpaid holds simply lapse via the inventory TTL.
+    }
+
+    fn run_pending(&mut self, app: &mut dyn App, action: Pending, now: SimTime, rng: &mut StdRng) {
+        match action {
+            Pending::Pay {
+                req,
+                booking,
+                phone,
+                want_bp_sms,
+            } => {
+                let outcome = app.pay(&req, booking, now);
+                if outcome.is_ok() {
+                    self.stats.paid += 1;
+                    if want_bp_sms {
+                        self.pending.schedule(
+                            now + SimDuration::from_mins(rng.gen_range(10..240)),
+                            Pending::BoardingPass { req, booking, phone },
+                        );
+                    }
+                } else if outcome.defence_refused() {
+                    self.stats.defence_friction += 1;
+                }
+            }
+            Pending::BoardingPass { req, booking, phone } => {
+                let outcome = app.boarding_pass_sms(&req, booking, phone, now);
+                if outcome.is_ok() {
+                    self.stats.bp_sms_sent += 1;
+                } else if outcome.defence_refused() {
+                    self.stats.defence_friction += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Agent for LegitPopulation {
+    fn wake(&mut self, app: &mut dyn App, now: SimTime, rng: &mut StdRng) -> Option<SimTime> {
+        // Follow-up actions due now.
+        while let Some((at, action)) = self.pending.pop_before(now) {
+            self.run_pending(app, action, at.max(now), rng);
+        }
+        // New arrivals due now.
+        while self.next_arrival <= now && self.next_arrival <= self.config.end_time {
+            let arrival = self.next_arrival;
+            self.next_arrival = arrival + self.next_interarrival(arrival, rng);
+            self.run_booker(app, now, rng);
+        }
+        // Next wake: earliest of pending follow-up and next arrival.
+        let mut next = None;
+        if let Some(t) = self.pending.peek_time() {
+            next = Some(t);
+        }
+        if self.next_arrival <= self.config.end_time {
+            next = Some(next.map_or(self.next_arrival, |t: SimTime| t.min(self.next_arrival)));
+        }
+        next
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ApiOutcome;
+    use fg_inventory::flight::Availability;
+    use fg_inventory::passenger::Passenger;
+    use rand::SeedableRng;
+
+    /// A permissive fake app for unit-testing agents without the full
+    /// scenario facade.
+    struct FakeApp {
+        holds: Vec<(FlightId, usize, SimTime)>,
+        pays: u64,
+        otps: u64,
+        bps: u64,
+        max_nip: u32,
+        next_ref: u64,
+    }
+
+    impl FakeApp {
+        fn new(max_nip: u32) -> Self {
+            FakeApp {
+                holds: Vec::new(),
+                pays: 0,
+                otps: 0,
+                bps: 0,
+                max_nip,
+                next_ref: 0,
+            }
+        }
+    }
+
+    impl App for FakeApp {
+        fn search(&mut self, _req: &ClientRequest, _now: SimTime) -> ApiOutcome<()> {
+            ApiOutcome::Ok(())
+        }
+        fn hold(
+            &mut self,
+            _req: &ClientRequest,
+            flight: FlightId,
+            passengers: Vec<Passenger>,
+            now: SimTime,
+        ) -> ApiOutcome<BookingRef> {
+            if passengers.len() as u32 > self.max_nip {
+                return ApiOutcome::Domain(InventoryError::PartyTooLarge {
+                    requested: passengers.len() as u32,
+                    max: self.max_nip,
+                });
+            }
+            self.holds.push((flight, passengers.len(), now));
+            self.next_ref += 1;
+            ApiOutcome::Ok(BookingRef::from_index(self.next_ref))
+        }
+        fn pay(&mut self, _req: &ClientRequest, _booking: BookingRef, _now: SimTime) -> ApiOutcome<()> {
+            self.pays += 1;
+            ApiOutcome::Ok(())
+        }
+        fn send_otp(&mut self, _req: &ClientRequest, _phone: PhoneNumber, _now: SimTime) -> ApiOutcome<()> {
+            self.otps += 1;
+            ApiOutcome::Ok(())
+        }
+        fn boarding_pass_sms(
+            &mut self,
+            _req: &ClientRequest,
+            _booking: BookingRef,
+            _phone: PhoneNumber,
+            _now: SimTime,
+        ) -> ApiOutcome<()> {
+            self.bps += 1;
+            ApiOutcome::Ok(())
+        }
+        fn availability(&self, _flight: FlightId) -> Option<Availability> {
+            Some(Availability {
+                available: 100,
+                held: 0,
+                sold: 0,
+            })
+        }
+        fn departure(&self, _flight: FlightId) -> Option<SimTime> {
+            Some(SimTime::from_days(30))
+        }
+    }
+
+    fn drive(pop: &mut LegitPopulation, app: &mut FakeApp, until: SimTime, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = SimTime::ZERO;
+        while let Some(next) = pop.wake(app, now, &mut rng) {
+            if next > until {
+                break;
+            }
+            now = next;
+        }
+    }
+
+    fn population(end_days: u64) -> LegitPopulation {
+        LegitPopulation::new(
+            LegitConfig::default_airline(vec![FlightId(1), FlightId(2)], SimTime::from_days(end_days)),
+            GeoDatabase::default_world(),
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn generates_sensible_volume_over_a_week() {
+        let mut pop = population(7);
+        let mut app = FakeApp::new(9);
+        drive(&mut pop, &mut app, SimTime::from_days(7), 1);
+        let s = pop.stats();
+        // ~400/day × 7 days, modulo diurnal + funnel losses.
+        assert!(s.arrivals > 1_800 && s.arrivals < 4_500, "arrivals {}", s.arrivals);
+        assert!(s.holds_placed > 1_500, "holds {}", s.holds_placed);
+        // Payment rate ≈ pay_prob.
+        let pay_rate = s.paid as f64 / s.holds_placed as f64;
+        assert!((0.6..0.85).contains(&pay_rate), "pay rate {pay_rate}");
+        assert!(s.otp_sent > 100);
+        assert!(s.bp_sms_sent > 100);
+        assert_eq!(s.cap_splits, 0, "no cap, no splits");
+    }
+
+    #[test]
+    fn nip_distribution_matches_config() {
+        let mut pop = population(7);
+        let mut app = FakeApp::new(9);
+        drive(&mut pop, &mut app, SimTime::from_days(7), 2);
+        let total = app.holds.len() as f64;
+        let ones = app.holds.iter().filter(|h| h.1 == 1).count() as f64;
+        let twos = app.holds.iter().filter(|h| h.1 == 2).count() as f64;
+        assert!((ones / total - 0.52).abs() < 0.06, "NiP-1 share {}", ones / total);
+        assert!((twos / total - 0.30).abs() < 0.06, "NiP-2 share {}", twos / total);
+    }
+
+    #[test]
+    fn groups_split_under_nip_cap() {
+        let mut pop = population(7);
+        let mut app = FakeApp::new(4); // the Airline A mitigation
+        drive(&mut pop, &mut app, SimTime::from_days(7), 3);
+        let s = pop.stats();
+        assert!(s.cap_splits > 0, "large groups split");
+        assert!(app.holds.iter().all(|h| h.1 <= 4), "no hold exceeds the cap");
+        // The Fig. 1 week-3 effect: a visible rise at the cap value.
+        let at_cap = app.holds.iter().filter(|h| h.1 == 4).count() as f64;
+        let share = at_cap / app.holds.len() as f64;
+        assert!(share > 0.08, "NiP-4 share rose to {share}");
+    }
+
+    #[test]
+    fn arrivals_stop_at_end_time_but_pending_completes() {
+        let mut pop = population(1);
+        let mut app = FakeApp::new(9);
+        drive(&mut pop, &mut app, SimTime::from_days(3), 4);
+        let s = pop.stats();
+        assert!(s.arrivals < 700, "arrivals bounded by 1-day horizon: {}", s.arrivals);
+        assert!(s.paid > 0, "pending payments ran after the horizon");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut pop = population(2);
+            let mut app = FakeApp::new(9);
+            drive(&mut pop, &mut app, SimTime::from_days(2), seed);
+            (pop.stats(), app.holds.len(), app.pays)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

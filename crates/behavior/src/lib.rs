@@ -1,0 +1,53 @@
+//! # fg-behavior
+//!
+//! Workload models for the FeatureGuard simulation: the legitimate traffic
+//! the attacks hide inside, and the attackers themselves.
+//!
+//! * [`api`] — the [`App`](api::App) trait every agent drives, and the
+//!   outcome type agents adapt to. The real application façade lives in
+//!   `fg-scenario`; agents only see this trait.
+//! * [`namegen`] — passenger-detail generators: realistic names for
+//!   legitimate bookers, and the §IV-B attack signatures (gibberish,
+//!   fixed-name + rotating birthdate, fixed-set permutations with
+//!   misspellings).
+//! * [`legit`] — the legitimate booker population: empirical NiP
+//!   distribution (Fig. 1's "average week" bar), diurnal arrivals, a
+//!   search→hold→pay funnel with abandonment, and cap-adaptation (groups
+//!   larger than a new NiP cap split into multiple bookings, reproducing the
+//!   post-mitigation rise at the cap).
+//! * [`seat_spinner`] — the §IV-A automated Seat Spinning bot:
+//!   reconnaissance, hold-expiry re-reservation loop, stealth NiP choice,
+//!   fingerprint/proxy rotation on block, cap adaptation, and the
+//!   stop-2-days-before-departure endgame.
+//! * [`manual_spinner`] — the §IV-B manual attacker: a fixed name set
+//!   permuted across bookings, occasional typos, human-like pacing, many
+//!   IPs but a stable browser.
+//! * [`sms_pumper`] — the §IV-C advanced SMS pumper: purchases a few
+//!   tickets, then floods boarding-pass SMS across premium destinations via
+//!   geo-matched residential proxies, rotating fingerprints continuously.
+//! * [`fare_manipulator`] — the §II-A dynamic-pricing manipulator: holds
+//!   inventory to suppress the booking pace, waits for the revenue-managed
+//!   fare to capitulate, then buys at the bottom.
+//! * [`scraper`] — the introduction's canonical *simple* functional abuse:
+//!   a loud fare scraper, used as the contrast class that volume-based
+//!   detection does catch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod fare_manipulator;
+pub mod legit;
+pub mod manual_spinner;
+pub mod namegen;
+pub mod scraper;
+pub mod seat_spinner;
+pub mod sms_pumper;
+
+pub use api::{Agent, ApiOutcome, App, ClientRequest};
+pub use fare_manipulator::{FareManipulator, FareManipulatorConfig};
+pub use legit::{LegitConfig, LegitPopulation};
+pub use manual_spinner::{ManualSpinner, ManualSpinnerConfig};
+pub use scraper::{Scraper, ScraperConfig};
+pub use seat_spinner::{NipStrategy, SeatSpinner, SeatSpinnerConfig};
+pub use sms_pumper::{SmsPumper, SmsPumperConfig};

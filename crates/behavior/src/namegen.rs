@@ -1,0 +1,335 @@
+//! Passenger-detail generators.
+//!
+//! One generator per population the paper describes: realistic names for
+//! legitimate travellers, and the three §IV-B attacker signatures.
+
+use fg_inventory::passenger::{Date, Passenger};
+use rand::Rng;
+
+/// First-name pool for the legitimate population (multi-locale).
+const FIRST_NAMES: &[&str] = &[
+    "Maria", "Elena", "Anna", "Sofia", "Laura", "Carmen", "Julia", "Emma", "Alice", "Clara",
+    "James", "John", "David", "Carlos", "Luis", "Pierre", "Jean", "Marco", "Luca", "Andrea",
+    "Wei", "Ming", "Yuki", "Hiro", "Amir", "Omar", "Fatima", "Aisha", "Priya", "Raj",
+    "Olga", "Ivan", "Dmitri", "Katya", "Hans", "Greta", "Lars", "Ingrid", "Kofi", "Ama",
+];
+
+/// Surname pool for the legitimate population.
+const SURNAMES: &[&str] = &[
+    "Garcia", "Martinez", "Rossi", "Bianchi", "Dupont", "Martin", "Schmidt", "Muller",
+    "Smith", "Johnson", "Brown", "Taylor", "Chen", "Wang", "Tanaka", "Sato", "Ali",
+    "Hassan", "Patel", "Sharma", "Ivanov", "Petrov", "Kowalski", "Nowak", "Silva",
+    "Santos", "Larsen", "Berg", "Mensah", "Osei", "Costa", "Ferreira", "Moreau",
+    "Lefebvre", "Ricci", "Greco", "Keller", "Wagner", "Lindberg", "Holm",
+];
+
+const EMAIL_DOMAINS: &[&str] = &["example.com", "mail.test", "inbox.example", "post.invalid"];
+
+/// Draws a random birthdate between 1950 and 2005.
+pub fn random_birthdate<R: Rng + ?Sized>(rng: &mut R) -> Date {
+    loop {
+        let y = rng.gen_range(1950..=2005);
+        let m = rng.gen_range(1..=12);
+        let d = rng.gen_range(1..=28);
+        if let Some(date) = Date::new(y, m, d) {
+            return date;
+        }
+    }
+}
+
+/// Draws a surname; 35 % are hyphenated double-barrelled names, which keeps
+/// the effective surname space large enough that repeated full-name
+/// collisions across thousands of passengers stay rare (as in reality).
+pub fn legit_surname<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let a = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+    if rng.gen_bool(0.35) {
+        let b = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+        if a != b {
+            return format!("{a}-{b}");
+        }
+    }
+    a.to_owned()
+}
+
+/// Generates a realistic legitimate passenger.
+pub fn legit_passenger<R: Rng + ?Sized>(rng: &mut R) -> Passenger {
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = legit_surname(rng);
+    let email = format!(
+        "{}.{}{}@{}",
+        first.to_lowercase(),
+        last.to_lowercase().replace('-', "."),
+        rng.gen_range(1..999),
+        EMAIL_DOMAINS[rng.gen_range(0..EMAIL_DOMAINS.len())]
+    );
+    Passenger::full(first, &last, random_birthdate(rng), &email)
+}
+
+/// Generates a party of `n` legitimate passengers; members of a party share
+/// a surname with 60 % probability (families travel together).
+pub fn legit_party<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Passenger> {
+    let mut party = Vec::with_capacity(n);
+    let family = rng.gen_bool(0.6);
+    let shared_surname = legit_surname(rng);
+    for _ in 0..n {
+        let mut p = legit_passenger(rng);
+        if family {
+            let first = p.first_name.clone();
+            let email = p.email.clone().unwrap_or_default();
+            p = Passenger::full(&first, &shared_surname, p.birthdate.expect("legit passengers carry birthdates"), &email);
+        }
+        party.push(p);
+    }
+    party
+}
+
+/// Generates a keyboard-mash gibberish string of `len` letters.
+pub fn gibberish_name<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    // Consonant-heavy alphabet: mimics real observed junk entries.
+    const LETTERS: &[u8] = b"bcdfghjklmnpqrstvwxzaeiou";
+    let mut s = String::with_capacity(len);
+    for i in 0..len {
+        // Bias towards consonants (first 20 letters) to look mashed.
+        let idx = if rng.gen_bool(0.8) {
+            rng.gen_range(0..20)
+        } else {
+            rng.gen_range(20..LETTERS.len())
+        };
+        let c = LETTERS[idx] as char;
+        s.push(if i == 0 { c.to_ascii_uppercase() } else { c });
+    }
+    s
+}
+
+/// Generates a party of gibberish passengers — the random-entry bot
+/// signature ("Name: affjgdui, Surname: ddfjrei").
+pub fn gibberish_party<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Passenger> {
+    (0..n)
+        .map(|_| {
+            let first_len = rng.gen_range(6..10);
+            let last_len = rng.gen_range(6..10);
+            let first = gibberish_name(rng, first_len);
+            let last = gibberish_name(rng, last_len);
+            let email = format!("{}@emailprovider.test", last.to_lowercase());
+            Passenger::full(&first, &last, random_birthdate(rng), &email)
+        })
+        .collect()
+}
+
+/// The Airline B automation signature: a fixed lead passenger whose
+/// birthdate rotates systematically; companions drawn from a small
+/// overlapping pool with varying birthdates.
+#[derive(Clone, Debug)]
+pub struct RotatingBirthdateGenerator {
+    lead_first: String,
+    lead_surname: String,
+    companion_pool: Vec<(String, String)>,
+    bookings_made: u32,
+}
+
+impl RotatingBirthdateGenerator {
+    /// Creates a generator with a fixed lead identity and a companion pool of
+    /// `pool_size` name pairs.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, pool_size: usize) -> Self {
+        let companion_pool = (0..pool_size)
+            .map(|_| {
+                (
+                    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_owned(),
+                    SURNAMES[rng.gen_range(0..SURNAMES.len())].to_owned(),
+                )
+            })
+            .collect();
+        RotatingBirthdateGenerator {
+            lead_first: FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_owned(),
+            lead_surname: SURNAMES[rng.gen_range(0..SURNAMES.len())].to_owned(),
+            companion_pool,
+            bookings_made: 0,
+        }
+    }
+
+    /// Generates the next booking's party of `n` passengers.
+    pub fn next_party<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<Passenger> {
+        self.bookings_made += 1;
+        let mut party = Vec::with_capacity(n);
+        // Lead: fixed name, systematically advancing birthdate.
+        let base = Date::new(1990, 1, 1).expect("static date is valid");
+        let lead_birthdate = base.plus_days(self.bookings_made * 7);
+        party.push(Passenger::full(
+            &self.lead_first,
+            &self.lead_surname,
+            lead_birthdate,
+            "lead@pax.test",
+        ));
+        // Companions: overlapping name pairs, varying birthdates.
+        for _ in 1..n {
+            let (first, last) = &self.companion_pool[rng.gen_range(0..self.companion_pool.len())];
+            party.push(Passenger::full(first, last, random_birthdate(rng), "c@pax.test"));
+        }
+        party
+    }
+}
+
+/// The Airline C manual signature: a fixed set of passenger names reused in
+/// different orders, with occasional misspellings.
+#[derive(Clone, Debug)]
+pub struct PermutedSetGenerator {
+    // Each pool member is a real person to the attacker: name AND birthdate
+    // are fixed across bookings (unlike the automated rotating-birthdate
+    // signature).
+    pool: Vec<(String, String, Date)>,
+    typo_prob: f64,
+}
+
+impl PermutedSetGenerator {
+    /// Creates a generator over a fixed pool of `pool_size` names with the
+    /// given per-passenger typo probability.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, pool_size: usize, typo_prob: f64) -> Self {
+        let mut pool: Vec<(String, String, Date)> = Vec::with_capacity(pool_size);
+        while pool.len() < pool_size {
+            let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_owned();
+            let last = SURNAMES[rng.gen_range(0..SURNAMES.len())].to_owned();
+            if !pool.iter().any(|(f, l, _)| *f == first && *l == last) {
+                let birthdate = random_birthdate(rng);
+                pool.push((first, last, birthdate));
+            }
+        }
+        PermutedSetGenerator {
+            pool,
+            typo_prob: typo_prob.clamp(0.0, 1.0),
+        }
+    }
+
+    fn typo<R: Rng + ?Sized>(rng: &mut R, name: &str) -> String {
+        let mut chars: Vec<char> = name.chars().collect();
+        if chars.len() >= 2 {
+            let i = rng.gen_range(0..chars.len() - 1);
+            chars.swap(i, i + 1);
+        }
+        chars.into_iter().collect()
+    }
+
+    /// Generates the next booking's party: the same `n` pool members in a
+    /// fresh order (manual seat selection for the same people, §IV-B).
+    pub fn next_party<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Passenger> {
+        let n = n.min(self.pool.len());
+        // A random ordering of the pool prefix — always the same people.
+        let mut order: Vec<usize> = (0..self.pool.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        order.truncate(n);
+        order
+            .into_iter()
+            .map(|idx| {
+                let (first, last, birthdate) = &self.pool[idx];
+                let last = if rng.gen_bool(self.typo_prob) {
+                    Self::typo(rng, last)
+                } else {
+                    last.clone()
+                };
+                Passenger::full(first, &last, *birthdate, "m@pax.test")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_detection::names::{gibberish_score, NameAbuseAnalyzer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn legit_names_look_human() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = legit_passenger(&mut rng);
+            assert!(
+                gibberish_score(&p.first_name) < 0.5,
+                "{} scored gibberish",
+                p.first_name
+            );
+            assert!(p.birthdate.is_some());
+            assert!(p.email.as_deref().unwrap_or("").contains('@'));
+        }
+    }
+
+    #[test]
+    fn legit_party_size_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 1..=9 {
+            assert_eq!(legit_party(&mut rng, n).len(), n);
+        }
+    }
+
+    #[test]
+    fn gibberish_parties_trip_the_detector() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let p = &gibberish_party(&mut rng, 1)[0];
+            if gibberish_score(&p.first_name).max(gibberish_score(&p.surname)) > 0.5 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 75, "only {hits}/100 gibberish parties flagged");
+    }
+
+    #[test]
+    fn rotating_birthdate_generator_matches_airline_b() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = RotatingBirthdateGenerator::new(&mut rng, 5);
+        let mut analyzer = NameAbuseAnalyzer::new();
+        for _ in 0..8 {
+            analyzer.record(&g.next_party(&mut rng, 3));
+        }
+        let report = analyzer.report();
+        assert!(report.automated_suspected(), "{report:?}");
+        assert!(!report.rotating_birthdate_keys.is_empty());
+    }
+
+    #[test]
+    fn rotating_lead_is_stable_name_distinct_birthdates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = RotatingBirthdateGenerator::new(&mut rng, 4);
+        let p1 = g.next_party(&mut rng, 2);
+        let p2 = g.next_party(&mut rng, 2);
+        assert_eq!(p1[0].name_key(), p2[0].name_key());
+        assert_ne!(p1[0].birthdate, p2[0].birthdate);
+    }
+
+    #[test]
+    fn permuted_set_generator_matches_airline_c() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = PermutedSetGenerator::new(&mut rng, 4, 0.15);
+        let mut analyzer = NameAbuseAnalyzer::new();
+        for _ in 0..12 {
+            analyzer.record(&g.next_party(&mut rng, 4));
+        }
+        let report = analyzer.report();
+        assert!(report.manual_suspected(), "{report:?}");
+    }
+
+    #[test]
+    fn permuted_parties_reuse_the_pool() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = PermutedSetGenerator::new(&mut rng, 3, 0.0);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..20 {
+            for p in g.next_party(&mut rng, 3) {
+                keys.insert(p.name_key());
+            }
+        }
+        assert_eq!(keys.len(), 3, "exactly the fixed pool appears");
+    }
+
+    #[test]
+    fn typo_swaps_adjacent_letters() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = PermutedSetGenerator::typo(&mut rng, "GARCIA");
+        assert_ne!(t, "GARCIA");
+        assert_eq!(t.len(), 6);
+        assert_eq!(fg_detection::names::levenshtein(&t, "GARCIA"), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the **§IV-A** arms-race statistics (≈5.3 h rotation, cap
+//! persistence, two-day stop margin) and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::case_a;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = case_a::run(small::case_a());
+    println!("{report}");
+    if let Some(h) = report.mean_rule_to_rotation_hours {
+        assert!((3.0..9.0).contains(&h), "rotation delay {h:.1} h ≈ 5.3 h");
+    }
+    assert_eq!(report.nip_after_cap, 4, "attack persists at the cap");
+
+    let mut group = c.benchmark_group("casea_rotation");
+    group.sample_size(10);
+    group.bench_function("arms_race_scenario", |b| {
+        b.iter(|| black_box(case_a::run(small::case_a())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

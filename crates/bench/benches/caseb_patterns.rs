@@ -1,0 +1,24 @@
+//! Regenerates the **§IV-B** automated-vs-manual name-pattern detection and
+//! benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::case_b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = case_b::run(small::case_b());
+    println!("{report}");
+    assert!(report.automated_flagged && report.manual_flagged);
+    assert!(report.precision > 0.85, "precision {:.3}", report.precision);
+
+    let mut group = c.benchmark_group("caseb_patterns");
+    group.sample_size(10);
+    group.bench_function("name_pattern_scenario", |b| {
+        b.iter(|| black_box(case_b::run(small::case_b())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the **§IV-C** posture comparison (detection latency per
+//! rate-limit key) and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::case_c;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = case_c::run(small::case_c());
+    println!("{report}");
+    assert_eq!(report.outcomes[0].detection_latency_hours, None);
+    assert!(report.outcomes[2].detection_latency_hours.is_some());
+
+    let mut group = c.benchmark_group("casec_pumping");
+    group.sample_size(10);
+    group.bench_function("three_posture_scenario", |b| {
+        b.iter(|| black_box(case_c::run(small::case_c())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the framework's hot building blocks — the components
+//! a production deployment would place on the request path — plus ablation
+//! comparisons for the design choices DESIGN.md calls out (keyed vs global
+//! limiting, consistency checks vs similarity linking, sessionization cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_core::ids::ClientId;
+use fg_core::stats::Histogram;
+use fg_core::time::{SimDuration, SimTime};
+use fg_detection::anomaly::chi_square;
+use fg_detection::log::{Endpoint, LogRecord, Method};
+use fg_detection::names::gibberish_score;
+use fg_detection::session::sessionize;
+use fg_detection::VelocityCounter;
+use fg_fingerprint::inconsistency::consistency_report;
+use fg_fingerprint::population::PopulationModel;
+use fg_fingerprint::similarity;
+use fg_mitigation::rate_limit::{KeyedLimiter, TokenBucket};
+use fg_netsim::ip::IpAddress;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_rate_limiting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_limiting");
+    group.bench_function("token_bucket_acquire", |b| {
+        let mut bucket = TokenBucket::new(1e9, 1e6);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(bucket.try_acquire(SimTime::from_millis(t)))
+        })
+    });
+    for keys in [100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("keyed_limiter", keys), &keys, |b, &keys| {
+            let mut limiter: KeyedLimiter<u64> = KeyedLimiter::new(10.0, 1.0);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(limiter.try_acquire(i % keys, SimTime::from_millis(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fingerprinting(c: &mut Criterion) {
+    let model = PopulationModel::default_web();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("fingerprinting");
+    group.bench_function("sample_human", |b| {
+        b.iter(|| black_box(model.sample_human(&mut rng)))
+    });
+    let fp = model.sample_human(&mut StdRng::seed_from_u64(2));
+    group.bench_function("consistency_report", |b| {
+        b.iter(|| black_box(consistency_report(&fp)))
+    });
+    group.bench_function("identity_hash", |b| b.iter(|| black_box(fp.identity_hash())));
+    let other = model.sample_human(&mut StdRng::seed_from_u64(3));
+    group.bench_function("similarity", |b| {
+        b.iter(|| black_box(similarity(&fp, &other)))
+    });
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+
+    // Sessionization over a realistic day of logs.
+    let mut rng = StdRng::seed_from_u64(4);
+    let records: Vec<LogRecord> = (0..20_000)
+        .map(|i| LogRecord {
+            at: SimTime::from_secs(rng.gen_range(0..86_400)),
+            ip: IpAddress(rng.gen_range(0..500u32)),
+            fingerprint: rng.gen_range(0..800),
+            truth_client: ClientId(u64::from(i % 997u32)),
+            method: if i % 3 == 0 { Method::Post } else { Method::Get },
+            endpoint: Endpoint::ALL[rng.gen_range(0..Endpoint::ALL.len())],
+            ok: true,
+        })
+        .collect();
+    group.bench_function("sessionize_20k_records", |b| {
+        b.iter(|| black_box(sessionize(records.clone(), SimDuration::from_mins(30))))
+    });
+
+    group.bench_function("gibberish_score", |b| {
+        b.iter(|| black_box(gibberish_score("affjgduirex")))
+    });
+
+    let mut baseline = Histogram::new(9);
+    for (v, n) in [(1, 550u64), (2, 300), (3, 80), (4, 70)] {
+        baseline.record_n(v, n);
+    }
+    let observed = baseline.buckets().to_vec();
+    let shares = baseline.shares();
+    group.bench_function("chi_square", |b| {
+        b.iter(|| black_box(chi_square(&observed, &shares)))
+    });
+
+    group.bench_function("velocity_counter", |b| {
+        let mut v: VelocityCounter<u64> = VelocityCounter::new(SimDuration::from_hours(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(v.record_and_count(i % 256, SimTime::from_millis(i * 10)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rate_limiting, bench_fingerprinting, bench_detection);
+criterion_main!(benches);

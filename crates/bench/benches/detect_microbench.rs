@@ -1,0 +1,26 @@
+//! Regenerates the **§III-A** volume-vs-domain rule comparison and
+//! benchmarks it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::detectors;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = detectors::run(small::detectors());
+    println!("{report}");
+    assert!(
+        report.domain.recall > report.volume.recall,
+        "domain features must beat volume features on low-volume abuse"
+    );
+
+    let mut group = c.benchmark_group("detect_microbench");
+    group.sample_size(10);
+    group.bench_function("rule_comparison", |b| {
+        b.iter(|| black_box(detectors::run(small::detectors())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

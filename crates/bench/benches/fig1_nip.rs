@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 1** (NiP distribution over three weeks) and benchmarks
+//! the full scenario run. The first iteration asserts the figure's shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::fig1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Shape check once, loudly.
+    let report = fig1::run(small::fig1());
+    println!("{report}");
+    assert_eq!(report.attack_bucket, Some(6), "attack week spikes at NiP 6");
+    assert_eq!(report.capped_bucket, Some(4), "capped week spikes at the cap");
+
+    let mut group = c.benchmark_group("fig1_nip");
+    group.sample_size(10);
+    group.bench_function("three_week_scenario", |b| {
+        b.iter(|| black_box(fig1::run(small::fig1())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

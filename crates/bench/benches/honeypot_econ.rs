@@ -1,0 +1,23 @@
+//! Regenerates the **§V** honeypot-vs-blocking economics and benchmarks it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::honeypot_econ;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = honeypot_econ::run(small::honeypot());
+    println!("{report}");
+    assert!(report.honeypot.rotations <= report.blocking.rotations);
+    assert!(report.honeypot.absorbed_holds > 0);
+
+    let mut group = c.benchmark_group("honeypot_econ");
+    group.sample_size(10);
+    group.bench_function("two_arm_scenario", |b| {
+        b.iter(|| black_box(honeypot_econ::run(small::honeypot())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

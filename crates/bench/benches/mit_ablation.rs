@@ -1,0 +1,26 @@
+//! Regenerates the **§V** mitigation grid and benchmarks one grid run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::ablation::{self, AttackKind, Posture};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = ablation::run(small::ablation());
+    println!("{report}");
+    let open = report.cell(Posture::Unprotected, AttackKind::SeatSpinning).attack_effect;
+    let defended = report
+        .cell(Posture::RecommendedHoneypot, AttackKind::SeatSpinning)
+        .attack_effect;
+    assert!(defended < open, "defence reduces DoI effect");
+
+    let mut group = c.benchmark_group("mit_ablation");
+    group.sample_size(10);
+    group.bench_function("posture_grid", |b| {
+        b.iter(|| black_box(ablation::run(small::ablation())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates the **§II-A** dynamic-pricing manipulation and benchmarks it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::pricing;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = pricing::run(small::pricing());
+    println!("{report}");
+    assert!(
+        report.attacked.ticket_revenue < report.healthy.ticket_revenue,
+        "suppression must cost the airline revenue"
+    );
+
+    let mut group = c.benchmark_group("price_manipulation");
+    group.sample_size(10);
+    group.bench_function("two_arm_scenario", |b| {
+        b.iter(|| black_box(pricing::run(small::pricing())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

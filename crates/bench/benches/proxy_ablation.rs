@@ -1,0 +1,26 @@
+//! Regenerates the **§III-B** residential-vs-datacenter proxy ablation and
+//! benchmarks it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::proxies;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = proxies::run(small::proxies());
+    println!("{report}");
+    assert!(
+        report.residential.hold_ratio > report.datacenter.hold_ratio,
+        "residential exits must outlast datacenter exits"
+    );
+
+    let mut group = c.benchmark_group("proxy_ablation");
+    group.sample_size(10);
+    group.bench_function("two_arm_scenario", |b| {
+        b.iter(|| black_box(proxies::run(small::proxies())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates **Table I** (per-country SMS surge) and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::small;
+use fg_scenario::experiments::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = table1::run(small::table1());
+    println!("{report}");
+    assert!(report.rows[0].increase_pct > 10_000.0, "premium head surges");
+    assert!(report.countries_reached >= 30, "broad country coverage");
+
+    let mut group = c.benchmark_group("table1_sms_surge");
+    group.sample_size(10);
+    group.bench_function("two_week_scenario", |b| {
+        b.iter(|| black_box(table1::run(small::table1())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

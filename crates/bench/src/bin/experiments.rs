@@ -1,0 +1,108 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin experiments            # everything
+//! cargo run --release -p fg-bench --bin experiments fig1      # one artifact
+//! ```
+//!
+//! Artifacts: the human-readable report on stdout, plus a JSON file per
+//! experiment under `results/`.
+
+use fg_scenario::experiments::*;
+use fg_scenario::report::to_json;
+use std::fs;
+use std::path::Path;
+
+fn write_artifact(name: &str, json: String) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match fs::write(&path, json) {
+            Ok(()) => println!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run_one(name: &str) -> bool {
+    match name {
+        "fig1" => {
+            let r = fig1::run(fig1::Fig1Config::default());
+            println!("{r}");
+            write_artifact("fig1", to_json(&r));
+        }
+        "table1" => {
+            let r = table1::run(table1::Table1Config::default());
+            println!("{r}");
+            write_artifact("table1", to_json(&r));
+        }
+        "case_a" => {
+            let r = case_a::run(case_a::CaseAConfig::default());
+            println!("{r}");
+            write_artifact("case_a", to_json(&r));
+        }
+        "case_b" => {
+            let r = case_b::run(case_b::CaseBConfig::default());
+            println!("{r}");
+            write_artifact("case_b", to_json(&r));
+        }
+        "case_c" => {
+            let r = case_c::run(case_c::CaseCConfig::default());
+            println!("{r}");
+            write_artifact("case_c", to_json(&r));
+        }
+        "ablation" => {
+            let r = ablation::run(ablation::AblationConfig::default());
+            println!("{r}");
+            write_artifact("ablation", to_json(&r));
+        }
+        "honeypot" => {
+            let r = honeypot_econ::run(honeypot_econ::HoneypotConfig::default());
+            println!("{r}");
+            write_artifact("honeypot", to_json(&r));
+        }
+        "detectors" => {
+            let r = detectors::run(detectors::DetectorsConfig::default());
+            println!("{r}");
+            write_artifact("detectors", to_json(&r));
+        }
+        "pricing" => {
+            let r = pricing::run(pricing::PricingConfig::default());
+            println!("{r}");
+            write_artifact("pricing", to_json(&r));
+        }
+        "proxies" => {
+            let r = proxies::run(proxies::ProxiesConfig::default());
+            println!("{r}");
+            write_artifact("proxies", to_json(&r));
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            return false;
+        }
+    }
+    true
+}
+
+const ALL: [&str; 10] = [
+    "fig1", "table1", "case_a", "case_b", "case_c", "ablation", "honeypot", "detectors",
+    "pricing", "proxies",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut ok = true;
+    for name in selected {
+        println!("\n================ {name} ================\n");
+        ok &= run_one(name);
+    }
+    if !ok {
+        eprintln!("\navailable experiments: {ALL:?}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by core primitives.
+///
+/// Downstream crates define their own richer error enums and convert into /
+/// wrap this type where a core primitive is the underlying cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An identifier string failed validation (wrong length / alphabet).
+    InvalidIdentifier {
+        /// What kind of identifier was being parsed.
+        kind: &'static str,
+        /// The offending input.
+        input: String,
+    },
+    /// A requested histogram bucket or index was out of range.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The number of valid slots.
+        len: usize,
+    },
+    /// An operation that requires at least one sample was called on an empty
+    /// accumulator.
+    EmptyAccumulator,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidIdentifier { kind, input } => {
+                write!(f, "invalid {kind} identifier: {input:?}")
+            }
+            CoreError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            CoreError::EmptyAccumulator => {
+                write!(f, "operation requires at least one sample")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CoreError::InvalidIdentifier {
+            kind: "country code",
+            input: "USA".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("country code"));
+        assert!(msg.contains("USA"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn index_error_display() {
+        let e = CoreError::IndexOutOfRange { index: 9, len: 3 };
+        assert_eq!(e.to_string(), "index 9 out of range for length 3");
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixed-point money arithmetic.
+//!
+//! The paper's §V argues that the strongest deterrent against functional
+//! abuse is destroying the attacker's economics. The workspace therefore
+//! accounts costs and revenue on both sides of every attack (SMS termination
+//! fees, proxy rental, CAPTCHA-solver fees, ticket purchases, lost sales) in
+//! a single fixed-point currency type to avoid float drift in long runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An amount of money in micro-units (1 unit = 1_000_000 micros).
+///
+/// Signed: negative amounts represent losses / costs.
+///
+/// # Example
+///
+/// ```
+/// use fg_core::money::Money;
+///
+/// let sms_cost = Money::from_f64(0.25);
+/// let total = sms_cost * 1_000i64;
+/// assert_eq!(total, Money::from_units(250));
+/// assert_eq!(total.to_string(), "$250.00");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Money(i64);
+
+/// Micro-units per whole currency unit.
+const MICROS: i64 = 1_000_000;
+
+impl Money {
+    /// Zero money.
+    pub const ZERO: Money = Money(0);
+
+    /// Creates an amount from whole currency units.
+    pub const fn from_units(units: i64) -> Self {
+        Money(units * MICROS)
+    }
+
+    /// Creates an amount from cents (hundredths of a unit).
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents * (MICROS / 100))
+    }
+
+    /// Creates an amount from raw micro-units.
+    pub const fn from_micros(micros: i64) -> Self {
+        Money(micros)
+    }
+
+    /// Creates an amount from a float, rounding to the nearest micro.
+    pub fn from_f64(units: f64) -> Self {
+        Money((units * MICROS as f64).round() as i64)
+    }
+
+    /// Raw micro-units.
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Value as fractional currency units.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / MICROS as f64
+    }
+
+    /// `true` if strictly negative (a net cost).
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// `true` if strictly positive (a net gain).
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Multiplies by a float factor, rounding to the nearest micro.
+    pub fn mul_f64(self, k: f64) -> Money {
+        Money((self.0 as f64 * k).round() as i64)
+    }
+
+    /// Saturating addition (ledgers must never wrap).
+    pub fn saturating_add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        let units = abs / MICROS as u64;
+        let cents = (abs % MICROS as u64) / (MICROS as u64 / 100);
+        write!(f, "{sign}${units}.{cents:02}")
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<i64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: i64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0 * rhs as i64)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Money::from_units(3), Money::from_cents(300));
+        assert_eq!(Money::from_cents(25), Money::from_f64(0.25));
+        assert_eq!(Money::from_micros(MICROS), Money::from_units(1));
+    }
+
+    #[test]
+    fn display_formats_signs_and_cents() {
+        assert_eq!(Money::from_cents(1250).to_string(), "$12.50");
+        assert_eq!((-Money::from_cents(5)).to_string(), "-$0.05");
+        assert_eq!(Money::ZERO.to_string(), "$0.00");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_units(10);
+        let b = Money::from_units(4);
+        assert_eq!(a - b, Money::from_units(6));
+        assert_eq!(a + b, Money::from_units(14));
+        assert_eq!(b * 3i64, Money::from_units(12));
+        assert_eq!(a.mul_f64(0.5), Money::from_units(5));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Money = (1..=4).map(Money::from_units).sum();
+        assert_eq!(total, Money::from_units(10));
+    }
+
+    #[test]
+    fn sign_predicates() {
+        assert!(Money::from_cents(1).is_positive());
+        assert!((-Money::from_cents(1)).is_negative());
+        assert!(!Money::ZERO.is_positive());
+        assert!(!Money::ZERO.is_negative());
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        let max = Money::from_micros(i64::MAX);
+        assert_eq!(max.saturating_add(Money::from_units(1)), max);
+    }
+}

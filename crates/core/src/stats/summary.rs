@@ -1,0 +1,244 @@
+//! Running summary statistics with exact percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming accumulator tracking count, min, max, mean, variance
+/// (Welford's algorithm) and — because our experiment scales are modest —
+/// retaining all samples for exact percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use fg_core::stats::Summary;
+///
+/// let mut rotation_hours = Summary::new();
+/// for h in [4.9, 5.1, 5.6, 5.3, 5.7] {
+///     rotation_hours.record(h);
+/// }
+/// assert!((rotation_hours.mean() - 5.32).abs() < 1e-9);
+/// assert_eq!(rotation_hours.count(), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            samples: Vec::new(),
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// Non-finite samples are ignored (they would poison every statistic).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.samples.push(x);
+        let n = self.samples.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            self.m2 / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample (None when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Exact percentile by nearest-rank (`p` in `0.0..=100.0`; None when
+    /// empty).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        for &x in &other.samples {
+            self.record(x);
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.median(), None);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Summary = (1..=100).map(f64::from).collect();
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.percentile(95.0), Some(95.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        let c: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert_eq!(a.count(), c.count());
+    }
+
+    proptest! {
+        /// Mean is always within [min, max].
+        #[test]
+        fn prop_mean_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: Summary = xs.iter().copied().collect();
+            let (min, max) = (s.min().unwrap(), s.max().unwrap());
+            prop_assert!(s.mean() >= min - 1e-9);
+            prop_assert!(s.mean() <= max + 1e-9);
+        }
+
+        /// Variance is never negative.
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s: Summary = xs.iter().copied().collect();
+            prop_assert!(s.variance() >= -1e-9);
+        }
+
+        /// Percentile is monotone in p.
+        #[test]
+        fn prop_percentile_monotone(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let s: Summary = xs.iter().copied().collect();
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo).unwrap() <= s.percentile(hi).unwrap());
+        }
+    }
+}

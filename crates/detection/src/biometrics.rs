@@ -1,0 +1,373 @@
+//! Behavioural biometrics — mouse-trajectory analysis.
+//!
+//! §III-A and §V point to biometric signals ("mouse movement trajectories",
+//! refs [41]–[44]) as the promising future direction for functional-abuse
+//! detection, precisely because they survive fingerprint rotation: rotating
+//! `navigator` properties is cheap, faking human motor control is not. This
+//! module implements that direction end to end: a synthetic trajectory
+//! generator for three motor profiles (human, scripted-linear,
+//! scripted-jittered), kinematic feature extraction, and a scoring rule.
+//!
+//! The generator lives here rather than in `fg-behavior` because detector
+//! and generator must agree on the trace representation, and the generator
+//! doubles as the test harness for the detector.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One sampled pointer position (x, y in CSS px; t in milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MouseSample {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Milliseconds since trace start.
+    pub t: f64,
+}
+
+/// A pointer trajectory between two UI targets.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MouseTrace {
+    samples: Vec<MouseSample>,
+}
+
+impl MouseTrace {
+    /// Creates a trace from raw samples (must be time-ordered).
+    pub fn new(samples: Vec<MouseSample>) -> Self {
+        debug_assert!(
+            samples.windows(2).all(|w| w[1].t >= w[0].t),
+            "samples must be time-ordered"
+        );
+        MouseTrace { samples }
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[MouseSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples exist.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The motor profile generating a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MotionProfile {
+    /// Human motor control: curved path, bell-shaped speed, tremor,
+    /// occasional micro-pause, slight endpoint overshoot.
+    Human,
+    /// A script calling `moveTo` along a straight line at constant speed.
+    ScriptedLinear,
+    /// A script adding uniform noise to a straight line — the naive
+    /// "humanization" bolt-on.
+    ScriptedJittered,
+}
+
+/// Synthesizes a trace from `(x0, y0)` to `(x1, y1)` under a profile.
+///
+/// # Example
+///
+/// ```
+/// use fg_detection::biometrics::{synthesize, MotionProfile, MotionFeatures};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let human = synthesize(MotionProfile::Human, (0.0, 0.0), (400.0, 300.0), &mut rng);
+/// let bot = synthesize(MotionProfile::ScriptedLinear, (0.0, 0.0), (400.0, 300.0), &mut rng);
+/// let hf = MotionFeatures::extract(&human);
+/// let bf = MotionFeatures::extract(&bot);
+/// assert!(hf.bot_score() < bf.bot_score());
+/// ```
+pub fn synthesize<R: Rng + ?Sized>(
+    profile: MotionProfile,
+    from: (f64, f64),
+    to: (f64, f64),
+    rng: &mut R,
+) -> MouseTrace {
+    let (x0, y0) = from;
+    let (x1, y1) = to;
+    let dist = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt().max(1.0);
+    let steps = (dist / 8.0).clamp(20.0, 200.0) as usize;
+
+    let mut samples = Vec::with_capacity(steps + 1);
+    match profile {
+        MotionProfile::Human => {
+            // Quadratic Bézier with a lateral control offset, minimum-jerk
+            // style speed profile, tremor, and a micro-pause.
+            let mid_x = (x0 + x1) / 2.0;
+            let mid_y = (y0 + y1) / 2.0;
+            let (dx, dy) = (x1 - x0, y1 - y0);
+            // Perpendicular offset: 5–20 % of distance, random side.
+            let side = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let off = dist * rng.gen_range(0.05..0.2) * side;
+            let (cx, cy) = (mid_x - dy / dist * off, mid_y + dx / dist * off);
+
+            let total_ms = dist / rng.gen_range(0.4..0.9); // ≈0.4–0.9 px/ms
+            let pause_at = rng.gen_range(0.3..0.7);
+            let pause_ms = if rng.gen_bool(0.4) {
+                rng.gen_range(40.0..160.0)
+            } else {
+                0.0
+            };
+            let mut t = 0.0;
+            for i in 0..=steps {
+                let u = i as f64 / steps as f64;
+                // Minimum-jerk timing: position parameter eases in and out.
+                let s = u * u * (3.0 - 2.0 * u);
+                let bx = (1.0 - s) * (1.0 - s) * x0 + 2.0 * (1.0 - s) * s * cx + s * s * x1;
+                let by = (1.0 - s) * (1.0 - s) * y0 + 2.0 * (1.0 - s) * s * cy + s * s * y1;
+                // Physiological tremor: ~1 px high-frequency noise.
+                let tremor_x = rng.gen_range(-0.8..0.8);
+                let tremor_y = rng.gen_range(-0.8..0.8);
+                // Non-uniform time: ease means mid-path covers more distance
+                // per tick; emit wall time proportional to u plus the pause.
+                t = u * total_ms + if u >= pause_at { pause_ms } else { 0.0 };
+                samples.push(MouseSample {
+                    x: bx + tremor_x,
+                    y: by + tremor_y,
+                    t,
+                });
+            }
+            // Slight overshoot + correction.
+            if rng.gen_bool(0.6) {
+                let over = rng.gen_range(2.0..9.0);
+                samples.push(MouseSample {
+                    x: x1 + dx / dist * over,
+                    y: y1 + dy / dist * over,
+                    t: t + 30.0,
+                });
+                samples.push(MouseSample {
+                    x: x1,
+                    y: y1,
+                    t: t + 70.0,
+                });
+            }
+        }
+        MotionProfile::ScriptedLinear => {
+            let total_ms = dist / 1.0; // exactly 1 px/ms, metronomic
+            for i in 0..=steps {
+                let u = i as f64 / steps as f64;
+                samples.push(MouseSample {
+                    x: x0 + (x1 - x0) * u,
+                    y: y0 + (y1 - y0) * u,
+                    t: u * total_ms,
+                });
+            }
+        }
+        MotionProfile::ScriptedJittered => {
+            let total_ms = dist / 1.0;
+            for i in 0..=steps {
+                let u = i as f64 / steps as f64;
+                samples.push(MouseSample {
+                    x: x0 + (x1 - x0) * u + rng.gen_range(-6.0..6.0),
+                    y: y0 + (y1 - y0) * u + rng.gen_range(-6.0..6.0),
+                    t: u * total_ms,
+                });
+            }
+        }
+    }
+    MouseTrace::new(samples)
+}
+
+/// Kinematic features of a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MotionFeatures {
+    /// Path length / straight-line distance (1.0 = perfectly straight).
+    pub straightness: f64,
+    /// Coefficient of variation of segment speeds.
+    pub speed_cv: f64,
+    /// Mean absolute heading change between consecutive segments (radians).
+    pub roughness: f64,
+    /// Fraction of inter-sample gaps ≥ 3× the median gap (micro-pauses).
+    pub pause_fraction: f64,
+}
+
+impl MotionFeatures {
+    /// Extracts features; returns default (all zeros) for traces with fewer
+    /// than three samples.
+    pub fn extract(trace: &MouseTrace) -> Self {
+        let s = trace.samples();
+        if s.len() < 3 {
+            return MotionFeatures::default();
+        }
+
+        let mut path = 0.0;
+        let mut speeds = Vec::with_capacity(s.len() - 1);
+        let mut gaps = Vec::with_capacity(s.len() - 1);
+        let mut headings = Vec::with_capacity(s.len() - 1);
+        for w in s.windows(2) {
+            let dx = w[1].x - w[0].x;
+            let dy = w[1].y - w[0].y;
+            let d = (dx * dx + dy * dy).sqrt();
+            let dt = (w[1].t - w[0].t).max(1e-6);
+            path += d;
+            speeds.push(d / dt);
+            gaps.push(dt);
+            // Sub-2px segments carry no directional information (tremor at
+            // rest); excluding them keeps heading statistics meaningful.
+            if d >= 2.0 {
+                headings.push(dy.atan2(dx));
+            }
+        }
+        let direct = {
+            let dx = s[s.len() - 1].x - s[0].x;
+            let dy = s[s.len() - 1].y - s[0].y;
+            (dx * dx + dy * dy).sqrt().max(1e-6)
+        };
+
+        let mean_speed = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        let speed_var =
+            speeds.iter().map(|v| (v - mean_speed).powi(2)).sum::<f64>() / speeds.len() as f64;
+        let speed_cv = if mean_speed > 1e-9 {
+            speed_var.sqrt() / mean_speed
+        } else {
+            0.0
+        };
+
+        let mut turn_sum = 0.0;
+        if headings.len() < 2 {
+            headings.push(0.0);
+            headings.push(0.0);
+        }
+        for w in headings.windows(2) {
+            let mut dh = (w[1] - w[0]).abs();
+            if dh > std::f64::consts::PI {
+                dh = 2.0 * std::f64::consts::PI - dh;
+            }
+            turn_sum += dh;
+        }
+        let roughness = turn_sum / (headings.len() - 1).max(1) as f64;
+
+        let mut sorted_gaps = gaps.clone();
+        sorted_gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+        let median_gap = sorted_gaps[sorted_gaps.len() / 2];
+        let pauses = gaps.iter().filter(|&&g| g >= 3.0 * median_gap).count();
+
+        MotionFeatures {
+            straightness: path / direct,
+            speed_cv,
+            roughness,
+            pause_fraction: pauses as f64 / gaps.len() as f64,
+        }
+    }
+
+    /// A bot-suspicion score in `0.0..=1.0`.
+    ///
+    /// Humans curve (straightness > ~1.03), vary speed (cv > ~0.15) and
+    /// pause; scripts are straight and metronomic; naive jitter produces
+    /// *pathological* roughness (heading flips every sample) that no human
+    /// hand exhibits.
+    pub fn bot_score(&self) -> f64 {
+        let mut score: f64 = 0.0;
+        if self.straightness < 1.005 {
+            score += 0.4; // inhumanly straight
+        }
+        if self.speed_cv < 0.12 {
+            score += 0.35; // metronomic
+        }
+        if self.roughness > 0.55 {
+            score += 0.45; // jitter thrash, not motor tremor
+        }
+        if self.pause_fraction == 0.0 {
+            score += 0.1;
+        }
+        score.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn features(profile: MotionProfile, seed: u64) -> MotionFeatures {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = synthesize(profile, (10.0, 700.0), (820.0, 90.0), &mut rng);
+        MotionFeatures::extract(&trace)
+    }
+
+    #[test]
+    fn human_traces_pass() {
+        for seed in 0..40 {
+            let f = features(MotionProfile::Human, seed);
+            assert!(f.bot_score() < 0.5, "seed {seed}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn linear_scripts_fail() {
+        for seed in 0..40 {
+            let f = features(MotionProfile::ScriptedLinear, seed);
+            assert!(f.bot_score() >= 0.5, "seed {seed}: {f:?}");
+            assert!(f.straightness < 1.001, "perfectly straight");
+            assert!(f.speed_cv < 0.05, "metronomic");
+        }
+    }
+
+    #[test]
+    fn jittered_scripts_fail_differently() {
+        for seed in 0..40 {
+            let f = features(MotionProfile::ScriptedJittered, seed);
+            assert!(f.bot_score() >= 0.45, "seed {seed}: {f:?}");
+            assert!(f.roughness > 0.55, "jitter thrash visible: {f:?}");
+        }
+    }
+
+    #[test]
+    fn human_kinematics_are_humanlike() {
+        let f = features(MotionProfile::Human, 7);
+        assert!(f.straightness > 1.01, "{f:?}");
+        assert!(f.speed_cv > 0.12, "{f:?}");
+        assert!(f.roughness < 0.55, "tremor is not thrash: {f:?}");
+    }
+
+    #[test]
+    fn short_traces_are_neutral() {
+        let trace = MouseTrace::new(vec![
+            MouseSample { x: 0.0, y: 0.0, t: 0.0 },
+            MouseSample { x: 5.0, y: 5.0, t: 10.0 },
+        ]);
+        assert_eq!(MotionFeatures::extract(&trace), MotionFeatures::default());
+        assert!(trace.len() == 2 && !trace.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            synthesize(MotionProfile::Human, (0.0, 0.0), (100.0, 50.0), &mut a),
+            synthesize(MotionProfile::Human, (0.0, 0.0), (100.0, 50.0), &mut b),
+        );
+    }
+
+    #[test]
+    fn separation_is_strong_in_aggregate() {
+        let mut human_scores = Vec::new();
+        let mut bot_scores = Vec::new();
+        for seed in 100..160 {
+            human_scores.push(features(MotionProfile::Human, seed).bot_score());
+            let profile = if seed % 2 == 0 {
+                MotionProfile::ScriptedLinear
+            } else {
+                MotionProfile::ScriptedJittered
+            };
+            bot_scores.push(features(profile, seed).bot_score());
+        }
+        let h_mean: f64 = human_scores.iter().sum::<f64>() / human_scores.len() as f64;
+        let b_mean: f64 = bot_scores.iter().sum::<f64>() / bot_scores.len() as f64;
+        assert!(
+            b_mean - h_mean > 0.4,
+            "mean separation: human {h_mean:.2} vs bot {b_mean:.2}"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Lloyd's k-means clustering.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+///
+/// Unsupervised bot detection (paper refs [31], [32], [38]) clusters sessions
+/// and inspects cluster composition. [`KMeans::fit`] uses k-means++ style
+/// seeding from a caller-provided RNG, so runs are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use fg_detection::classify::KMeans;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let xs = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let model = KMeans::fit(&xs, 2, 50, &mut rng);
+/// assert_eq!(model.assign(&[0.05]), model.assign(&[0.02]));
+/// assert_ne!(model.assign(&[0.05]), model.assign(&[9.05]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters with at most `max_iter` Lloyd iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, `xs` has fewer than `k` points, or rows have
+    /// inconsistent dimensions.
+    pub fn fit<R: Rng + ?Sized>(xs: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(xs.len() >= k, "need at least k points");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(xs.choose(rng).expect("non-empty").clone());
+        while centroids.len() < k {
+            let dists: Vec<f64> = xs
+                .iter()
+                .map(|x| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(x, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= 0.0 {
+                // All points identical to a centroid; duplicate one.
+                centroids.push(centroids[0].clone());
+                continue;
+            }
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = xs.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if pick < d {
+                    chosen = i;
+                    break;
+                }
+                pick -= d;
+            }
+            centroids.push(xs[chosen].clone());
+        }
+
+        let mut assignment = vec![0usize; xs.len()];
+        for _ in 0..max_iter {
+            let mut changed = false;
+            for (i, x) in xs.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        sq_dist(x, &centroids[a])
+                            .partial_cmp(&sq_dist(x, &centroids[b]))
+                            .expect("distances are finite")
+                    })
+                    .expect("k > 0");
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (x, &a) in xs.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &xi) in sums[a].iter_mut().zip(x) {
+                    *s += xi;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (ci, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *ci = s / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans { centroids }
+    }
+
+    /// The nearest centroid's index for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.centroids[0].len(), "dimension mismatch");
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                sq_dist(x, &self.centroids[a])
+                    .partial_cmp(&sq_dist(x, &self.centroids[b]))
+                    .expect("distances are finite")
+            })
+            .expect("at least one centroid")
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Within-cluster sum of squares over a dataset — the fit-quality metric.
+    pub fn inertia(&self, xs: &[Vec<f64>]) -> f64 {
+        xs.iter()
+            .map(|x| sq_dist(x, &self.centroids[self.assign(x)]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let mut xs = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for _ in 0..50 {
+                xs.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+            }
+        }
+        xs
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs = blobs(&mut rng);
+        let model = KMeans::fit(&xs, 3, 100, &mut rng);
+        // All points of a blob share a cluster, and blobs differ.
+        let a = model.assign(&xs[10]);
+        let b = model.assign(&xs[60]);
+        let c = model.assign(&xs[110]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        for (i, x) in xs.iter().enumerate() {
+            let expected = [a, b, c][i / 50];
+            assert_eq!(model.assign(x), expected, "point {i}");
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = blobs(&mut rng);
+        let k1 = KMeans::fit(&xs, 1, 100, &mut rng).inertia(&xs);
+        let k3 = KMeans::fit(&xs, 3, 100, &mut rng).inertia(&xs);
+        assert!(k3 < k1 / 4.0, "k=3 inertia {k3} vs k=1 {k1}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let m1 = KMeans::fit(&xs, 2, 50, &mut StdRng::seed_from_u64(8));
+        let m2 = KMeans::fit(&xs, 2, 50, &mut StdRng::seed_from_u64(8));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let xs = vec![vec![5.0]; 10];
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = KMeans::fit(&xs, 3, 50, &mut rng);
+        assert_eq!(model.centroids().len(), 3);
+        assert_eq!(model.inertia(&xs), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn too_few_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        KMeans::fit(&[vec![1.0]], 2, 10, &mut rng);
+    }
+}

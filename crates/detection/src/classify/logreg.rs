@@ -1,0 +1,180 @@
+//! Binary logistic regression trained by mini-batch-free SGD.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary logistic-regression classifier with L2 regularization.
+///
+/// # Example
+///
+/// ```
+/// use fg_detection::classify::LogisticRegression;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Separable 1-D data: negatives near 0, positives near 1.
+/// let xs = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+/// let ys = vec![false, false, true, true];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = LogisticRegression::train(&xs, &ys, 200, 0.5, 1e-4, &mut rng);
+/// assert!(model.predict_proba(&[0.95]) > 0.5);
+/// assert!(model.predict_proba(&[0.05]) < 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Trains for `epochs` passes of SGD with learning rate `lr` and L2
+    /// penalty `l2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` differ in length, `xs` is empty, or rows have
+    /// inconsistent dimensions.
+    pub fn train<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(xs.len(), ys.len(), "features and labels must align");
+        assert!(!xs.is_empty(), "training set must be non-empty");
+        let dim = xs[0].len();
+        assert!(
+            xs.iter().all(|r| r.len() == dim),
+            "all rows must share one dimension"
+        );
+
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let x = &xs[i];
+                let y = if ys[i] { 1.0 } else { 0.0 };
+                let z: f64 = bias + weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+                let err = sigmoid(z) - y;
+                for (w, &xi) in weights.iter_mut().zip(x) {
+                    *w -= lr * (err * xi + l2 * *w);
+                }
+                bias -= lr * err;
+            }
+        }
+        LogisticRegression { weights, bias }
+    }
+
+    /// The probability that `x` is the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
+        let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob<R: Rng>(rng: &mut R, center: &[f64], n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-spread..spread))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_2d_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs = blob(&mut rng, &[0.0, 0.0], 100, 0.5);
+        xs.extend(blob(&mut rng, &[4.0, 4.0], 100, 0.5));
+        let ys: Vec<bool> = (0..200).map(|i| i >= 100).collect();
+        let model = LogisticRegression::train(&xs, &ys, 100, 0.1, 1e-4, &mut rng);
+
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct >= 198, "accuracy {}/200", correct);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = vec![vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]];
+        let ys = vec![false, false, true, true];
+        let model = LogisticRegression::train(&xs, &ys, 500, 0.3, 0.0, &mut rng);
+        assert!(model.predict_proba(&[3.0]) > model.predict_proba(&[0.0]));
+        assert!(model.predict_proba(&[0.0]) > model.predict_proba(&[-3.0]));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![false, true];
+        let m1 = LogisticRegression::train(&xs, &ys, 50, 0.1, 0.0, &mut StdRng::seed_from_u64(9));
+        let m2 = LogisticRegression::train(&xs, &ys, 50, 0.1, 0.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = vec![vec![-1.0], vec![1.0], vec![-1.1], vec![1.1]];
+        let ys = vec![false, true, false, true];
+        let free = LogisticRegression::train(&xs, &ys, 300, 0.3, 0.0, &mut rng);
+        let penalized = LogisticRegression::train(&xs, &ys, 300, 0.3, 0.5, &mut rng);
+        assert!(penalized.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        LogisticRegression::train(&[vec![0.0]], &[true, false], 1, 0.1, 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_rejected_at_predict() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = LogisticRegression::train(&[vec![0.0], vec![1.0]], &[false, true], 1, 0.1, 0.0, &mut rng);
+        m.predict(&[0.0, 1.0]);
+    }
+}

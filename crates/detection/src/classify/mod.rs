@@ -1,0 +1,100 @@
+//! From-scratch classifiers over session feature vectors.
+//!
+//! Three standard models cover the behaviour-based detection families the
+//! paper surveys (§III-A): a supervised linear model
+//! ([`LogisticRegression`]), a generative model ([`GaussianNaiveBayes`]), and
+//! an unsupervised clusterer ([`KMeans`] — the unsupervised-learning approach
+//! of refs [31], [32], [38]). [`metrics`] computes the precision/recall/F1
+//! the experiments report.
+
+pub mod kmeans;
+pub mod logreg;
+pub mod metrics;
+pub mod naive_bayes;
+
+pub use kmeans::KMeans;
+pub use logreg::LogisticRegression;
+pub use metrics::ConfusionMatrix;
+pub use naive_bayes::GaussianNaiveBayes;
+
+/// Standardizes columns of a feature matrix to zero mean / unit variance,
+/// returning `(standardized, means, stds)`. Constant columns keep std 1 so
+/// they standardize to zero rather than NaN.
+pub fn standardize(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    if rows.is_empty() {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    let dim = rows[0].len();
+    let n = rows.len() as f64;
+    let mut means = vec![0.0; dim];
+    for row in rows {
+        for (m, &x) in means.iter_mut().zip(row) {
+            *m += x / n;
+        }
+    }
+    let mut stds = vec![0.0; dim];
+    for row in rows {
+        for ((s, &m), &x) in stds.iter_mut().zip(&means).zip(row) {
+            *s += (x - m).powi(2) / n;
+        }
+    }
+    for s in &mut stds {
+        *s = s.sqrt();
+        if *s < 1e-12 {
+            *s = 1.0;
+        }
+    }
+    let standardized = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&means)
+                .zip(&stds)
+                .map(|((&x, &m), &s)| (x - m) / s)
+                .collect()
+        })
+        .collect();
+    (standardized, means, stds)
+}
+
+/// Applies a previously computed standardization to one row.
+pub fn apply_standardization(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(means)
+        .zip(stds)
+        .map(|((&x, &m), &s)| (x - m) / s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let (std_rows, means, stds) = standardize(&rows);
+        assert!((means[0] - 3.0).abs() < 1e-12);
+        assert_eq!(means[1], 10.0);
+        // Constant column: std forced to 1, values standardize to 0.
+        assert_eq!(stds[1], 1.0);
+        for r in &std_rows {
+            assert_eq!(r[1], 0.0);
+        }
+        let col0_mean: f64 = std_rows.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(col0_mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_fit() {
+        let rows = vec![vec![2.0], vec![4.0]];
+        let (std_rows, means, stds) = standardize(&rows);
+        assert_eq!(apply_standardization(&rows[0], &means, &stds), std_rows[0]);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let (a, b, c) = standardize(&[]);
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+    }
+}

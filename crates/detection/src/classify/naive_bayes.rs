@@ -1,0 +1,173 @@
+//! Gaussian naive Bayes.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-class Gaussian naive Bayes classifier.
+///
+/// Each feature is modelled as an independent Gaussian per class; a variance
+/// floor keeps degenerate (constant) features from producing infinities.
+///
+/// # Example
+///
+/// ```
+/// use fg_detection::classify::GaussianNaiveBayes;
+///
+/// let xs = vec![vec![0.0], vec![0.2], vec![5.0], vec![5.2]];
+/// let ys = vec![false, false, true, true];
+/// let model = GaussianNaiveBayes::train(&xs, &ys);
+/// assert!(model.predict(&[5.1]));
+/// assert!(!model.predict(&[0.1]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    means: [Vec<f64>; 2],
+    vars: [Vec<f64>; 2],
+    priors: [f64; 2],
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianNaiveBayes {
+    /// Fits per-class feature Gaussians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, misaligned, or either class is absent.
+    pub fn train(xs: &[Vec<f64>], ys: &[bool]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "features and labels must align");
+        assert!(!xs.is_empty(), "training set must be non-empty");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+
+        let mut counts = [0usize; 2];
+        let mut means = [vec![0.0; dim], vec![0.0; dim]];
+        for (x, &y) in xs.iter().zip(ys) {
+            let c = usize::from(y);
+            counts[c] += 1;
+            for (m, &xi) in means[c].iter_mut().zip(x) {
+                *m += xi;
+            }
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "both classes must be present in training data"
+        );
+        for c in 0..2 {
+            for m in &mut means[c] {
+                *m /= counts[c] as f64;
+            }
+        }
+
+        let mut vars = [vec![0.0; dim], vec![0.0; dim]];
+        for (x, &y) in xs.iter().zip(ys) {
+            let c = usize::from(y);
+            for ((v, &m), &xi) in vars[c].iter_mut().zip(&means[c]).zip(x) {
+                *v += (xi - m).powi(2);
+            }
+        }
+        for c in 0..2 {
+            for v in &mut vars[c] {
+                *v = (*v / counts[c] as f64).max(VAR_FLOOR);
+            }
+        }
+
+        let n = xs.len() as f64;
+        GaussianNaiveBayes {
+            means,
+            vars,
+            priors: [counts[0] as f64 / n, counts[1] as f64 / n],
+        }
+    }
+
+    fn log_likelihood(&self, x: &[f64], class: usize) -> f64 {
+        let mut ll = self.priors[class].ln();
+        for ((&m, &v), &xi) in self.means[class].iter().zip(&self.vars[class]).zip(x) {
+            ll += -0.5 * ((xi - m).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+
+    /// The posterior probability of the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.means[0].len(), "dimension mismatch");
+        let l0 = self.log_likelihood(x, 0);
+        let l1 = self.log_likelihood(x, 1);
+        // Log-sum-exp for numerical stability.
+        let m = l0.max(l1);
+        let p1 = (l1 - m).exp();
+        p1 / ((l0 - m).exp() + p1)
+    }
+
+    /// Hard decision at posterior 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let c = if i < 100 { 0.0 } else { 6.0 };
+                vec![c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)]
+            })
+            .collect();
+        let ys: Vec<bool> = (0..200).map(|i| i >= 100).collect();
+        let model = GaussianNaiveBayes::train(&xs, &ys);
+        let correct = xs
+            .iter_mut()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct >= 198, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn posterior_respects_priors() {
+        // 90% negatives: an ambiguous midpoint leans negative.
+        let mut xs = vec![vec![0.0]; 90];
+        xs.extend(vec![vec![1.0]; 10]);
+        let mut ys = vec![false; 90];
+        ys.extend(vec![true; 10]);
+        let model = GaussianNaiveBayes::train(&xs, &ys);
+        assert!(model.predict_proba(&[0.5]) < 0.5);
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 4.0], vec![1.0, 5.0]];
+        let ys = vec![false, false, true, true];
+        let model = GaussianNaiveBayes::train(&xs, &ys);
+        let p = model.predict_proba(&[1.0, 4.5]);
+        assert!(p.is_finite());
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let xs = vec![vec![0.0], vec![10.0]];
+        let ys = vec![false, true];
+        let model = GaussianNaiveBayes::train(&xs, &ys);
+        for x in [-100.0, 0.0, 5.0, 100.0] {
+            let p = model.predict_proba(&[x]);
+            assert!((0.0..=1.0).contains(&p), "p={p} at x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        GaussianNaiveBayes::train(&[vec![0.0], vec![1.0]], &[true, true]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # fg-fingerprint
+//!
+//! Browser fingerprint substrate for the FeatureGuard workspace.
+//!
+//! The paper (§III-B, §IV) shows that knowledge-based bot detection rests on
+//! browser fingerprinting, and that the attacks it studies defeat it through
+//! **fingerprint rotation** (new apparent identity every few hours — 5.3 h on
+//! average in the Airline A case study) and **population mimicry** (rotated
+//! fingerprints drawn to look like common real-user configurations). This
+//! crate models exactly that arms race:
+//!
+//! * [`attributes`] — the fingerprint attribute tuple ([`Fingerprint`]):
+//!   browser family/version, OS, screen, languages, timezone, hardware hints,
+//!   rendering hashes (canvas / WebGL / audio), and automation artifacts such
+//!   as `navigator.webdriver`.
+//! * [`population`] — a parametric model of the *legitimate* user population
+//!   with cross-attribute consistency (mobile OS ⇒ touch support, browser ⇒
+//!   plausible canvas-hash class, …). Both humans and mimicry bots sample
+//!   from it; naive bots sample attributes independently and become
+//!   detectably inconsistent.
+//! * [`rotation`] — bot rotation strategies and schedules.
+//! * [`similarity`] — attribute-weighted similarity and the linking score a
+//!   defender can use to connect rotated identities.
+//! * [`inconsistency`] — fp-inconsistent-style integrity checks that catch
+//!   naive rotation.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_fingerprint::population::PopulationModel;
+//! use fg_fingerprint::inconsistency::consistency_report;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let model = PopulationModel::default_web();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let human = model.sample_human(&mut rng);
+//! // A fingerprint drawn from the consistent human model passes all checks.
+//! assert!(consistency_report(&human).is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod inconsistency;
+pub mod population;
+pub mod rotation;
+pub mod similarity;
+
+pub use attributes::{BrowserFamily, Fingerprint, OsFamily, ScreenResolution};
+pub use inconsistency::{consistency_report, ConsistencyReport, Inconsistency};
+pub use population::PopulationModel;
+pub use rotation::{RotationSchedule, RotationStrategy, Rotator};
+pub use similarity::{linking_score, similarity};

@@ -1,0 +1,359 @@
+//! Parametric model of the legitimate browsing population.
+//!
+//! Real fingerprint populations have strong cross-attribute structure: an
+//! iPhone reports `platform == "iPhone"`, touch support, a portrait screen,
+//! and a Safari-class canvas hash. Humans sampled from [`PopulationModel`]
+//! respect that structure; the *naive* bot sampler draws attributes
+//! independently and therefore violates it with high probability — the exact
+//! weakness the fp-inconsistent line of work (paper ref [51]) exploits, and
+//! the reason sophisticated attackers mimic the population instead.
+
+use crate::attributes::{BrowserFamily, Fingerprint, OsFamily, ScreenResolution};
+use fg_core::rng::splitmix64;
+use fg_core::stats::Categorical;
+use rand::Rng;
+
+/// Number of canvas-hash variants a single (browser, OS) class exhibits in
+/// the wild (driver/font differences).
+const CANVAS_VARIANTS: u64 = 4;
+
+/// Deterministically computes the canvas-hash class for a (browser, OS,
+/// variant) combination.
+pub fn canvas_class(browser: BrowserFamily, os: OsFamily, variant: u64) -> u64 {
+    splitmix64(
+        0xCA17_0000 ^ (browser as u64) << 16 ^ (os as u64) << 8 ^ (variant % CANVAS_VARIANTS),
+    )
+}
+
+/// `true` if `hash` is a plausible canvas hash for this (browser, OS) pair.
+pub fn plausible_canvas(browser: BrowserFamily, os: OsFamily, hash: u64) -> bool {
+    (0..CANVAS_VARIANTS).any(|v| canvas_class(browser, os, v) == hash)
+}
+
+/// Deterministically computes the WebGL-hash class for (OS, variant).
+pub fn webgl_class(os: OsFamily, variant: u64) -> u64 {
+    splitmix64(0x9E61_0000 ^ (os as u64) << 8 ^ (variant % CANVAS_VARIANTS))
+}
+
+/// Deterministically computes the audio-hash class for (browser, variant).
+pub fn audio_class(browser: BrowserFamily, variant: u64) -> u64 {
+    splitmix64(0xAD10_0000 ^ (browser as u64) << 8 ^ (variant % 2))
+}
+
+/// A consistent device archetype: an OS together with the browsers, screens
+/// and hardware shapes genuinely observed on it.
+#[derive(Clone, Debug)]
+struct DeviceProfile {
+    os: OsFamily,
+    browsers: Categorical<(BrowserFamily, u16)>,
+    screens: Categorical<ScreenResolution>,
+    concurrency: Categorical<u8>,
+    memory: Categorical<u8>,
+    plugin_count: Categorical<u8>,
+}
+
+/// A weighted mixture of device archetypes plus language/timezone marginals.
+///
+/// # Example
+///
+/// ```
+/// use fg_fingerprint::population::PopulationModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = PopulationModel::default_web();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let fp = model.sample_human(&mut rng);
+/// assert!(!fp.webdriver, "humans never expose navigator.webdriver");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PopulationModel {
+    profiles: Categorical<usize>,
+    devices: Vec<DeviceProfile>,
+    languages: Categorical<&'static str>,
+    timezones: Categorical<i16>,
+}
+
+impl PopulationModel {
+    /// The default model: a web population resembling public browser
+    /// market-share statistics (desktop Windows/Chrome heavy, substantial
+    /// mobile share).
+    pub fn default_web() -> Self {
+        let desktop_screens = Categorical::new(vec![
+            (ScreenResolution::new(1920, 1080), 38.0),
+            (ScreenResolution::new(1366, 768), 18.0),
+            (ScreenResolution::new(2560, 1440), 12.0),
+            (ScreenResolution::new(1536, 864), 10.0),
+            (ScreenResolution::new(1440, 900), 8.0),
+            (ScreenResolution::new(3840, 2160), 4.0),
+        ])
+        .expect("static weights");
+        let phone_screens = Categorical::new(vec![
+            (ScreenResolution::new(390, 844), 30.0),
+            (ScreenResolution::new(393, 852), 22.0),
+            (ScreenResolution::new(412, 915), 20.0),
+            (ScreenResolution::new(360, 800), 18.0),
+            (ScreenResolution::new(430, 932), 10.0),
+        ])
+        .expect("static weights");
+
+        let devices = vec![
+            DeviceProfile {
+                os: OsFamily::Windows,
+                browsers: Categorical::new(vec![
+                    ((BrowserFamily::Chrome, 120), 55.0),
+                    ((BrowserFamily::Chrome, 121), 15.0),
+                    ((BrowserFamily::Edge, 120), 18.0),
+                    ((BrowserFamily::Firefox, 121), 12.0),
+                ])
+                .expect("static weights"),
+                screens: desktop_screens.clone(),
+                concurrency: Categorical::new(vec![(4, 25.0), (8, 45.0), (12, 15.0), (16, 15.0)])
+                    .expect("static weights"),
+                memory: Categorical::new(vec![(8, 55.0), (16, 35.0), (32, 10.0)])
+                    .expect("static weights"),
+                plugin_count: Categorical::new(vec![(3, 60.0), (5, 40.0)]).expect("static weights"),
+            },
+            DeviceProfile {
+                os: OsFamily::MacOs,
+                browsers: Categorical::new(vec![
+                    ((BrowserFamily::Safari, 17), 45.0),
+                    ((BrowserFamily::Chrome, 120), 40.0),
+                    ((BrowserFamily::Firefox, 121), 15.0),
+                ])
+                .expect("static weights"),
+                screens: Categorical::new(vec![
+                    (ScreenResolution::new(1440, 900), 35.0),
+                    (ScreenResolution::new(1728, 1117), 30.0),
+                    (ScreenResolution::new(2560, 1440), 20.0),
+                    (ScreenResolution::new(1920, 1080), 15.0),
+                ])
+                .expect("static weights"),
+                concurrency: Categorical::new(vec![(8, 55.0), (10, 30.0), (12, 15.0)])
+                    .expect("static weights"),
+                memory: Categorical::new(vec![(8, 45.0), (16, 45.0), (32, 10.0)])
+                    .expect("static weights"),
+                plugin_count: Categorical::new(vec![(3, 70.0), (5, 30.0)]).expect("static weights"),
+            },
+            DeviceProfile {
+                os: OsFamily::Linux,
+                browsers: Categorical::new(vec![
+                    ((BrowserFamily::Firefox, 121), 55.0),
+                    ((BrowserFamily::Chrome, 120), 45.0),
+                ])
+                .expect("static weights"),
+                screens: desktop_screens,
+                concurrency: Categorical::new(vec![(4, 20.0), (8, 40.0), (16, 40.0)])
+                    .expect("static weights"),
+                memory: Categorical::new(vec![(8, 40.0), (16, 40.0), (32, 20.0)])
+                    .expect("static weights"),
+                plugin_count: Categorical::new(vec![(0, 50.0), (3, 50.0)]).expect("static weights"),
+            },
+            DeviceProfile {
+                os: OsFamily::Android,
+                browsers: Categorical::new(vec![
+                    ((BrowserFamily::Chrome, 120), 70.0),
+                    ((BrowserFamily::SamsungInternet, 23), 20.0),
+                    ((BrowserFamily::Firefox, 121), 10.0),
+                ])
+                .expect("static weights"),
+                screens: phone_screens.clone(),
+                concurrency: Categorical::new(vec![(8, 70.0), (4, 30.0)]).expect("static weights"),
+                memory: Categorical::new(vec![(4, 40.0), (6, 35.0), (8, 25.0)])
+                    .expect("static weights"),
+                plugin_count: Categorical::new(vec![(0, 100.0)]).expect("static weights"),
+            },
+            DeviceProfile {
+                os: OsFamily::Ios,
+                browsers: Categorical::new(vec![
+                    ((BrowserFamily::Safari, 17), 88.0),
+                    ((BrowserFamily::Chrome, 120), 12.0),
+                ])
+                .expect("static weights"),
+                screens: phone_screens,
+                concurrency: Categorical::new(vec![(6, 100.0)]).expect("static weights"),
+                memory: Categorical::new(vec![(4, 60.0), (6, 40.0)]).expect("static weights"),
+                plugin_count: Categorical::new(vec![(0, 100.0)]).expect("static weights"),
+            },
+        ];
+
+        PopulationModel {
+            profiles: Categorical::new(vec![
+                (0, 48.0), // Windows
+                (1, 12.0), // macOS
+                (2, 3.0),  // Linux
+                (3, 27.0), // Android
+                (4, 10.0), // iOS
+            ])
+            .expect("static weights"),
+            devices,
+            languages: Categorical::new(vec![
+                ("en-US", 30.0),
+                ("en-GB", 10.0),
+                ("fr-FR", 10.0),
+                ("de-DE", 8.0),
+                ("es-ES", 8.0),
+                ("it-IT", 6.0),
+                ("zh-CN", 10.0),
+                ("th-TH", 4.0),
+                ("ru-RU", 6.0),
+                ("ar-SA", 4.0),
+                ("pt-BR", 4.0),
+            ])
+            .expect("static weights"),
+            timezones: Categorical::new(vec![
+                (-480, 6.0),
+                (-300, 14.0),
+                (0, 14.0),
+                (60, 22.0),
+                (120, 10.0),
+                (180, 8.0),
+                (330, 8.0),
+                (420, 6.0),
+                (480, 12.0),
+            ])
+            .expect("static weights"),
+        }
+    }
+
+    /// Samples a fully consistent human fingerprint.
+    pub fn sample_human<R: Rng + ?Sized>(&self, rng: &mut R) -> Fingerprint {
+        let device = &self.devices[*self.profiles.sample(rng)];
+        let (browser, version) = *device.browsers.sample(rng);
+        let os = device.os;
+        let canvas_variant = rng.gen_range(0..CANVAS_VARIANTS);
+        Fingerprint {
+            browser,
+            browser_version: version,
+            os,
+            platform: os.platform_string().to_owned(),
+            screen: *device.screens.sample(rng),
+            language: (*self.languages.sample(rng)).to_owned(),
+            timezone_offset_min: *self.timezones.sample(rng),
+            hardware_concurrency: *device.concurrency.sample(rng),
+            device_memory_gb: *device.memory.sample(rng),
+            canvas_hash: canvas_class(browser, os, canvas_variant),
+            webgl_hash: webgl_class(os, canvas_variant),
+            audio_hash: audio_class(browser, rng.gen_range(0..2)),
+            plugin_count: *device.plugin_count.sample(rng),
+            touch_support: os.is_mobile(),
+            webdriver: false,
+            color_depth: if os.is_mobile() { 32 } else { 24 },
+        }
+    }
+
+    /// Samples a *naive bot* fingerprint: attributes drawn independently,
+    /// ignoring cross-attribute structure, with a chance of leaking
+    /// instrumentation artifacts.
+    ///
+    /// `artifact_prob` is the probability that `navigator.webdriver` (or a
+    /// headless UA) leaks through — 0.0 for carefully patched frameworks.
+    pub fn sample_naive_bot<R: Rng + ?Sized>(&self, rng: &mut R, artifact_prob: f64) -> Fingerprint {
+        let mut fp = self.sample_human(rng);
+        // Independently re-roll structure-bearing attributes, breaking their
+        // correlation with the chosen OS/browser.
+        let other_os = OsFamily::ALL[rng.gen_range(0..OsFamily::ALL.len())];
+        fp.platform = other_os.platform_string().to_owned();
+        fp.touch_support = rng.gen_bool(0.5);
+        let other_browser = BrowserFamily::ALL[rng.gen_range(0..BrowserFamily::ALL.len() - 1)];
+        fp.canvas_hash = canvas_class(other_browser, other_os, rng.gen_range(0..CANVAS_VARIANTS));
+        if rng.gen_bool(0.3) {
+            fp.hardware_concurrency = 0; // unset in many headless configs
+        }
+        if rng.gen_bool(artifact_prob) {
+            if rng.gen_bool(0.5) {
+                fp.webdriver = true;
+            } else {
+                fp.browser = BrowserFamily::HeadlessChrome;
+            }
+        }
+        fp
+    }
+
+    /// Samples a *mimicry bot* fingerprint: indistinguishable, attribute-wise,
+    /// from [`PopulationModel::sample_human`]. Such bots can only be caught by
+    /// behavioural signals — the paper's central point.
+    pub fn sample_mimicry_bot<R: Rng + ?Sized>(&self, rng: &mut R) -> Fingerprint {
+        self.sample_human(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inconsistency::consistency_report;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn humans_are_always_consistent() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let fp = model.sample_human(&mut rng);
+            let report = consistency_report(&fp);
+            assert!(report.is_clean(), "human fp flagged: {report:?} for {fp}");
+        }
+    }
+
+    #[test]
+    fn naive_bots_are_frequently_inconsistent() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(43);
+        let flagged = (0..500)
+            .filter(|_| {
+                let fp = model.sample_naive_bot(&mut rng, 0.2);
+                !consistency_report(&fp).is_clean()
+            })
+            .count();
+        assert!(
+            flagged > 350,
+            "expected most naive bots flagged, got {flagged}/500"
+        );
+    }
+
+    #[test]
+    fn mimicry_bots_pass_consistency() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..200 {
+            let fp = model.sample_mimicry_bot(&mut rng);
+            assert!(consistency_report(&fp).is_clean());
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let model = PopulationModel::default_web();
+        let a = model.sample_human(&mut StdRng::seed_from_u64(7));
+        let b = model.sample_human(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn population_has_diversity() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(45);
+        let ids: std::collections::HashSet<u64> = (0..200)
+            .map(|_| model.sample_human(&mut rng).identity_hash())
+            .collect();
+        assert!(ids.len() > 100, "only {} distinct identities", ids.len());
+    }
+
+    #[test]
+    fn canvas_class_is_deterministic_and_keyed() {
+        let a = canvas_class(BrowserFamily::Chrome, OsFamily::Windows, 0);
+        assert_eq!(a, canvas_class(BrowserFamily::Chrome, OsFamily::Windows, 0));
+        assert_ne!(a, canvas_class(BrowserFamily::Firefox, OsFamily::Windows, 0));
+        assert_ne!(a, canvas_class(BrowserFamily::Chrome, OsFamily::MacOs, 0));
+        assert!(plausible_canvas(BrowserFamily::Chrome, OsFamily::Windows, a));
+        assert!(!plausible_canvas(BrowserFamily::Firefox, OsFamily::Windows, a));
+    }
+
+    #[test]
+    fn variants_wrap() {
+        assert_eq!(
+            canvas_class(BrowserFamily::Chrome, OsFamily::Windows, 0),
+            canvas_class(BrowserFamily::Chrome, OsFamily::Windows, CANVAS_VARIANTS),
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Fingerprint similarity and cross-identity linking.
+//!
+//! Blocking by exact fingerprint dies the moment the attacker rotates
+//! (§IV-A). The defender's counter is *linking*: scoring how likely two
+//! distinct fingerprints belong to the same operator. Attribute-weighted
+//! similarity catches [`RotationStrategy::Tweak`]-style rotation (same device
+//! profile, nudged identity) while full mimicry resampling defeats it — which
+//! is exactly the asymmetry the paper reports.
+//!
+//! [`RotationStrategy::Tweak`]: crate::rotation::RotationStrategy::Tweak
+
+use crate::attributes::Fingerprint;
+
+/// Weights for each attribute's contribution to similarity. Stable,
+/// device-bound attributes weigh more than volatile ones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarityWeights {
+    /// Browser family match weight.
+    pub browser: f64,
+    /// Browser major version closeness weight.
+    pub version: f64,
+    /// OS match weight.
+    pub os: f64,
+    /// Screen resolution match weight.
+    pub screen: f64,
+    /// Language match weight.
+    pub language: f64,
+    /// Timezone match weight.
+    pub timezone: f64,
+    /// Hardware (concurrency + memory) match weight.
+    pub hardware: f64,
+    /// Rendering hashes (canvas/webgl/audio) match weight.
+    pub rendering: f64,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        SimilarityWeights {
+            browser: 1.0,
+            version: 0.5,
+            os: 1.5,
+            screen: 1.5,
+            language: 1.0,
+            timezone: 1.0,
+            hardware: 1.5,
+            rendering: 2.0,
+        }
+    }
+}
+
+impl SimilarityWeights {
+    fn total(&self) -> f64 {
+        self.browser
+            + self.version
+            + self.os
+            + self.screen
+            + self.language
+            + self.timezone
+            + self.hardware
+            + self.rendering
+    }
+}
+
+/// Similarity of two fingerprints in `0.0..=1.0` under custom weights.
+pub fn similarity_with(a: &Fingerprint, b: &Fingerprint, w: &SimilarityWeights) -> f64 {
+    let mut score = 0.0;
+    if a.browser == b.browser {
+        score += w.browser;
+        // Version closeness only meaningful within the same family.
+        let dv = a.browser_version.abs_diff(b.browser_version);
+        score += w.version * (1.0 - f64::from(dv.min(10)) / 10.0);
+    }
+    if a.os == b.os {
+        score += w.os;
+    }
+    if a.screen == b.screen {
+        score += w.screen;
+    }
+    if a.language == b.language {
+        score += w.language;
+    }
+    if a.timezone_offset_min == b.timezone_offset_min {
+        score += w.timezone;
+    }
+    let hw_matches = u8::from(a.hardware_concurrency == b.hardware_concurrency)
+        + u8::from(a.device_memory_gb == b.device_memory_gb);
+    score += w.hardware * f64::from(hw_matches) / 2.0;
+    let render_matches = u8::from(a.canvas_hash == b.canvas_hash)
+        + u8::from(a.webgl_hash == b.webgl_hash)
+        + u8::from(a.audio_hash == b.audio_hash);
+    score += w.rendering * f64::from(render_matches) / 3.0;
+    score / w.total()
+}
+
+/// Similarity of two fingerprints in `0.0..=1.0` under default weights.
+///
+/// # Example
+///
+/// ```
+/// use fg_fingerprint::{similarity, PopulationModel};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let model = PopulationModel::default_web();
+/// let fp = model.sample_human(&mut rng);
+/// assert_eq!(similarity(&fp, &fp), 1.0);
+/// ```
+pub fn similarity(a: &Fingerprint, b: &Fingerprint) -> f64 {
+    similarity_with(a, b, &SimilarityWeights::default())
+}
+
+/// The defender's linking score: probability-like evidence that `a` and `b`
+/// are the same operator behind a rotation.
+///
+/// Currently the weighted similarity, sharpened so that exact rendering-hash
+/// agreement (device-bound, hard to fake twice by chance) dominates.
+pub fn linking_score(a: &Fingerprint, b: &Fingerprint) -> f64 {
+    let base = similarity(a, b);
+    let render_full = a.canvas_hash == b.canvas_hash
+        && a.webgl_hash == b.webgl_hash
+        && a.audio_hash == b.audio_hash;
+    if render_full {
+        (base + 0.25).min(1.0)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationModel;
+    use crate::rotation::{RotationSchedule, RotationStrategy, Rotator};
+    use fg_core::time::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_fingerprints_score_one() {
+        let fp = PopulationModel::default_web().sample_human(&mut StdRng::seed_from_u64(1));
+        assert!((similarity(&fp, &fp) - 1.0).abs() < 1e-12);
+        assert!((linking_score(&fp, &fp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = model.sample_human(&mut rng);
+            let b = model.sample_human(&mut rng);
+            assert!((similarity(&a, &b) - similarity(&b, &a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn similarity_bounded() {
+        let model = PopulationModel::default_web();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let a = model.sample_human(&mut rng);
+            let b = model.sample_naive_bot(&mut rng, 0.5);
+            let s = similarity(&a, &b);
+            assert!((0.0..=1.0).contains(&s));
+            let l = linking_score(&a, &b);
+            assert!((0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn tweak_rotation_remains_linkable_mimicry_does_not() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = PopulationModel::default_web();
+
+        // Tweak rotation: high linking score to the previous identity.
+        let mut tweak = Rotator::new(
+            model.clone(),
+            RotationStrategy::Tweak,
+            RotationSchedule::Never,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let mut tweak_scores = Vec::new();
+        for i in 0..30 {
+            let before = tweak.current().clone();
+            tweak.rotate_now(SimTime::from_hours(i), &mut rng);
+            tweak_scores.push(linking_score(&before, tweak.current()));
+        }
+        let tweak_mean: f64 = tweak_scores.iter().sum::<f64>() / tweak_scores.len() as f64;
+
+        // Mimicry rotation: the new identity is an unrelated device.
+        let mut mim = Rotator::new(
+            model,
+            RotationStrategy::Mimicry,
+            RotationSchedule::Never,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let mut mim_scores = Vec::new();
+        for i in 0..30 {
+            let before = mim.current().clone();
+            mim.rotate_now(SimTime::from_hours(i), &mut rng);
+            mim_scores.push(linking_score(&before, mim.current()));
+        }
+        let mim_mean: f64 = mim_scores.iter().sum::<f64>() / mim_scores.len() as f64;
+
+        assert!(
+            tweak_mean > mim_mean + 0.2,
+            "tweak {tweak_mean:.2} should link far better than mimicry {mim_mean:.2}"
+        );
+        assert!(tweak_mean > 0.7, "tweak linking {tweak_mean:.2}");
+    }
+
+    #[test]
+    fn version_distance_decays_similarity() {
+        let model = PopulationModel::default_web();
+        let a = model.sample_human(&mut StdRng::seed_from_u64(4));
+        let mut near = a.clone();
+        near.browser_version += 1;
+        let mut far = a.clone();
+        far.browser_version += 30;
+        assert!(similarity(&a, &near) > similarity(&a, &far));
+    }
+
+    #[test]
+    fn custom_weights_change_ranking() {
+        let model = PopulationModel::default_web();
+        let a = model.sample_human(&mut StdRng::seed_from_u64(6));
+        let mut b = a.clone();
+        b.language = "xx-XX".into();
+        let only_lang = SimilarityWeights {
+            language: 100.0,
+            ..SimilarityWeights::default()
+        };
+        assert!(similarity_with(&a, &b, &only_lang) < similarity(&a, &b));
+    }
+}

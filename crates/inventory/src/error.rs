@@ -1,0 +1,122 @@
+//! Inventory error types.
+
+use fg_core::ids::{BookingRef, FlightId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the reservation system and cart store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InventoryError {
+    /// The flight does not exist.
+    UnknownFlight(FlightId),
+    /// Not enough unsold, unheld seats remain.
+    InsufficientSeats {
+        /// Flight concerned.
+        flight: FlightId,
+        /// Seats requested.
+        requested: u32,
+        /// Seats actually available.
+        available: u32,
+    },
+    /// The party exceeds the configured maximum Number in Party.
+    PartyTooLarge {
+        /// Passengers requested.
+        requested: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// A booking reference was not found.
+    UnknownBooking(BookingRef),
+    /// The booking is not in the right state for the operation.
+    WrongState {
+        /// Booking concerned.
+        booking: BookingRef,
+        /// What the operation required.
+        expected: &'static str,
+        /// What the booking actually was.
+        actual: &'static str,
+    },
+    /// The flight has already departed.
+    FlightDeparted(FlightId),
+    /// A hold request carried no passengers.
+    EmptyParty,
+    /// The payment was declined (simulated payment failure injection).
+    PaymentDeclined(BookingRef),
+    /// The product does not exist in the cart store.
+    UnknownProduct(u64),
+    /// Not enough product stock remains.
+    InsufficientStock {
+        /// Product concerned.
+        product: u64,
+        /// Units requested.
+        requested: u32,
+        /// Units actually available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for InventoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InventoryError::UnknownFlight(id) => write!(f, "unknown flight {id}"),
+            InventoryError::InsufficientSeats {
+                flight,
+                requested,
+                available,
+            } => write!(
+                f,
+                "flight {flight} has {available} seats available, {requested} requested"
+            ),
+            InventoryError::PartyTooLarge { requested, max } => {
+                write!(f, "party of {requested} exceeds the maximum of {max}")
+            }
+            InventoryError::UnknownBooking(r) => write!(f, "unknown booking {r}"),
+            InventoryError::WrongState {
+                booking,
+                expected,
+                actual,
+            } => write!(f, "booking {booking} is {actual}, operation requires {expected}"),
+            InventoryError::FlightDeparted(id) => write!(f, "flight {id} already departed"),
+            InventoryError::EmptyParty => write!(f, "a hold requires at least one passenger"),
+            InventoryError::PaymentDeclined(r) => write!(f, "payment declined for booking {r}"),
+            InventoryError::UnknownProduct(id) => write!(f, "unknown product {id}"),
+            InventoryError::InsufficientStock {
+                product,
+                requested,
+                available,
+            } => write!(
+                f,
+                "product {product} has {available} units available, {requested} requested"
+            ),
+        }
+    }
+}
+
+impl Error for InventoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<InventoryError>();
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = InventoryError::InsufficientSeats {
+            flight: FlightId(3),
+            requested: 6,
+            available: 2,
+        };
+        assert_eq!(e.to_string(), "flight f3 has 2 seats available, 6 requested");
+        let e = InventoryError::PartyTooLarge {
+            requested: 9,
+            max: 4,
+        };
+        assert_eq!(e.to_string(), "party of 9 exceeds the maximum of 4");
+    }
+}

@@ -1,0 +1,189 @@
+//! Revenue-management pricing — the substrate of the §II-A price-drop
+//! manipulation.
+//!
+//! "In cases involving dynamic pricing, attackers strategically hold
+//! reservations and items at lower fares without an investment to force
+//! price drops before making a legitimate purchase." Airline revenue
+//! management prices against the *booking pace*: a flight selling ahead of
+//! its expected curve gets more expensive, a flight selling behind it gets
+//! discounted — aggressively so close to departure, when unsold seats are
+//! about to become worthless. A DoI attacker who suppresses real sales makes
+//! the flight look behind pace, harvests the resulting discount, and only
+//! then buys.
+
+use crate::flight::Availability;
+use fg_core::money::Money;
+use fg_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A pace-based dynamic pricer.
+///
+/// The fare is `base × pace_factor`, where the pace factor compares actual
+/// sold seats to the linear booking curve between `sale_start` and
+/// departure, clamped to `[floor, ceiling]`.
+///
+/// # Example
+///
+/// ```
+/// use fg_inventory::pricing::DynamicPricer;
+/// use fg_inventory::flight::Availability;
+/// use fg_core::money::Money;
+/// use fg_core::time::SimTime;
+///
+/// let pricer = DynamicPricer::airline(Money::from_units(120));
+/// let empty_flight = Availability { available: 180, held: 0, sold: 0 };
+/// // Halfway to departure with zero sales: well below pace → discounted.
+/// let fare = pricer.quote(
+///     empty_flight,
+///     SimTime::from_days(15),
+///     SimTime::ZERO,
+///     SimTime::from_days(30),
+/// );
+/// assert!(fare < Money::from_units(120));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPricer {
+    /// The reference fare at exactly-on-pace demand.
+    pub base: Money,
+    /// Lowest multiplier (fire-sale floor).
+    pub floor: f64,
+    /// Highest multiplier (peak-demand ceiling).
+    pub ceiling: f64,
+    /// How strongly pace deviations move the fare, `0.0..`.
+    pub sensitivity: f64,
+}
+
+impl DynamicPricer {
+    /// An airline-typical configuration: fares between 55 % and 180 % of
+    /// base, with near-linear response to pace.
+    pub fn airline(base: Money) -> Self {
+        DynamicPricer {
+            base,
+            floor: 0.55,
+            ceiling: 1.8,
+            sensitivity: 1.0,
+        }
+    }
+
+    /// The fraction of the booking window elapsed at `now`, in `0.0..=1.0`.
+    fn elapsed_fraction(now: SimTime, sale_start: SimTime, departure: SimTime) -> f64 {
+        let total = departure.saturating_since(sale_start).as_millis() as f64;
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let elapsed = now.saturating_since(sale_start).as_millis() as f64;
+        (elapsed / total).clamp(0.0, 1.0)
+    }
+
+    /// The pace multiplier for the given ledger and timeline.
+    ///
+    /// Held (unpaid) seats do **not** count as demand — revenue management
+    /// prices against money in the bank, which is precisely the blind spot
+    /// the manipulation exploits.
+    pub fn pace_factor(
+        &self,
+        availability: Availability,
+        now: SimTime,
+        sale_start: SimTime,
+        departure: SimTime,
+    ) -> f64 {
+        let capacity = availability.capacity().max(1) as f64;
+        let elapsed = Self::elapsed_fraction(now, sale_start, departure);
+        // Smoothed pace estimator: at the very start of the window there is
+        // no evidence either way, so the fare opens at base and converges to
+        // sold-fraction / elapsed-fraction as the window progresses.
+        const SMOOTHING: f64 = 0.08;
+        let sold_frac = f64::from(availability.sold) / capacity;
+        let pace = (sold_frac + SMOOTHING) / (elapsed + SMOOTHING);
+        let raw = 1.0 + self.sensitivity * (pace - 1.0);
+        raw.clamp(self.floor, self.ceiling)
+    }
+
+    /// Quotes the current fare per seat.
+    pub fn quote(
+        &self,
+        availability: Availability,
+        now: SimTime,
+        sale_start: SimTime,
+        departure: SimTime,
+    ) -> Money {
+        self.base
+            .mul_f64(self.pace_factor(availability, now, sale_start, departure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Money = Money::from_units(100);
+
+    fn avail(available: u32, held: u32, sold: u32) -> Availability {
+        Availability {
+            available,
+            held,
+            sold,
+        }
+    }
+
+    fn quote_at(sold: u32, held: u32, day: u64) -> Money {
+        DynamicPricer::airline(BASE).quote(
+            avail(180 - sold - held, held, sold),
+            SimTime::from_days(day),
+            SimTime::ZERO,
+            SimTime::from_days(30),
+        )
+    }
+
+    #[test]
+    fn on_pace_flight_sells_at_base() {
+        // Day 15 of 30, 90 of 180 sold: exactly on pace.
+        assert_eq!(quote_at(90, 0, 15), BASE);
+    }
+
+    #[test]
+    fn ahead_of_pace_raises_fares() {
+        let hot = quote_at(150, 0, 15);
+        assert!(hot > BASE, "{hot}");
+        // Ceiling binds eventually.
+        let max = quote_at(180, 0, 1);
+        assert_eq!(max, BASE.mul_f64(1.8));
+    }
+
+    #[test]
+    fn behind_pace_discounts_down_to_the_floor() {
+        let slow = quote_at(30, 0, 15);
+        assert!(slow < BASE, "{slow}");
+        let fire_sale = quote_at(0, 0, 28);
+        assert_eq!(fire_sale, BASE.mul_f64(0.55));
+    }
+
+    #[test]
+    fn held_seats_do_not_count_as_demand() {
+        // 90 held vs 90 sold at the same instant: wildly different fares.
+        let held_heavy = quote_at(0, 90, 15);
+        let sold_heavy = quote_at(90, 0, 15);
+        assert!(held_heavy < sold_heavy);
+        assert_eq!(held_heavy, BASE.mul_f64(0.55), "holds look like no demand");
+    }
+
+    #[test]
+    fn discount_deepens_toward_departure() {
+        // Same (low) sales, later date → cheaper.
+        let early = quote_at(30, 0, 10);
+        let late = quote_at(30, 0, 25);
+        assert!(late < early, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn day_zero_quotes_at_base() {
+        assert_eq!(quote_at(0, 0, 0), BASE);
+    }
+
+    #[test]
+    fn degenerate_timeline_is_safe() {
+        let p = DynamicPricer::airline(BASE);
+        let q = p.quote(avail(180, 0, 0), SimTime::from_days(5), SimTime::from_days(5), SimTime::from_days(5));
+        assert!(q >= BASE.mul_f64(0.55) && q <= BASE.mul_f64(1.8));
+    }
+}

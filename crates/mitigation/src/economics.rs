@@ -1,0 +1,173 @@
+//! Two-sided attack economics.
+//!
+//! §V's strongest recommendation: "Since many functional abuse attacks are
+//! financially motivated, making them economically unviable is one of the
+//! strongest deterrents." These ledgers make every experiment's outcome a
+//! money statement: the attacker's ROI and the defender's total loss, with
+//! and without each mitigation.
+
+use fg_core::money::Money;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The attacker's profit-and-loss ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerLedger {
+    /// Residential proxy leases.
+    pub proxy_spend: Money,
+    /// CAPTCHA-solver fees.
+    pub solver_spend: Money,
+    /// Tickets / goods actually purchased to enable the attack (§IV-C).
+    pub purchase_spend: Money,
+    /// Infrastructure (bot development, hosting) amortized per campaign.
+    pub infra_spend: Money,
+    /// Revenue: SMS termination kickbacks.
+    pub sms_revenue: Money,
+    /// Revenue: resale / competitive gain / price-drop capture.
+    pub other_revenue: Money,
+}
+
+impl AttackerLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        AttackerLedger::default()
+    }
+
+    /// Total spend.
+    pub fn total_cost(&self) -> Money {
+        self.proxy_spend + self.solver_spend + self.purchase_spend + self.infra_spend
+    }
+
+    /// Total revenue.
+    pub fn total_revenue(&self) -> Money {
+        self.sms_revenue + self.other_revenue
+    }
+
+    /// Net profit (revenue − cost).
+    pub fn profit(&self) -> Money {
+        self.total_revenue() - self.total_cost()
+    }
+
+    /// Return on investment: profit / cost. `None` with zero cost.
+    pub fn roi(&self) -> Option<f64> {
+        let cost = self.total_cost().as_f64();
+        if cost <= 0.0 {
+            None
+        } else {
+            Some(self.profit().as_f64() / cost)
+        }
+    }
+
+    /// `true` when the campaign lost money — the §V success criterion.
+    pub fn unviable(&self) -> bool {
+        self.profit().is_negative()
+    }
+}
+
+impl fmt::Display for AttackerLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attacker: cost={} revenue={} profit={}",
+            self.total_cost(),
+            self.total_revenue(),
+            self.profit()
+        )
+    }
+}
+
+/// The defender's loss ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenderLedger {
+    /// SMS termination fees paid for attack traffic.
+    pub sms_cost: Money,
+    /// Revenue lost to legitimate customers denied by held inventory.
+    pub lost_sales: Money,
+    /// Revenue lost to legitimate customers who abandoned at friction
+    /// (CAPTCHA, gating) — the §V usability cost made explicit.
+    pub friction_losses: Money,
+    /// Infrastructure cost of serving attack traffic.
+    pub serving_cost: Money,
+    /// Cost of operating mitigations (honeypot hosting, anti-bot licences).
+    pub mitigation_cost: Money,
+}
+
+impl DefenderLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        DefenderLedger::default()
+    }
+
+    /// Total loss across all categories.
+    pub fn total_loss(&self) -> Money {
+        self.sms_cost + self.lost_sales + self.friction_losses + self.serving_cost + self.mitigation_cost
+    }
+}
+
+impl fmt::Display for DefenderLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "defender: sms={} lost-sales={} friction={} serving={} mitigation={} total={}",
+            self.sms_cost,
+            self.lost_sales,
+            self.friction_losses,
+            self.serving_cost,
+            self.mitigation_cost,
+            self.total_loss()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_profit_and_roi() {
+        let mut l = AttackerLedger::new();
+        l.proxy_spend = Money::from_units(50);
+        l.solver_spend = Money::from_units(10);
+        l.sms_revenue = Money::from_units(200);
+        assert_eq!(l.total_cost(), Money::from_units(60));
+        assert_eq!(l.profit(), Money::from_units(140));
+        assert!((l.roi().unwrap() - 140.0 / 60.0).abs() < 1e-9);
+        assert!(!l.unviable());
+    }
+
+    #[test]
+    fn attacker_unviable_when_losing() {
+        let mut l = AttackerLedger::new();
+        l.purchase_spend = Money::from_units(500); // bought tickets
+        l.sms_revenue = Money::from_units(100);
+        assert!(l.unviable());
+        assert!(l.roi().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn zero_cost_roi_is_none() {
+        let mut l = AttackerLedger::new();
+        l.sms_revenue = Money::from_units(10);
+        assert_eq!(l.roi(), None);
+        assert!(!l.unviable(), "free profit is (sadly) viable");
+    }
+
+    #[test]
+    fn defender_total_sums_categories() {
+        let mut d = DefenderLedger::new();
+        d.sms_cost = Money::from_units(3);
+        d.lost_sales = Money::from_units(7);
+        d.friction_losses = Money::from_units(1);
+        d.serving_cost = Money::from_cents(50);
+        d.mitigation_cost = Money::from_cents(50);
+        assert_eq!(d.total_loss(), Money::from_units(12));
+    }
+
+    #[test]
+    fn display_mentions_profit() {
+        let mut l = AttackerLedger::new();
+        l.sms_revenue = Money::from_units(5);
+        assert!(l.to_string().contains("profit=$5.00"));
+        assert!(DefenderLedger::new().to_string().contains("total=$0.00"));
+    }
+}

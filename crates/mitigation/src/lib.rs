@@ -1,0 +1,55 @@
+//! # fg-mitigation
+//!
+//! The mitigation layer of the FeatureGuard framework — every countermeasure
+//! the paper's §V catalogue recommends, as composable components:
+//!
+//! * [`rate_limit`] — **ad-hoc rate limiting**: token buckets and keyed
+//!   limiters for per-path, per-user, and per-booking caps on SMS-based
+//!   services and holds.
+//! * [`gating`] — **feature access restrictions**: trust tiers (anonymous /
+//!   verified / loyalty) gating high-risk functionality.
+//! * [`captcha`] — **increased anti-bot layers**: CAPTCHA challenges with an
+//!   explicit solver-service cost model, so "add cost and complexity to
+//!   automated attacks" is measurable.
+//! * [`honeypot`] — **undermining the economic incentive**: a decoy
+//!   environment where attackers hold fake inventory while real stock stays
+//!   sellable, and their "need to rotate fingerprints … diminishes".
+//! * [`blocklist`] — fingerprint/IP block rules with efficacy tracking
+//!   (time-to-evasion — the §IV-A 5.3 h statistic).
+//! * [`policy`] — the decision engine mapping detection verdicts and
+//!   limiter state to `Allow / Challenge / RateLimit / Honeypot / Block`.
+//! * [`economics`] — the two-sided ledger proving (or disproving) that a
+//!   mitigation made the attack economically unviable.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_mitigation::rate_limit::KeyedLimiter;
+//! use fg_core::time::{SimDuration, SimTime};
+//!
+//! // §IV-C's missing control: at most 2 boarding-pass SMS per booking/day.
+//! let mut limiter: KeyedLimiter<&str> =
+//!     KeyedLimiter::new(2.0, 2.0 / SimDuration::from_days(1).as_secs_f64());
+//! assert!(limiter.try_acquire("PNR123", SimTime::ZERO));
+//! assert!(limiter.try_acquire("PNR123", SimTime::ZERO));
+//! assert!(!limiter.try_acquire("PNR123", SimTime::ZERO), "third send today is refused");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocklist;
+pub mod captcha;
+pub mod economics;
+pub mod gating;
+pub mod honeypot;
+pub mod policy;
+pub mod rate_limit;
+
+pub use blocklist::{BlockRule, BlockRuleEngine};
+pub use captcha::{CaptchaOutcome, CaptchaPolicy};
+pub use economics::{AttackerLedger, DefenderLedger};
+pub use gating::{FeatureGate, TrustTier};
+pub use honeypot::Honeypot;
+pub use policy::{Decision, PolicyConfig, PolicyEngine};
+pub use rate_limit::{KeyedLimiter, TokenBucket};

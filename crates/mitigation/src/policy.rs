@@ -1,0 +1,486 @@
+//! The mitigation decision engine.
+//!
+//! Maps one request's detection verdict plus limiter/gate state to a
+//! [`Decision`]. Presets correspond to the defensive postures the
+//! experiments compare: no protection, traditional anti-bot, and the paper's
+//! §V recommended posture.
+
+use crate::blocklist::BlockRuleEngine;
+use crate::gating::{FeatureGate, TrustTier};
+use crate::rate_limit::{KeyedLimiter, TokenBucket};
+use fg_core::ids::BookingRef;
+use fg_core::time::SimTime;
+use fg_detection::engine::Verdict;
+use fg_detection::log::Endpoint;
+use fg_fingerprint::attributes::Fingerprint;
+use fg_netsim::ip::IpAddress;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the defence does with a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Serve normally.
+    Allow,
+    /// Serve after a CAPTCHA challenge.
+    Challenge,
+    /// Refuse: a rate limit is exhausted.
+    RateLimited,
+    /// Refuse: trust tier too low for this feature.
+    TierDenied,
+    /// Silently divert to the decoy environment.
+    Honeypot,
+    /// Refuse outright.
+    Block,
+}
+
+impl Decision {
+    /// `true` when the request reaches the real application.
+    pub fn reaches_application(self) -> bool {
+        matches!(self, Decision::Allow | Decision::Challenge)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Decision::Allow => "allow",
+            Decision::Challenge => "challenge",
+            Decision::RateLimited => "rate-limited",
+            Decision::TierDenied => "tier-denied",
+            Decision::Honeypot => "honeypot",
+            Decision::Block => "block",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable policy parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Verdict score at which a CAPTCHA is demanded.
+    pub challenge_threshold: f64,
+    /// Verdict score at which the request is blocked (or honeypotted).
+    pub block_threshold: f64,
+    /// Divert to the honeypot instead of blocking (§V economics play).
+    pub honeypot_instead_of_block: bool,
+    /// Per-booking SMS limit as `(burst, per_day)`; `None` = unlimited (the
+    /// §IV-C vulnerable configuration).
+    pub booking_sms_limit: Option<(f64, f64)>,
+    /// Whole-path SMS limit as `(burst, per_day)` — the coarse limit that
+    /// *eventually* caught the Airline D attack.
+    pub path_sms_limit: Option<(f64, f64)>,
+    /// Per-client hold limit as `(burst, per_day)`.
+    pub client_hold_limit: Option<(f64, f64)>,
+    /// Trust-tier gate.
+    pub gate: FeatureGate,
+}
+
+impl PolicyConfig {
+    /// No protection at all — the §IV-C "December 2022" posture.
+    pub fn unprotected() -> Self {
+        PolicyConfig {
+            challenge_threshold: f64::INFINITY,
+            block_threshold: f64::INFINITY,
+            honeypot_instead_of_block: false,
+            booking_sms_limit: None,
+            path_sms_limit: None,
+            client_hold_limit: None,
+            gate: FeatureGate::permissive(),
+        }
+    }
+
+    /// Traditional anti-bot posture: fingerprint/behaviour thresholds and a
+    /// coarse path limit, but no per-feature limits or gating.
+    pub fn traditional_antibot() -> Self {
+        PolicyConfig {
+            challenge_threshold: 0.5,
+            block_threshold: 0.9,
+            honeypot_instead_of_block: false,
+            booking_sms_limit: None,
+            path_sms_limit: Some((20_000.0, 20_000.0)),
+            client_hold_limit: None,
+            gate: FeatureGate::permissive(),
+        }
+    }
+
+    /// The §V recommended posture: everything on, honeypot diversion for
+    /// high-confidence bots, tight per-feature limits, trust gating.
+    pub fn recommended() -> Self {
+        PolicyConfig {
+            challenge_threshold: 0.4,
+            block_threshold: 0.85,
+            honeypot_instead_of_block: true,
+            booking_sms_limit: Some((3.0, 3.0)),
+            path_sms_limit: Some((10_000.0, 10_000.0)),
+            client_hold_limit: Some((5.0, 10.0)),
+            gate: FeatureGate::recommended(),
+        }
+    }
+}
+
+/// Per-request context handed to the policy.
+#[derive(Clone, Debug)]
+pub struct RequestContext<'a> {
+    /// Request time.
+    pub now: SimTime,
+    /// Source address.
+    pub ip: IpAddress,
+    /// Presented fingerprint.
+    pub fingerprint: &'a Fingerprint,
+    /// Endpoint requested.
+    pub endpoint: Endpoint,
+    /// Booking reference, for booking-scoped features.
+    pub booking: Option<BookingRef>,
+    /// The requesting client's trust tier.
+    pub tier: TrustTier,
+    /// A stable key for per-client limits (e.g. account id or ip+fp hash).
+    pub client_key: u64,
+    /// Detection verdict for this request.
+    pub verdict: &'a Verdict,
+}
+
+/// Counters of decisions taken, for experiment reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCounts {
+    /// Allowed.
+    pub allow: u64,
+    /// Challenged.
+    pub challenge: u64,
+    /// Rate limited.
+    pub rate_limited: u64,
+    /// Denied by trust tier.
+    pub tier_denied: u64,
+    /// Diverted to honeypot.
+    pub honeypot: u64,
+    /// Blocked.
+    pub block: u64,
+}
+
+impl DecisionCounts {
+    fn bump(&mut self, d: Decision) {
+        match d {
+            Decision::Allow => self.allow += 1,
+            Decision::Challenge => self.challenge += 1,
+            Decision::RateLimited => self.rate_limited += 1,
+            Decision::TierDenied => self.tier_denied += 1,
+            Decision::Honeypot => self.honeypot += 1,
+            Decision::Block => self.block += 1,
+        }
+    }
+
+    /// Total decisions taken.
+    pub fn total(&self) -> u64 {
+        self.allow + self.challenge + self.rate_limited + self.tier_denied + self.honeypot + self.block
+    }
+}
+
+/// The stateful policy engine.
+///
+/// # Example
+///
+/// ```
+/// use fg_mitigation::policy::{PolicyConfig, PolicyEngine, RequestContext, Decision};
+/// use fg_mitigation::gating::TrustTier;
+/// use fg_detection::{engine::Verdict, log::Endpoint};
+/// use fg_fingerprint::PopulationModel;
+/// use fg_netsim::ip::IpAddress;
+/// use fg_core::time::SimTime;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut engine = PolicyEngine::new(PolicyConfig::recommended());
+/// let fp = PopulationModel::default_web().sample_human(&mut StdRng::seed_from_u64(0));
+/// let verdict = Verdict::clean();
+/// let decision = engine.decide(&RequestContext {
+///     now: SimTime::ZERO,
+///     ip: IpAddress::from_octets(10, 0, 0, 1),
+///     fingerprint: &fp,
+///     endpoint: Endpoint::Search,
+///     booking: None,
+///     tier: TrustTier::Anonymous,
+///     client_key: 1,
+///     verdict: &verdict,
+/// });
+/// assert_eq!(decision, Decision::Allow);
+/// ```
+#[derive(Debug)]
+pub struct PolicyEngine {
+    config: PolicyConfig,
+    rules: BlockRuleEngine,
+    booking_sms_limiter: Option<KeyedLimiter<BookingRef>>,
+    path_sms_limiter: Option<TokenBucket>,
+    client_hold_limiter: Option<KeyedLimiter<u64>>,
+    counts: DecisionCounts,
+}
+
+const SECS_PER_DAY: f64 = 86_400.0;
+
+impl PolicyEngine {
+    /// Creates an engine from a config.
+    pub fn new(config: PolicyConfig) -> Self {
+        fn mk_keyed<K: Eq + std::hash::Hash>(spec: Option<(f64, f64)>) -> Option<KeyedLimiter<K>> {
+            spec.map(|(burst, per_day)| KeyedLimiter::new(burst, per_day / SECS_PER_DAY))
+        }
+        PolicyEngine {
+            booking_sms_limiter: mk_keyed(config.booking_sms_limit),
+            client_hold_limiter: mk_keyed(config.client_hold_limit),
+            path_sms_limiter: config
+                .path_sms_limit
+                .map(|(burst, per_day)| TokenBucket::new(burst, per_day / SECS_PER_DAY)),
+            rules: BlockRuleEngine::new(),
+            counts: DecisionCounts::default(),
+            config,
+        }
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// The block-rule engine, for the incident-response loop (§IV-A: deploy
+    /// a rule against each observed attack fingerprint).
+    pub fn rules_mut(&mut self) -> &mut BlockRuleEngine {
+        &mut self.rules
+    }
+
+    /// Read access to the block rules.
+    pub fn rules(&self) -> &BlockRuleEngine {
+        &self.rules
+    }
+
+    /// Decision counters so far.
+    pub fn counts(&self) -> DecisionCounts {
+        self.counts
+    }
+
+    /// Decides one request.
+    pub fn decide(&mut self, ctx: &RequestContext<'_>) -> Decision {
+        let d = self.decide_inner(ctx);
+        self.counts.bump(d);
+        d
+    }
+
+    fn decide_inner(&mut self, ctx: &RequestContext<'_>) -> Decision {
+        // 1. Explicit block rules (incident response) come first.
+        if self.rules.check(ctx.fingerprint, ctx.ip, ctx.now).is_some() {
+            return if self.config.honeypot_instead_of_block {
+                Decision::Honeypot
+            } else {
+                Decision::Block
+            };
+        }
+
+        // 2. Trust-tier gate.
+        if !self.config.gate.allows(ctx.endpoint, ctx.tier) {
+            return Decision::TierDenied;
+        }
+
+        // 3. Verdict-driven thresholds.
+        if ctx.verdict.score >= self.config.block_threshold {
+            return if self.config.honeypot_instead_of_block {
+                Decision::Honeypot
+            } else {
+                Decision::Block
+            };
+        }
+
+        // 4. Feature-scoped rate limits.
+        let sms_endpoint = matches!(ctx.endpoint, Endpoint::SendOtp | Endpoint::BoardingPass);
+        if sms_endpoint {
+            if let (Some(limiter), Some(booking)) = (&mut self.booking_sms_limiter, ctx.booking) {
+                if !limiter.try_acquire(booking, ctx.now) {
+                    return Decision::RateLimited;
+                }
+            }
+            if let Some(bucket) = &mut self.path_sms_limiter {
+                if !bucket.try_acquire(ctx.now) {
+                    return Decision::RateLimited;
+                }
+            }
+        }
+        if ctx.endpoint == Endpoint::Hold {
+            if let Some(limiter) = &mut self.client_hold_limiter {
+                if !limiter.try_acquire(ctx.client_key, ctx.now) {
+                    return Decision::RateLimited;
+                }
+            }
+        }
+
+        // 5. Challenge band.
+        if ctx.verdict.score >= self.config.challenge_threshold {
+            return Decision::Challenge;
+        }
+
+        Decision::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_detection::engine::Signal;
+    use fg_fingerprint::PopulationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp() -> Fingerprint {
+        PopulationModel::default_web().sample_human(&mut StdRng::seed_from_u64(1))
+    }
+
+    fn ctx<'a>(
+        fp: &'a Fingerprint,
+        verdict: &'a Verdict,
+        endpoint: Endpoint,
+        booking: Option<BookingRef>,
+        now: SimTime,
+    ) -> RequestContext<'a> {
+        RequestContext {
+            now,
+            ip: IpAddress::from_octets(10, 0, 0, 1),
+            fingerprint: fp,
+            endpoint,
+            booking,
+            tier: TrustTier::Verified,
+            client_key: 42,
+            verdict,
+        }
+    }
+
+    fn verdict(score: f64) -> Verdict {
+        Verdict {
+            score,
+            signals: vec![Signal::TrapHit],
+        }
+    }
+
+    #[test]
+    fn unprotected_allows_everything() {
+        let mut e = PolicyEngine::new(PolicyConfig::unprotected());
+        let f = fp();
+        let v = verdict(1.0);
+        for _ in 0..100 {
+            let d = e.decide(&ctx(&f, &v, Endpoint::BoardingPass, Some(BookingRef::from_index(1)), SimTime::ZERO));
+            assert_eq!(d, Decision::Allow);
+        }
+        assert_eq!(e.counts().allow, 100);
+    }
+
+    #[test]
+    fn verdict_thresholds_drive_challenge_and_block() {
+        let mut e = PolicyEngine::new(PolicyConfig::traditional_antibot());
+        let f = fp();
+        let clean = Verdict::clean();
+        assert_eq!(e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::ZERO)), Decision::Allow);
+        let mid = verdict(0.6);
+        assert_eq!(e.decide(&ctx(&f, &mid, Endpoint::Search, None, SimTime::ZERO)), Decision::Challenge);
+        let high = verdict(0.95);
+        assert_eq!(e.decide(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO)), Decision::Block);
+    }
+
+    #[test]
+    fn recommended_honeypots_instead_of_blocking() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let high = verdict(0.95);
+        assert_eq!(
+            e.decide(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO)),
+            Decision::Honeypot
+        );
+    }
+
+    #[test]
+    fn per_booking_sms_limit_enforced() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let clean = Verdict::clean();
+        let booking = BookingRef::from_index(9);
+        let mut decisions = Vec::new();
+        for i in 0..5 {
+            decisions.push(e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::BoardingPass,
+                Some(booking),
+                SimTime::from_mins(i),
+            )));
+        }
+        assert_eq!(&decisions[..3], &[Decision::Allow; 3]);
+        assert_eq!(&decisions[3..], &[Decision::RateLimited; 2]);
+        // A different booking is unaffected.
+        let other = BookingRef::from_index(10);
+        assert_eq!(
+            e.decide(&ctx(&f, &clean, Endpoint::BoardingPass, Some(other), SimTime::from_mins(6))),
+            Decision::Allow
+        );
+    }
+
+    #[test]
+    fn tier_gate_blocks_anonymous_holds() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let clean = Verdict::clean();
+        let mut c = ctx(&f, &clean, Endpoint::Hold, None, SimTime::ZERO);
+        c.tier = TrustTier::Anonymous;
+        assert_eq!(e.decide(&c), Decision::TierDenied);
+        c.tier = TrustTier::Verified;
+        assert_eq!(e.decide(&c), Decision::Allow);
+    }
+
+    #[test]
+    fn client_hold_limit_throttles_spinning() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let clean = Verdict::clean();
+        let mut limited = 0;
+        for i in 0..20 {
+            let d = e.decide(&ctx(&f, &clean, Endpoint::Hold, None, SimTime::from_mins(i)));
+            if d == Decision::RateLimited {
+                limited += 1;
+            }
+        }
+        assert!(limited >= 10, "spinning throttled after burst: {limited}");
+    }
+
+    #[test]
+    fn block_rules_short_circuit() {
+        let mut e = PolicyEngine::new(PolicyConfig::traditional_antibot());
+        let f = fp();
+        e.rules_mut().block_observed_fingerprint(&f, SimTime::ZERO);
+        let clean = Verdict::clean();
+        assert_eq!(
+            e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::from_mins(1))),
+            Decision::Block
+        );
+        assert!(e.rules().stats()[0].hits > 0);
+    }
+
+    #[test]
+    fn path_limit_catches_unkeyed_floods_eventually() {
+        // Airline D: no per-booking limit, only a path-wide one.
+        let mut cfg = PolicyConfig::unprotected();
+        cfg.path_sms_limit = Some((100.0, 100.0));
+        let mut e = PolicyEngine::new(cfg);
+        let f = fp();
+        let clean = Verdict::clean();
+        let booking = BookingRef::from_index(1);
+        let mut first_limited = None;
+        for i in 0..200u64 {
+            let d = e.decide(&ctx(&f, &clean, Endpoint::BoardingPass, Some(booking), SimTime::from_secs(i)));
+            if d == Decision::RateLimited && first_limited.is_none() {
+                first_limited = Some(i);
+            }
+        }
+        let hit = first_limited.expect("path limit fires");
+        assert!(hit >= 100, "path limit only fires after ~100 sends, at {hit}");
+    }
+
+    #[test]
+    fn decision_reaches_application() {
+        assert!(Decision::Allow.reaches_application());
+        assert!(Decision::Challenge.reaches_application());
+        for d in [Decision::Block, Decision::Honeypot, Decision::RateLimited, Decision::TierDenied] {
+            assert!(!d.reaches_application());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic geolocation database.
+//!
+//! Real GeoIP feeds map address blocks to countries; we synthesize an
+//! equivalent allocation: every modelled country owns residential, mobile,
+//! and datacenter blocks laid out deterministically, so lookups are exact and
+//! runs are reproducible. The country set covers the paper's Table I top-10
+//! plus enough others to exercise the "42 different countries" breadth of the
+//! §IV-C SMS-pumping case study.
+
+use crate::ip::{IpAddress, IpClass, IpRange};
+use fg_core::ids::CountryCode;
+use rand::Rng;
+
+/// Country codes built into [`GeoDatabase::default_world`], Table I countries
+/// first (Uzbekistan, Iran, Kyrgyzstan, Jordan, Nigeria, Cambodia, Singapore,
+/// United Kingdom, China, Thailand).
+pub const WORLD_COUNTRIES: [&str; 48] = [
+    "UZ", "IR", "KG", "JO", "NG", "KH", "SG", "GB", "CN", "TH", // Table I top-10
+    "US", "FR", "DE", "ES", "IT", "BR", "IN", "ID", "PK", "BD", //
+    "RU", "JP", "KR", "VN", "PH", "MY", "TR", "EG", "SA", "AE", //
+    "MX", "AR", "CO", "CL", "PE", "ZA", "KE", "GH", "MA", "DZ", //
+    "PL", "NL", "BE", "SE", "NO", "PT", "GR", "CA",
+];
+
+/// One allocated block: a range, its owner country, and its egress class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Allocation {
+    range: IpRange,
+    country: CountryCode,
+    class: IpClass,
+}
+
+/// An exact, deterministic block → (country, class) database.
+#[derive(Clone, Debug)]
+pub struct GeoDatabase {
+    // Sorted by range start for binary-search lookup.
+    allocations: Vec<Allocation>,
+    countries: Vec<CountryCode>,
+}
+
+/// Addresses per residential block in the default world.
+const RESIDENTIAL_BLOCK: u32 = 1 << 16;
+/// Addresses per mobile block in the default world.
+const MOBILE_BLOCK: u32 = 1 << 14;
+/// Addresses per datacenter block in the default world.
+const DATACENTER_BLOCK: u32 = 1 << 12;
+
+impl GeoDatabase {
+    /// Builds the default world: every [`WORLD_COUNTRIES`] entry receives one
+    /// residential, one mobile, and one datacenter block, packed
+    /// contiguously from `1.0.0.0` upward.
+    pub fn default_world() -> Self {
+        let mut allocations = Vec::new();
+        let mut countries = Vec::new();
+        let mut cursor: u32 = 1 << 24; // start at 1.0.0.0
+        for code in WORLD_COUNTRIES {
+            let country = CountryCode::new(code);
+            countries.push(country);
+            for (class, len) in [
+                (IpClass::Residential, RESIDENTIAL_BLOCK),
+                (IpClass::Mobile, MOBILE_BLOCK),
+                (IpClass::Datacenter, DATACENTER_BLOCK),
+            ] {
+                allocations.push(Allocation {
+                    range: IpRange::new(IpAddress(cursor), len),
+                    country,
+                    class,
+                });
+                cursor += len;
+            }
+        }
+        GeoDatabase {
+            allocations,
+            countries,
+        }
+    }
+
+    fn lookup(&self, ip: IpAddress) -> Option<&Allocation> {
+        // partition_point: first allocation whose start is > ip, minus one.
+        let idx = self
+            .allocations
+            .partition_point(|a| a.range.start() <= ip);
+        let candidate = self.allocations.get(idx.checked_sub(1)?)?;
+        candidate.range.contains(ip).then_some(candidate)
+    }
+
+    /// The country owning `ip`, if allocated.
+    pub fn country_of(&self, ip: IpAddress) -> Option<CountryCode> {
+        self.lookup(ip).map(|a| a.country)
+    }
+
+    /// The egress class of `ip`, if allocated.
+    pub fn class_of(&self, ip: IpAddress) -> Option<IpClass> {
+        self.lookup(ip).map(|a| a.class)
+    }
+
+    /// Every modelled country, Table I countries first.
+    pub fn countries(&self) -> &[CountryCode] {
+        &self.countries
+    }
+
+    /// The blocks a country owns for a given class.
+    pub fn ranges(&self, country: CountryCode, class: IpClass) -> Vec<IpRange> {
+        self.allocations
+            .iter()
+            .filter(|a| a.country == country && a.class == class)
+            .map(|a| a.range)
+            .collect()
+    }
+
+    /// Draws a uniform address from a country's blocks of the given class.
+    ///
+    /// Returns `None` for unknown countries.
+    pub fn sample_ip<R: Rng + ?Sized>(
+        &self,
+        country: CountryCode,
+        class: IpClass,
+        rng: &mut R,
+    ) -> Option<IpAddress> {
+        let ranges = self.ranges(country, class);
+        if ranges.is_empty() {
+            return None;
+        }
+        let total: u64 = ranges.iter().map(|r| u64::from(r.len())).sum();
+        let mut pick = rng.gen_range(0..total);
+        for r in ranges {
+            if pick < u64::from(r.len()) {
+                return r.nth(pick as u32);
+            }
+            pick -= u64::from(r.len());
+        }
+        unreachable!("pick was drawn within the total block size")
+    }
+}
+
+impl Default for GeoDatabase {
+    fn default() -> Self {
+        GeoDatabase::default_world()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn world_has_48_countries_table1_first() {
+        let geo = GeoDatabase::default_world();
+        assert_eq!(geo.countries().len(), 48);
+        assert_eq!(geo.countries()[0], CountryCode::new("UZ"));
+        assert_eq!(geo.countries()[9], CountryCode::new("TH"));
+    }
+
+    #[test]
+    fn lookup_roundtrip_for_all_classes() {
+        let geo = GeoDatabase::default_world();
+        let mut rng = StdRng::seed_from_u64(1);
+        for &code in &["UZ", "GB", "CA"] {
+            let country = CountryCode::new(code);
+            for class in [IpClass::Residential, IpClass::Mobile, IpClass::Datacenter] {
+                let ip = geo.sample_ip(country, class, &mut rng).unwrap();
+                assert_eq!(geo.country_of(ip), Some(country), "{code} {class}");
+                assert_eq!(geo.class_of(ip), Some(class), "{code} {class}");
+            }
+        }
+    }
+
+    #[test]
+    fn unallocated_space_is_none() {
+        let geo = GeoDatabase::default_world();
+        assert_eq!(geo.country_of(IpAddress::from_octets(0, 0, 0, 1)), None);
+        assert_eq!(geo.country_of(IpAddress::from_octets(250, 0, 0, 1)), None);
+        assert_eq!(geo.class_of(IpAddress::from_octets(250, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn sample_unknown_country_is_none() {
+        let geo = GeoDatabase::default_world();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            geo.sample_ip(CountryCode::new("XX"), IpClass::Residential, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let geo = GeoDatabase::default_world();
+        for pair in geo.allocations.windows(2) {
+            assert!(!pair[0].range.overlaps(pair[1].range));
+            assert!(pair[0].range.start() < pair[1].range.start());
+        }
+    }
+
+    #[test]
+    fn boundary_addresses_resolve_to_their_own_block() {
+        let geo = GeoDatabase::default_world();
+        for a in &geo.allocations {
+            assert_eq!(geo.country_of(a.range.start()), Some(a.country));
+            let last = a.range.nth(a.range.len() - 1).unwrap();
+            assert_eq!(geo.country_of(last), Some(a.country));
+            assert_eq!(geo.class_of(last), Some(a.class));
+        }
+    }
+
+    #[test]
+    fn residential_blocks_are_larger_than_datacenter() {
+        let geo = GeoDatabase::default_world();
+        let uz = CountryCode::new("UZ");
+        let res: u64 = geo
+            .ranges(uz, IpClass::Residential)
+            .iter()
+            .map(|r| u64::from(r.len()))
+            .sum();
+        let dc: u64 = geo
+            .ranges(uz, IpClass::Datacenter)
+            .iter()
+            .map(|r| u64::from(r.len()))
+            .sum();
+        assert!(res > dc);
+    }
+}

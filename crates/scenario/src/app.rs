@@ -1,0 +1,603 @@
+//! The defended application façade.
+
+use fg_behavior::api::{ApiOutcome, App, ClientRequest};
+use fg_core::ids::{BookingRef, ClientId, FlightId, PhoneNumber};
+use fg_core::money::Money;
+use fg_core::rng::SeedFork;
+use fg_core::time::{SimDuration, SimTime};
+use fg_detection::engine::DetectionEngine;
+use fg_detection::log::{Endpoint, LogRecord, Method};
+use fg_fingerprint::attributes::Fingerprint;
+use fg_inventory::flight::{Availability, Flight};
+use fg_inventory::passenger::Passenger;
+use fg_inventory::system::ReservationSystem;
+use fg_mitigation::captcha::CaptchaPolicy;
+use fg_mitigation::economics::DefenderLedger;
+use fg_mitigation::honeypot::Honeypot;
+use fg_mitigation::policy::{Decision, PolicyConfig, PolicyEngine, RequestContext};
+use fg_smsgw::gateway::Gateway;
+use fg_smsgw::message::{SmsKind, SmsMessage};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Application-level configuration.
+#[derive(Clone, Debug)]
+pub struct AppConfig {
+    /// Seat-hold TTL ("30 minutes to several hours depending on the domain").
+    pub hold_ttl: SimDuration,
+    /// Maximum Number in Party at launch.
+    pub max_nip: u32,
+    /// The defensive posture.
+    pub policy: PolicyConfig,
+    /// CAPTCHA behaviour (used when the policy issues challenges).
+    pub captcha: CaptchaPolicy,
+    /// Average ticket revenue per seat, for lost-sales accounting.
+    pub seat_revenue: Money,
+    /// Detection verdict score above which the source IP is reported to the
+    /// reputation ledger.
+    pub reputation_feedback_threshold: f64,
+    /// Revenue-management pricing; `None` = fixed fare (`seat_revenue`).
+    pub pricing: Option<fg_inventory::pricing::DynamicPricer>,
+}
+
+impl AppConfig {
+    /// An Airline-A-style domain with the given defensive posture.
+    pub fn airline(policy: PolicyConfig) -> Self {
+        AppConfig {
+            hold_ttl: SimDuration::from_mins(30),
+            max_nip: 9,
+            policy,
+            captcha: CaptchaPolicy::default(),
+            seat_revenue: Money::from_units(120),
+            reputation_feedback_threshold: 0.8,
+            pricing: None,
+        }
+    }
+}
+
+/// The defended application: reservation system + SMS gateway behind the
+/// detection/mitigation pipeline.
+///
+/// # Example
+///
+/// ```
+/// use fg_scenario::app::{AppConfig, DefendedApp};
+/// use fg_mitigation::policy::PolicyConfig;
+/// use fg_inventory::Flight;
+/// use fg_core::ids::FlightId;
+/// use fg_core::time::SimTime;
+///
+/// let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::recommended()), 42);
+/// app.add_flight(Flight::new(FlightId(1), 180, SimTime::from_days(30)));
+/// assert_eq!(app.reservations().flight_ids(), vec![FlightId(1)]);
+/// ```
+#[derive(Debug)]
+pub struct DefendedApp {
+    config: AppConfig,
+    reservations: ReservationSystem,
+    gateway: Gateway,
+    detection: DetectionEngine,
+    policy: PolicyEngine,
+    honeypot: Honeypot,
+    logs: Vec<LogRecord>,
+    fingerprints_seen: HashMap<u64, Fingerprint>,
+    solver_spend: HashMap<ClientId, Money>,
+    defender: DefenderLedger,
+    captcha_rng: StdRng,
+    human_abandons: u64,
+    ticket_revenue: Money,
+}
+
+impl DefendedApp {
+    /// Creates the app with the given config and master seed (the seed only
+    /// drives CAPTCHA outcome randomness).
+    pub fn new(config: AppConfig, seed: u64) -> Self {
+        DefendedApp {
+            reservations: ReservationSystem::new(config.hold_ttl, config.max_nip),
+            gateway: Gateway::default_network(),
+            detection: DetectionEngine::with_defaults(),
+            policy: PolicyEngine::new(config.policy.clone()),
+            honeypot: Honeypot::new(),
+            logs: Vec::new(),
+            fingerprints_seen: HashMap::new(),
+            solver_spend: HashMap::new(),
+            defender: DefenderLedger::new(),
+            captcha_rng: SeedFork::new(seed).rng("captcha"),
+            human_abandons: 0,
+            ticket_revenue: Money::ZERO,
+            config,
+        }
+    }
+
+    /// Registers a flight.
+    pub fn add_flight(&mut self, flight: Flight) {
+        self.reservations.add_flight(flight);
+    }
+
+    /// The reservation core (read access).
+    pub fn reservations(&self) -> &ReservationSystem {
+        &self.reservations
+    }
+
+    /// The reservation core (mutable, for defender interventions such as
+    /// changing the NiP cap mid-incident).
+    pub fn reservations_mut(&mut self) -> &mut ReservationSystem {
+        &mut self.reservations
+    }
+
+    /// The SMS gateway (read access — owner cost, surge tables, …).
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// The SMS gateway (mutable, for quota / operator interventions).
+    pub fn gateway_mut(&mut self) -> &mut Gateway {
+        &mut self.gateway
+    }
+
+    /// The policy engine (mutable, for deploying block rules).
+    pub fn policy_mut(&mut self) -> &mut PolicyEngine {
+        &mut self.policy
+    }
+
+    /// The policy engine (read access).
+    pub fn policy(&self) -> &PolicyEngine {
+        &self.policy
+    }
+
+    /// The detection engine (mutable, e.g. to feed reputation).
+    pub fn detection_mut(&mut self) -> &mut DetectionEngine {
+        &mut self.detection
+    }
+
+    /// The honeypot.
+    pub fn honeypot(&self) -> &Honeypot {
+        &self.honeypot
+    }
+
+    /// Everything logged so far.
+    pub fn logs(&self) -> &[LogRecord] {
+        &self.logs
+    }
+
+    /// The full fingerprint last seen for an identity hash, if any.
+    pub fn fingerprint_by_hash(&self, hash: u64) -> Option<&Fingerprint> {
+        self.fingerprints_seen.get(&hash)
+    }
+
+    /// CAPTCHA-solver fees charged to a client so far.
+    pub fn solver_spend(&self, client: ClientId) -> Money {
+        self.solver_spend.get(&client).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Total CAPTCHA-solver fees across all clients.
+    pub fn total_solver_spend(&self) -> Money {
+        self.solver_spend.values().copied().sum()
+    }
+
+    /// Humans who abandoned at a CAPTCHA — §V's usability cost.
+    pub fn human_abandons(&self) -> u64 {
+        self.human_abandons
+    }
+
+    /// Ticket revenue collected so far (quoted fare × seats at payment).
+    pub fn ticket_revenue(&self) -> Money {
+        self.ticket_revenue
+    }
+
+    /// The fare a seat on `flight` costs at `now` (dynamic when configured,
+    /// else the fixed `seat_revenue`).
+    pub fn fare(&self, flight: FlightId, now: SimTime) -> Option<Money> {
+        let availability = self.reservations.availability(flight)?;
+        let departure = self.reservations.flight(flight)?.departure();
+        Some(match self.config.pricing {
+            Some(pricer) => pricer.quote(availability, now, SimTime::ZERO, departure),
+            None => self.config.seat_revenue,
+        })
+    }
+
+    /// The defender's loss ledger (SMS costs are folded in on read).
+    pub fn defender_ledger(&self) -> DefenderLedger {
+        let mut d = self.defender;
+        d.sms_cost = self.gateway.owner_cost();
+        d
+    }
+
+    /// Advances application housekeeping (hold expiry) to `now`.
+    pub fn tick(&mut self, now: SimTime) {
+        self.reservations.expire_due(now);
+    }
+
+    fn log(&mut self, req: &ClientRequest, endpoint: Endpoint, method: Method, ok: bool, now: SimTime) {
+        self.logs.push(LogRecord {
+            at: now,
+            ip: req.ip,
+            fingerprint: req.fingerprint.identity_hash(),
+            truth_client: req.client,
+            method,
+            endpoint,
+            ok,
+        });
+        self.fingerprints_seen
+            .entry(req.fingerprint.identity_hash())
+            .or_insert_with(|| req.fingerprint.clone());
+    }
+
+    /// Runs the defence pipeline. `Ok(true)` means "proceed against the real
+    /// application", `Ok(false)` means "the honeypot serves this request",
+    /// `Err(outcome)` is the refusal to surface to the client.
+    fn gate<T>(
+        &mut self,
+        req: &ClientRequest,
+        endpoint: Endpoint,
+        booking: Option<BookingRef>,
+        now: SimTime,
+    ) -> Result<bool, ApiOutcome<T>> {
+        // Already-diverted clients stay in the decoy.
+        if self.honeypot.is_diverted(req.client) {
+            return Ok(false);
+        }
+
+        let verdict = self
+            .detection
+            .assess(now, req.ip, &req.fingerprint, endpoint, booking);
+        if verdict.score >= self.config.reputation_feedback_threshold {
+            self.detection.reputation_mut().report(req.ip, verdict.score, now);
+        }
+        let decision = self.policy.decide(&RequestContext {
+            now,
+            ip: req.ip,
+            fingerprint: &req.fingerprint,
+            endpoint,
+            booking,
+            tier: req.tier,
+            client_key: req.client.as_u64(),
+            verdict: &verdict,
+        });
+
+        match decision {
+            Decision::Allow => Ok(true),
+            Decision::Challenge => {
+                if req.is_bot {
+                    let outcome = self.config.captcha.challenge_bot(&mut self.captcha_rng);
+                    *self.solver_spend.entry(req.client).or_insert(Money::ZERO) +=
+                        self.config.captcha.solver_price;
+                    if outcome.solved() {
+                        Ok(true)
+                    } else {
+                        Err(ApiOutcome::ChallengeFailed)
+                    }
+                } else {
+                    let outcome = self.config.captcha.challenge_human(&mut self.captcha_rng);
+                    if outcome.solved() {
+                        Ok(true)
+                    } else {
+                        self.human_abandons += 1;
+                        self.defender.friction_losses += self.config.seat_revenue.mul_f64(0.1);
+                        Err(ApiOutcome::ChallengeFailed)
+                    }
+                }
+            }
+            Decision::Honeypot => {
+                self.honeypot.divert(req.client, now);
+                Ok(false)
+            }
+            Decision::RateLimited => Err(ApiOutcome::RateLimited),
+            Decision::TierDenied => Err(ApiOutcome::TierDenied),
+            Decision::Block => Err(ApiOutcome::Blocked),
+        }
+    }
+}
+
+impl App for DefendedApp {
+    fn search(&mut self, req: &ClientRequest, now: SimTime) -> ApiOutcome<()> {
+        match self.gate::<()>(req, Endpoint::Search, None, now) {
+            Ok(_) => {
+                self.log(req, Endpoint::Search, Method::Get, true, now);
+                ApiOutcome::Ok(())
+            }
+            Err(refusal) => {
+                self.log(req, Endpoint::Search, Method::Get, false, now);
+                refusal
+            }
+        }
+    }
+
+    fn hold(
+        &mut self,
+        req: &ClientRequest,
+        flight: FlightId,
+        passengers: Vec<Passenger>,
+        now: SimTime,
+    ) -> ApiOutcome<BookingRef> {
+        match self.gate::<BookingRef>(req, Endpoint::Hold, None, now) {
+            Ok(true) => match self.reservations.hold(flight, passengers, now) {
+                Ok(reference) => {
+                    self.log(req, Endpoint::Hold, Method::Post, true, now);
+                    ApiOutcome::Ok(reference)
+                }
+                Err(e) => {
+                    self.log(req, Endpoint::Hold, Method::Post, false, now);
+                    ApiOutcome::Domain(e)
+                }
+            },
+            Ok(false) => {
+                // The decoy accepts the hold against fake inventory.
+                let seats = passengers.len() as u32;
+                let fake = self.honeypot.absorb_hold(req.client, seats, now);
+                self.log(req, Endpoint::Hold, Method::Post, true, now);
+                ApiOutcome::Ok(fake)
+            }
+            Err(refusal) => {
+                self.log(req, Endpoint::Hold, Method::Post, false, now);
+                refusal
+            }
+        }
+    }
+
+    fn pay(&mut self, req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()> {
+        match self.gate::<()>(req, Endpoint::Pay, Some(booking), now) {
+            Ok(true) => {
+                // Quote before the sale: paying moves seats from held to
+                // sold, and the buyer pays the fare displayed at checkout.
+                let (fare, nip) = match self.reservations.booking(booking) {
+                    Some(b) => (self.fare(b.flight(), now), b.nip()),
+                    None => (None, 0),
+                };
+                let result = self
+                    .reservations
+                    .pay(booking, now)
+                    .and_then(|()| self.reservations.ticket(booking));
+                match result {
+                    Ok(()) => {
+                        if let Some(fare) = fare {
+                            self.ticket_revenue += fare * u64::from(nip);
+                        }
+                        self.log(req, Endpoint::Pay, Method::Post, true, now);
+                        ApiOutcome::Ok(())
+                    }
+                    Err(e) => {
+                        self.log(req, Endpoint::Pay, Method::Post, false, now);
+                        ApiOutcome::Domain(e)
+                    }
+                }
+            }
+            Ok(false) => {
+                // Fake success inside the decoy.
+                self.log(req, Endpoint::Pay, Method::Post, true, now);
+                ApiOutcome::Ok(())
+            }
+            Err(refusal) => {
+                self.log(req, Endpoint::Pay, Method::Post, false, now);
+                refusal
+            }
+        }
+    }
+
+    fn send_otp(&mut self, req: &ClientRequest, phone: PhoneNumber, now: SimTime) -> ApiOutcome<()> {
+        match self.gate::<()>(req, Endpoint::SendOtp, None, now) {
+            Ok(true) => {
+                let receipt = self.gateway.send(SmsMessage::new(phone, SmsKind::Otp), now);
+                let ok = receipt.delivered;
+                self.log(req, Endpoint::SendOtp, Method::Post, ok, now);
+                if receipt.quota_exceeded {
+                    ApiOutcome::QuotaExceeded
+                } else {
+                    ApiOutcome::Ok(())
+                }
+            }
+            Ok(false) => {
+                self.honeypot.absorb_sms(req.client, now);
+                self.log(req, Endpoint::SendOtp, Method::Post, true, now);
+                ApiOutcome::Ok(())
+            }
+            Err(refusal) => {
+                self.log(req, Endpoint::SendOtp, Method::Post, false, now);
+                refusal
+            }
+        }
+    }
+
+    fn boarding_pass_sms(
+        &mut self,
+        req: &ClientRequest,
+        booking: BookingRef,
+        phone: PhoneNumber,
+        now: SimTime,
+    ) -> ApiOutcome<()> {
+        match self.gate::<()>(req, Endpoint::BoardingPass, Some(booking), now) {
+            Ok(true) => match self.reservations.issue_boarding_pass(booking) {
+                Ok(_seq) => {
+                    let receipt = self
+                        .gateway
+                        .send(SmsMessage::new(phone, SmsKind::BoardingPass(booking)), now);
+                    self.log(req, Endpoint::BoardingPass, Method::Post, receipt.delivered, now);
+                    if receipt.quota_exceeded {
+                        ApiOutcome::QuotaExceeded
+                    } else {
+                        ApiOutcome::Ok(())
+                    }
+                }
+                Err(e) => {
+                    self.log(req, Endpoint::BoardingPass, Method::Post, false, now);
+                    ApiOutcome::Domain(e)
+                }
+            },
+            Ok(false) => {
+                self.honeypot.absorb_sms(req.client, now);
+                self.log(req, Endpoint::BoardingPass, Method::Post, true, now);
+                ApiOutcome::Ok(())
+            }
+            Err(refusal) => {
+                self.log(req, Endpoint::BoardingPass, Method::Post, false, now);
+                refusal
+            }
+        }
+    }
+
+    fn availability(&self, flight: FlightId) -> Option<Availability> {
+        self.reservations.availability(flight)
+    }
+
+    fn departure(&self, flight: FlightId) -> Option<SimTime> {
+        self.reservations.flight(flight).map(|f| f.departure())
+    }
+
+    fn quote(&self, flight: FlightId, now: SimTime) -> Option<Money> {
+        self.fare(flight, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_fingerprint::population::PopulationModel;
+    use fg_mitigation::gating::TrustTier;
+    use fg_netsim::geo::GeoDatabase;
+    use fg_netsim::ip::IpClass;
+    use rand::SeedableRng;
+
+    fn human_req(seed: u64, tier: TrustTier) -> ClientRequest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let geo = GeoDatabase::default_world();
+        ClientRequest {
+            client: ClientId(seed),
+            ip: geo
+                .sample_ip(fg_core::ids::CountryCode::new("GB"), IpClass::Residential, &mut rng)
+                .unwrap(),
+            fingerprint: PopulationModel::default_web().sample_human(&mut rng),
+            tier,
+            is_bot: false,
+        }
+    }
+
+    fn app(policy: PolicyConfig) -> DefendedApp {
+        let mut app = DefendedApp::new(AppConfig::airline(policy), 7);
+        app.add_flight(Flight::new(FlightId(1), 180, SimTime::from_days(30)));
+        app
+    }
+
+    fn pax(n: usize) -> Vec<Passenger> {
+        (0..n).map(|i| Passenger::simple(&format!("P{i}"), "TEST")).collect()
+    }
+
+    #[test]
+    fn full_happy_path_for_a_human() {
+        let mut a = app(PolicyConfig::recommended());
+        let req = human_req(1, TrustTier::Verified);
+        assert!(a.search(&req, SimTime::ZERO).is_ok());
+        let booking = a.hold(&req, FlightId(1), pax(2), SimTime::from_mins(1)).unwrap();
+        assert!(a.pay(&req, booking, SimTime::from_mins(5)).is_ok());
+        let phone = PhoneNumber::new(fg_core::ids::CountryCode::new("GB"), 7_700_900_001);
+        assert!(a.boarding_pass_sms(&req, booking, phone, SimTime::from_mins(10)).is_ok());
+        assert_eq!(a.gateway().sent_total(), 1);
+        assert_eq!(a.logs().len(), 4);
+        assert!(a.logs().iter().all(|l| l.ok));
+    }
+
+    #[test]
+    fn unprotected_app_never_refuses() {
+        let mut a = app(PolicyConfig::unprotected());
+        let req = human_req(2, TrustTier::Anonymous);
+        let booking = a.hold(&req, FlightId(1), pax(1), SimTime::ZERO).unwrap();
+        a.pay(&req, booking, SimTime::from_mins(1)).unwrap();
+        let phone = PhoneNumber::new(fg_core::ids::CountryCode::new("UZ"), 99_000_001);
+        // 500 boarding-pass SMS against one booking sail through (§IV-C).
+        for i in 0..500u64 {
+            assert!(a
+                .boarding_pass_sms(&req, booking, phone, SimTime::from_mins(2 + i))
+                .is_ok());
+        }
+        assert_eq!(a.gateway().sent_total(), 500);
+    }
+
+    #[test]
+    fn recommended_app_limits_per_booking_sms() {
+        let mut a = app(PolicyConfig::recommended());
+        let req = human_req(3, TrustTier::Verified);
+        let booking = a.hold(&req, FlightId(1), pax(1), SimTime::ZERO).unwrap();
+        a.pay(&req, booking, SimTime::from_mins(1)).unwrap();
+        let phone = PhoneNumber::new(fg_core::ids::CountryCode::new("UZ"), 99_000_002);
+        let mut sent = 0;
+        for i in 0..10u64 {
+            if a.boarding_pass_sms(&req, booking, phone, SimTime::from_mins(5 + i))
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        assert!(sent <= 3, "per-booking SMS cap enforced: {sent}");
+    }
+
+    #[test]
+    fn tier_gate_refuses_anonymous_holds() {
+        let mut a = app(PolicyConfig::recommended());
+        let req = human_req(4, TrustTier::Anonymous);
+        assert_eq!(
+            a.hold(&req, FlightId(1), pax(1), SimTime::ZERO),
+            ApiOutcome::TierDenied
+        );
+    }
+
+    #[test]
+    fn honeypot_diversion_fakes_success_and_spares_inventory() {
+        let mut a = app(PolicyConfig::recommended());
+        // A blatant bot: webdriver artifact → score 1.0 → honeypot.
+        let mut req = human_req(5, TrustTier::Verified);
+        req.fingerprint.webdriver = true;
+        req.is_bot = true;
+        let fake = a.hold(&req, FlightId(1), pax(6), SimTime::ZERO);
+        assert!(fake.is_ok(), "the decoy accepts the hold: {fake:?}");
+        let avail = a.availability(FlightId(1)).unwrap();
+        assert_eq!(avail.held, 0, "real inventory untouched");
+        assert_eq!(a.honeypot().stats().seats_absorbed, 6);
+        // Subsequent requests stay in the decoy — even innocuous ones.
+        assert!(a.search(&req, SimTime::from_mins(1)).is_ok());
+        assert!(a.pay(&req, fake.unwrap(), SimTime::from_mins(2)).is_ok());
+    }
+
+    #[test]
+    fn challenged_bot_pays_solver_fees() {
+        let mut cfg = PolicyConfig::traditional_antibot();
+        cfg.challenge_threshold = 0.0; // challenge everything
+        let mut a = app(cfg);
+        let mut req = human_req(6, TrustTier::Verified);
+        req.is_bot = true;
+        for i in 0..20u64 {
+            let _ = a.search(&req, SimTime::from_secs(i));
+        }
+        assert!(a.solver_spend(req.client) > Money::ZERO);
+        assert_eq!(a.total_solver_spend(), a.solver_spend(req.client));
+    }
+
+    #[test]
+    fn challenged_humans_sometimes_abandon() {
+        let mut cfg = PolicyConfig::traditional_antibot();
+        cfg.challenge_threshold = 0.0;
+        let mut a = app(cfg);
+        for i in 0..300u64 {
+            let req = human_req(100 + i, TrustTier::Verified);
+            let _ = a.search(&req, SimTime::from_secs(i));
+        }
+        assert!(a.human_abandons() > 0, "friction surfaces");
+        assert!(a.defender_ledger().friction_losses > Money::ZERO);
+    }
+
+    #[test]
+    fn defender_ledger_includes_sms_cost() {
+        let mut a = app(PolicyConfig::unprotected());
+        let req = human_req(7, TrustTier::Verified);
+        let phone = PhoneNumber::new(fg_core::ids::CountryCode::new("GB"), 7_700_900_009);
+        a.send_otp(&req, phone, SimTime::ZERO).unwrap();
+        assert_eq!(a.defender_ledger().sms_cost, Money::from_cents(4));
+    }
+
+    #[test]
+    fn logs_capture_fingerprint_registry() {
+        let mut a = app(PolicyConfig::unprotected());
+        let req = human_req(8, TrustTier::Verified);
+        a.search(&req, SimTime::ZERO).unwrap();
+        let hash = req.fingerprint.identity_hash();
+        assert_eq!(a.fingerprint_by_hash(hash), Some(&req.fingerprint));
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment runners — one per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — NiP distribution: average week / attack week / capped week |
+//! | [`table1`] | Table I — top-10 country SMS surge during the pumping attack |
+//! | [`case_a`] | §IV-A in-text — fingerprint rotation ≈ 5.3 h, cap adaptation, endgame |
+//! | [`case_b`] | §IV-B in-text — automated vs manual name-pattern detection |
+//! | [`case_c`] | §IV-C in-text — ≈ +25 % boarding passes, 42 countries, detection latency |
+//! | [`ablation`] | §V — mitigation grid over both attacks |
+//! | [`honeypot_econ`] | §V — honeypot vs blocking economics |
+//! | [`detectors`] | §III-A claim — volume features fail on low-volume abuse |
+//! | [`pricing`] | §II-A — DoI against dynamic pricing: forced fare drops |
+//! | [`proxies`] | §III-B — residential vs datacenter exits against IP blocking |
+//!
+//! Every runner takes a small config (with a seeded default), runs a full
+//! deterministic simulation, and returns a typed report implementing
+//! `Display` (the table/figure the paper shows) and `Serialize` (a JSON
+//! artifact).
+
+pub mod ablation;
+pub mod case_a;
+pub mod case_b;
+pub mod case_c;
+pub mod detectors;
+pub mod fig1;
+pub mod honeypot_econ;
+pub mod pricing;
+pub mod proxies;
+pub mod table1;

@@ -1,0 +1,137 @@
+//! Plain-text table rendering and JSON export for experiment reports.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders rows as a fixed-width ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use fg_scenario::report::render_table;
+///
+/// let s = render_table(
+///     &["Country", "Increase"],
+///     &[vec!["Uzbekistan".into(), "160,209%".into()]],
+/// );
+/// assert!(s.contains("Uzbekistan"));
+/// assert!(s.contains("| Increase"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for &w in &widths {
+            let _ = write!(out, "+-{}-", "-".repeat(w));
+        }
+        out.push_str("+\n");
+    };
+    rule(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {h:<width$} ", width = widths[i]);
+    }
+    out.push_str("|\n");
+    rule(&mut out);
+    for row in rows {
+        for (i, &width) in widths.iter().enumerate().take(cols) {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            let _ = write!(out, "| {cell:<width$} ");
+        }
+        out.push_str("|\n");
+    }
+    rule(&mut out);
+    out
+}
+
+/// Formats a percentage with thousands separators, Table-I style
+/// (`160209.3` → `"160,209%"`).
+pub fn format_pct(pct: f64) -> String {
+    let rounded = pct.round() as i64;
+    let mut digits = rounded.abs().to_string();
+    let mut grouped = String::new();
+    while digits.len() > 3 {
+        let split = digits.len() - 3;
+        grouped = format!(",{}{}", &digits[split..], grouped);
+        digits.truncate(split);
+    }
+    format!(
+        "{}{}{}%",
+        if rounded < 0 { "-" } else { "" },
+        digits,
+        grouped
+    )
+}
+
+/// Serializes any report to pretty JSON (for machine-readable artifacts).
+pub fn to_json<T: Serialize>(report: &T) -> String {
+    serde_json::to_string_pretty(report).expect("reports serialize cleanly")
+}
+
+/// Renders a share histogram as an ASCII stacked-bar-like block (one bar per
+/// bucket) — the textual analogue of the paper's Fig. 1.
+pub fn render_share_bars(label: &str, shares: &[f64], max_width: usize) -> String {
+    let mut out = format!("{label}\n");
+    for (value, &share) in shares.iter().enumerate() {
+        if value == 0 {
+            continue; // NiP 0 does not exist
+        }
+        let bar = "#".repeat((share * max_width as f64).round() as usize);
+        let _ = writeln!(out, "  NiP {value}: {bar} {:.1}%", share * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            &["A", "Longer"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        assert!(s.contains("| A    | Longer |"));
+        assert!(s.contains("| yyyy | 22     |"));
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines equal width");
+    }
+
+    #[test]
+    fn pct_formatting_matches_table_one_style() {
+        assert_eq!(format_pct(160_209.0), "160,209%");
+        assert_eq!(format_pct(66_095.4), "66,095%");
+        assert_eq!(format_pct(67.0), "67%");
+        assert_eq!(format_pct(19.4), "19%");
+        assert_eq!(format_pct(-12.6), "-13%");
+        assert_eq!(format_pct(1_234_567.0), "1,234,567%");
+    }
+
+    #[test]
+    fn share_bars_skip_bucket_zero() {
+        let s = render_share_bars("week", &[0.5, 0.25, 0.25], 20);
+        assert!(!s.contains("NiP 0"));
+        assert!(s.contains("NiP 1"));
+        assert!(s.contains("25.0%"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let s = to_json(&R { x: 7 });
+        assert!(s.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # fg-smsgw
+//!
+//! SMS gateway substrate for the FeatureGuard workspace.
+//!
+//! SMS Pumping (§II-B) monetizes the gap between what an application pays to
+//! send a message and who collects the termination fee. This crate models the
+//! whole chain the paper describes:
+//!
+//! * [`rates`] — per-country termination pricing with normal / high-cost /
+//!   premium tiers and a "number availability" weight (how easy it is for an
+//!   attacker to obtain destination numbers there). Table I's top-10
+//!   countries ship with characteristics that make them rational targets.
+//! * [`operators`] — the operator chain: the application's primary operator
+//!   routes to a terminating carrier per destination country; *fraudulent*
+//!   secondary carriers kick back a revenue share to the attacker — the FCC
+//!   intercarrier-compensation abuse of §II-B.
+//! * [`message`] — the messages themselves (OTP, boarding pass,
+//!   notification).
+//! * [`gateway`] — the sending façade: cost accounting for the application
+//!   owner, attacker revenue accounting, per-country traffic time series
+//!   (the Table I data source), contracted quota enforcement, and delivery
+//!   failure injection.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_smsgw::{Gateway, SmsKind, SmsMessage};
+//! use fg_core::ids::{CountryCode, PhoneNumber};
+//! use fg_core::time::SimTime;
+//!
+//! let mut gw = Gateway::default_network();
+//! let to = PhoneNumber::new(CountryCode::new("GB"), 7_700_900_123);
+//! let receipt = gw.send(SmsMessage::new(to, SmsKind::Otp), SimTime::ZERO);
+//! assert!(receipt.delivered);
+//! assert!(gw.owner_cost().is_positive());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod message;
+pub mod operators;
+pub mod rates;
+
+pub use gateway::{Gateway, SendReceipt};
+pub use message::{SmsKind, SmsMessage};
+pub use operators::{CarrierKind, OperatorNetwork};
+pub use rates::{RateTable, RateTier};

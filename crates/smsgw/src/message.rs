@@ -1,0 +1,88 @@
+//! SMS messages.
+
+use fg_core::ids::{BookingRef, PhoneNumber};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of application feature produced the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SmsKind {
+    /// One-time password for login / 2FA — the classic pumping target.
+    Otp,
+    /// Boarding-pass delivery — the §IV-C advanced pumping target.
+    BoardingPass(BookingRef),
+    /// Generic notification.
+    Notification,
+}
+
+impl SmsKind {
+    /// Short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SmsKind::Otp => "otp",
+            SmsKind::BoardingPass(_) => "boarding-pass",
+            SmsKind::Notification => "notification",
+        }
+    }
+}
+
+impl fmt::Display for SmsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One outbound SMS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsMessage {
+    to: PhoneNumber,
+    kind: SmsKind,
+}
+
+impl SmsMessage {
+    /// Creates a message.
+    pub fn new(to: PhoneNumber, kind: SmsKind) -> Self {
+        SmsMessage { to, kind }
+    }
+
+    /// Destination number.
+    pub fn to(&self) -> PhoneNumber {
+        self.to
+    }
+
+    /// Originating feature.
+    pub fn kind(&self) -> SmsKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for SmsMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.kind, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::ids::CountryCode;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SmsKind::Otp.label(), "otp");
+        assert_eq!(
+            SmsKind::BoardingPass(BookingRef::from_index(0)).label(),
+            "boarding-pass"
+        );
+        assert_eq!(SmsKind::Notification.to_string(), "notification");
+    }
+
+    #[test]
+    fn accessors() {
+        let n = PhoneNumber::new(CountryCode::new("KH"), 12_555_777);
+        let m = SmsMessage::new(n, SmsKind::Otp);
+        assert_eq!(m.to(), n);
+        assert_eq!(m.kind(), SmsKind::Otp);
+        assert!(m.to_string().contains("+KH"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-country SMS termination pricing.
+//!
+//! Termination pricing varies wildly by destination: ordinary A2P routes cost
+//! cents while "high-cost destinations or premium numbers" (§II-B, ref [14])
+//! cost an order of magnitude more — and that margin is the pump's fuel. The
+//! default table assigns the paper's Table I top-10 countries high rates
+//! and/or high attacker number-availability, so that economically rational
+//! targeting reproduces the table's ordering shape.
+
+use fg_core::ids::CountryCode;
+use fg_core::money::Money;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Pricing tier of a destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RateTier {
+    /// Ordinary application-to-person route.
+    Normal,
+    /// Elevated termination fees (remote or loosely regulated markets).
+    HighCost,
+    /// Premium-rate numbers: the highest payout per message.
+    Premium,
+}
+
+impl fmt::Display for RateTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RateTier::Normal => "normal",
+            RateTier::HighCost => "high-cost",
+            RateTier::Premium => "premium",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One destination's pricing and abuse characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CountryRate {
+    /// What the application owner pays per message.
+    pub price: Money,
+    /// Pricing tier.
+    pub tier: RateTier,
+    /// Relative ease for an attacker to obtain destination numbers here
+    /// (0.0 = practically none, 1.0 = unlimited supply).
+    pub number_availability: f64,
+}
+
+/// The full per-country rate table.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RateTable {
+    rates: HashMap<CountryCode, CountryRate>,
+    fallback: Option<CountryRate>,
+}
+
+impl RateTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RateTable::default()
+    }
+
+    /// The default world table.
+    ///
+    /// Table I countries receive high rates and/or abundant attacker number
+    /// supply; mainstream markets receive ordinary rates and scarce supply
+    /// (regulated numbering plans). Values are representative of public A2P
+    /// price sheets, not any specific contract.
+    pub fn default_world() -> Self {
+        let mut t = RateTable::new();
+        let mut add = |code: &str, cents: i64, tier: RateTier, avail: f64| {
+            t.insert(
+                CountryCode::new(code),
+                CountryRate {
+                    price: Money::from_cents(cents),
+                    tier,
+                    number_availability: avail,
+                },
+            );
+        };
+        // Table I top-10 — ordered as in the paper.
+        add("UZ", 28, RateTier::Premium, 1.00);
+        add("IR", 26, RateTier::Premium, 0.85);
+        add("KG", 24, RateTier::Premium, 0.70);
+        add("JO", 20, RateTier::HighCost, 0.55);
+        add("NG", 18, RateTier::HighCost, 0.50);
+        add("KH", 16, RateTier::HighCost, 0.40);
+        add("SG", 6, RateTier::Normal, 0.12);
+        add("GB", 4, RateTier::Normal, 0.10);
+        add("CN", 5, RateTier::Normal, 0.10);
+        add("TH", 5, RateTier::Normal, 0.08);
+        // The broader world: ordinary destinations with scarce numbers.
+        for code in [
+            "US", "FR", "DE", "ES", "IT", "BR", "IN", "ID", "PK", "BD", "RU", "JP", "KR", "VN",
+            "PH", "MY", "TR", "EG", "SA", "AE", "MX", "AR", "CO", "CL", "PE", "ZA", "KE", "GH",
+            "MA", "DZ", "PL", "NL", "BE", "SE", "NO", "PT", "GR", "CA",
+        ] {
+            t.insert(
+                CountryCode::new(code),
+                CountryRate {
+                    price: Money::from_cents(3),
+                    tier: RateTier::Normal,
+                    number_availability: 0.05,
+                },
+            );
+        }
+        t.set_fallback(CountryRate {
+            price: Money::from_cents(8),
+            tier: RateTier::Normal,
+            number_availability: 0.02,
+        });
+        t
+    }
+
+    /// Inserts or replaces one country's rate.
+    pub fn insert(&mut self, country: CountryCode, rate: CountryRate) {
+        self.rates.insert(country, rate);
+    }
+
+    /// Sets the rate applied to countries absent from the table.
+    pub fn set_fallback(&mut self, rate: CountryRate) {
+        self.fallback = Some(rate);
+    }
+
+    /// The rate for `country` (table entry, else fallback, else `None`).
+    pub fn rate(&self, country: CountryCode) -> Option<CountryRate> {
+        self.rates.get(&country).copied().or(self.fallback)
+    }
+
+    /// Price the application owner pays to send one SMS to `country`.
+    pub fn price(&self, country: CountryCode) -> Option<Money> {
+        self.rate(country).map(|r| r.price)
+    }
+
+    /// Countries explicitly present, sorted for deterministic iteration.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        let mut c: Vec<CountryCode> = self.rates.keys().copied().collect();
+        c.sort_unstable();
+        c
+    }
+
+    /// The attacker's expected value of targeting `country`: price × number
+    /// availability. The country-targeting weights used by the SMS-pumping
+    /// workload are proportional to this.
+    pub fn attack_value(&self, country: CountryCode) -> f64 {
+        self.rate(country)
+            .map_or(0.0, |r| r.price.as_f64() * r.number_availability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_countries_present_and_expensive() {
+        let t = RateTable::default_world();
+        let uz = t.rate(CountryCode::new("UZ")).unwrap();
+        assert_eq!(uz.tier, RateTier::Premium);
+        let gb = t.rate(CountryCode::new("GB")).unwrap();
+        assert_eq!(gb.tier, RateTier::Normal);
+        assert!(uz.price > gb.price);
+    }
+
+    #[test]
+    fn attack_value_orders_table_one_head_above_tail() {
+        let t = RateTable::default_world();
+        let head = t.attack_value(CountryCode::new("UZ"));
+        let mid = t.attack_value(CountryCode::new("NG"));
+        let tail = t.attack_value(CountryCode::new("TH"));
+        let outside = t.attack_value(CountryCode::new("FR"));
+        assert!(head > mid && mid > tail && tail > outside);
+    }
+
+    #[test]
+    fn fallback_covers_unknown_countries() {
+        let t = RateTable::default_world();
+        let rate = t.rate(CountryCode::new("ZZ")).unwrap();
+        assert_eq!(rate.price, Money::from_cents(8));
+        let mut empty = RateTable::new();
+        assert_eq!(empty.rate(CountryCode::new("ZZ")), None);
+        empty.set_fallback(rate);
+        assert!(empty.rate(CountryCode::new("ZZ")).is_some());
+    }
+
+    #[test]
+    fn countries_sorted_and_complete() {
+        let t = RateTable::default_world();
+        let c = t.countries();
+        assert_eq!(c.len(), 48);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn price_accessor_matches_rate() {
+        let t = RateTable::default_world();
+        let c = CountryCode::new("JO");
+        assert_eq!(t.price(c), Some(t.rate(c).unwrap().price));
+    }
+}

@@ -1,0 +1,20 @@
+//! Honeypot economics: the §V hypothesis that diverting a confirmed
+//! attacker into a decoy beats blocking it — the attacker stops rotating,
+//! keeps spending, and real inventory stays sellable.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p fg-scenario --example honeypot_economics
+//! ```
+
+use fg_scenario::experiments::{ablation, honeypot_econ};
+
+fn main() {
+    println!("=== §V — honeypot vs blocking (same attacker, same stack) ===\n");
+    let report = honeypot_econ::run(honeypot_econ::HoneypotConfig::default());
+    println!("{report}");
+
+    println!("\n=== §V — full mitigation ablation grid ===\n");
+    let grid = ablation::run(ablation::AblationConfig::default());
+    println!("{grid}");
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration: SMS pumping through the whole stack — bot →
+//! defended app → reservation ticketing → SMS gateway → operator settlement.
+
+use fg_behavior::{LegitConfig, LegitPopulation, SmsPumper, SmsPumperConfig};
+use fg_core::ids::{ClientId, CountryCode, FlightId};
+use fg_core::money::Money;
+use fg_core::time::SimTime;
+use fg_inventory::Flight;
+use fg_mitigation::policy::PolicyConfig;
+use fg_netsim::geo::GeoDatabase;
+use fg_scenario::app::{AppConfig, DefendedApp};
+use fg_scenario::engine::{share, Simulation};
+use fg_smsgw::rates::RateTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pumping_world(
+    policy: PolicyConfig,
+    seed: u64,
+    days: u64,
+    sms_per_hour: f64,
+) -> (DefendedApp, fg_behavior::sms_pumper::PumperStats, Money) {
+    let geo = GeoDatabase::default_world();
+    let end = SimTime::from_days(days);
+    let mut app = DefendedApp::new(AppConfig::airline(policy), seed);
+    app.add_flight(Flight::new(FlightId(1), 50_000, SimTime::from_days(days + 30)));
+
+    let mut sim = Simulation::new(app, seed);
+    let (_legit, legit_agent) = share(LegitPopulation::new(
+        LegitConfig::default_airline(vec![FlightId(1)], end),
+        geo.clone(),
+        1_000_000,
+    ));
+    sim.add_agent(legit_agent, SimTime::ZERO);
+
+    let mut cfg = SmsPumperConfig::airline_d(FlightId(1), end);
+    cfg.sms_per_hour = sms_per_hour;
+    let rates = RateTable::default_world();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (bot, bot_agent) = share(SmsPumper::new(cfg, ClientId(1), geo, &rates, &mut rng));
+    sim.add_agent(bot_agent, SimTime::ZERO);
+
+    let app = sim.run(end);
+    let stats = bot.borrow().stats();
+    let mut ledger = bot.borrow().ledger();
+    ledger.sms_revenue = app.gateway().attacker_revenue();
+    (app, stats, ledger.profit())
+}
+
+#[test]
+fn undefended_pumping_is_profitable_and_premium_targeted() {
+    let (app, stats, profit) = pumping_world(PolicyConfig::unprotected(), 1, 3, 300.0);
+
+    assert_eq!(stats.tickets, 5, "provisioning completed");
+    assert!(stats.sms_sent > 5_000, "pumped: {}", stats.sms_sent);
+    assert!(profit.is_positive(), "undefended pumping profits: {profit}");
+
+    // Premium destinations dominate; money flowed through the gateway to
+    // fraudulent carriers.
+    let uz = app.gateway().sent_to(CountryCode::new("UZ"));
+    let fr = app.gateway().sent_to(CountryCode::new("FR"));
+    assert!(uz > fr * 3, "UZ {uz} vs FR {fr}");
+    assert!(app.gateway().attacker_revenue() > Money::ZERO);
+    assert!(app.gateway().owner_cost() > app.gateway().attacker_revenue());
+}
+
+#[test]
+fn per_booking_limit_starves_the_pump() {
+    let mut policy = PolicyConfig::unprotected();
+    policy.booking_sms_limit = Some((3.0, 1.0));
+    let (_, defended_stats, defended_profit) = pumping_world(policy, 2, 3, 300.0);
+    let (_, open_stats, _) = pumping_world(PolicyConfig::unprotected(), 2, 3, 300.0);
+
+    assert!(
+        defended_stats.sms_sent * 20 < open_stats.sms_sent,
+        "limited {} vs open {}",
+        defended_stats.sms_sent,
+        open_stats.sms_sent
+    );
+    assert!(
+        defended_profit < Money::ZERO,
+        "the attack loses money under per-booking limits: {defended_profit}"
+    );
+}
+
+#[test]
+fn carrier_deregistration_cuts_revenue_mid_run() {
+    // §V operator-side mitigation, applied as a scheduled intervention.
+    let geo = GeoDatabase::default_world();
+    let end = SimTime::from_days(2);
+    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), 5);
+    app.add_flight(Flight::new(FlightId(1), 50_000, SimTime::from_days(30)));
+
+    let mut sim = Simulation::new(app, 5);
+    let mut cfg = SmsPumperConfig::airline_d(FlightId(1), end);
+    cfg.sms_per_hour = 300.0;
+    let rates = RateTable::default_world();
+    let mut rng = StdRng::seed_from_u64(5);
+    let (_bot, bot_agent) = share(SmsPumper::new(cfg, ClientId(1), geo, &rates, &mut rng));
+    sim.add_agent(bot_agent, SimTime::ZERO);
+
+    // Halfway through, every fraudulent carrier is deregistered.
+    sim.schedule(SimTime::from_days(1), |app, _| {
+        let frauds = app.gateway().rates().countries();
+        for c in frauds {
+            app.gateway_mut().network_mut().deregister_fraudulent(c);
+        }
+    });
+
+    let app = sim.run(end);
+    // Revenue accrued only in the first half; cost kept accruing.
+    let revenue = app.gateway().attacker_revenue();
+    let cost = app.gateway().owner_cost();
+    assert!(revenue > Money::ZERO);
+    assert!(cost > revenue * 3i64, "cost {cost} vs revenue {revenue}");
+}
+
+#[test]
+fn quota_exhaustion_harms_legitimate_users() {
+    // §II-B: "if the volume of SMS exceeds the application's quotas …
+    // legitimate users may be unable to leverage this feature."
+    let geo = GeoDatabase::default_world();
+    let end = SimTime::from_days(2);
+    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), 6);
+    app.add_flight(Flight::new(FlightId(1), 50_000, SimTime::from_days(30)));
+    app.gateway_mut()
+        .set_quota(400, fg_core::time::SimDuration::from_days(1));
+
+    let mut sim = Simulation::new(app, 6);
+    let (legit, legit_agent) = share(LegitPopulation::new(
+        LegitConfig::default_airline(vec![FlightId(1)], end),
+        geo.clone(),
+        1_000_000,
+    ));
+    sim.add_agent(legit_agent, SimTime::ZERO);
+
+    let mut cfg = SmsPumperConfig::airline_d(FlightId(1), end);
+    cfg.sms_per_hour = 600.0;
+    let rates = RateTable::default_world();
+    let mut rng = StdRng::seed_from_u64(6);
+    let (_bot, bot_agent) = share(SmsPumper::new(cfg, ClientId(1), geo, &rates, &mut rng));
+    sim.add_agent(bot_agent, SimTime::ZERO);
+
+    let app = sim.run(end);
+    assert!(app.gateway().rejected_by_quota() > 100, "quota saturated");
+    // Legit OTP/BP sends were starved relative to an unquota'd run.
+    let sent = legit.borrow().stats();
+    assert!(
+        sent.otp_sent + sent.bp_sms_sent < 400 * 2,
+        "legit SMS crowded out: {sent:?}"
+    );
+}
