@@ -129,7 +129,8 @@ pub trait App {
     fn pay(&mut self, req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()>;
 
     /// Requests an OTP SMS to `phone`.
-    fn send_otp(&mut self, req: &ClientRequest, phone: PhoneNumber, now: SimTime) -> ApiOutcome<()>;
+    fn send_otp(&mut self, req: &ClientRequest, phone: PhoneNumber, now: SimTime)
+        -> ApiOutcome<()>;
 
     /// Requests boarding-pass delivery via SMS for a ticketed booking.
     fn boarding_pass_sms(
@@ -187,7 +188,10 @@ mod tests {
             assert!(!refused.is_ok());
         }
         let domain: ApiOutcome<u32> = ApiOutcome::Domain(InventoryError::EmptyParty);
-        assert!(!domain.defence_refused(), "domain errors are not defence actions");
+        assert!(
+            !domain.defence_refused(),
+            "domain errors are not defence actions"
+        );
         assert_eq!(domain.ok(), None);
     }
 

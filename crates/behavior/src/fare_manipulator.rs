@@ -159,8 +159,7 @@ impl FareManipulator {
                     ApiOutcome::Ok(()) => {
                         self.stats.bought_at = Some(fare);
                         self.stats.seats_bought = self.config.seats_wanted;
-                        self.ledger.purchase_spend +=
-                            fare * u64::from(self.config.seats_wanted);
+                        self.ledger.purchase_spend += fare * u64::from(self.config.seats_wanted);
                         if let Some(open) = self.stats.opening_fare {
                             let saved = (open - fare) * u64::from(self.config.seats_wanted);
                             if saved.is_positive() {
@@ -297,8 +296,17 @@ mod tests {
                 Err(e) => ApiOutcome::Domain(e),
             }
         }
-        fn pay(&mut self, _req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()> {
-            match self.sys.pay(booking, now).and_then(|()| self.sys.ticket(booking)) {
+        fn pay(
+            &mut self,
+            _req: &ClientRequest,
+            booking: BookingRef,
+            now: SimTime,
+        ) -> ApiOutcome<()> {
+            match self
+                .sys
+                .pay(booking, now)
+                .and_then(|()| self.sys.ticket(booking))
+            {
                 Ok(()) => ApiOutcome::Ok(()),
                 Err(e) => ApiOutcome::Domain(e),
             }
@@ -408,7 +416,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut cfg = FareManipulatorConfig::typical(FlightId(1));
         cfg.buy_at_fraction = 0.01; // a bottom that never arrives
-        let mut bot = FareManipulator::new(cfg, ClientId(14), GeoDatabase::default_world(), &mut rng);
+        let mut bot =
+            FareManipulator::new(cfg, ClientId(14), GeoDatabase::default_world(), &mut rng);
         drive(&mut bot, &mut app, SimTime::from_days(29), 5);
         assert!(
             bot.stats().bought_at.is_some(),

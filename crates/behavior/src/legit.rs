@@ -307,14 +307,22 @@ impl LegitPopulation {
                     if want_bp_sms {
                         self.pending.schedule(
                             now + SimDuration::from_mins(rng.gen_range(10..240)),
-                            Pending::BoardingPass { req, booking, phone },
+                            Pending::BoardingPass {
+                                req,
+                                booking,
+                                phone,
+                            },
                         );
                     }
                 } else if outcome.defence_refused() {
                     self.stats.defence_friction += 1;
                 }
             }
-            Pending::BoardingPass { req, booking, phone } => {
+            Pending::BoardingPass {
+                req,
+                booking,
+                phone,
+            } => {
                 let outcome = app.boarding_pass_sms(&req, booking, phone, now);
                 if outcome.is_ok() {
                     self.stats.bp_sms_sent += 1;
@@ -407,11 +415,21 @@ mod tests {
             self.next_ref += 1;
             ApiOutcome::Ok(BookingRef::from_index(self.next_ref))
         }
-        fn pay(&mut self, _req: &ClientRequest, _booking: BookingRef, _now: SimTime) -> ApiOutcome<()> {
+        fn pay(
+            &mut self,
+            _req: &ClientRequest,
+            _booking: BookingRef,
+            _now: SimTime,
+        ) -> ApiOutcome<()> {
             self.pays += 1;
             ApiOutcome::Ok(())
         }
-        fn send_otp(&mut self, _req: &ClientRequest, _phone: PhoneNumber, _now: SimTime) -> ApiOutcome<()> {
+        fn send_otp(
+            &mut self,
+            _req: &ClientRequest,
+            _phone: PhoneNumber,
+            _now: SimTime,
+        ) -> ApiOutcome<()> {
             self.otps += 1;
             ApiOutcome::Ok(())
         }
@@ -450,7 +468,10 @@ mod tests {
 
     fn population(end_days: u64) -> LegitPopulation {
         LegitPopulation::new(
-            LegitConfig::default_airline(vec![FlightId(1), FlightId(2)], SimTime::from_days(end_days)),
+            LegitConfig::default_airline(
+                vec![FlightId(1), FlightId(2)],
+                SimTime::from_days(end_days),
+            ),
             GeoDatabase::default_world(),
             1_000_000,
         )
@@ -463,7 +484,11 @@ mod tests {
         drive(&mut pop, &mut app, SimTime::from_days(7), 1);
         let s = pop.stats();
         // ~400/day × 7 days, modulo diurnal + funnel losses.
-        assert!(s.arrivals > 1_800 && s.arrivals < 4_500, "arrivals {}", s.arrivals);
+        assert!(
+            s.arrivals > 1_800 && s.arrivals < 4_500,
+            "arrivals {}",
+            s.arrivals
+        );
         assert!(s.holds_placed > 1_500, "holds {}", s.holds_placed);
         // Payment rate ≈ pay_prob.
         let pay_rate = s.paid as f64 / s.holds_placed as f64;
@@ -481,8 +506,16 @@ mod tests {
         let total = app.holds.len() as f64;
         let ones = app.holds.iter().filter(|h| h.1 == 1).count() as f64;
         let twos = app.holds.iter().filter(|h| h.1 == 2).count() as f64;
-        assert!((ones / total - 0.52).abs() < 0.06, "NiP-1 share {}", ones / total);
-        assert!((twos / total - 0.30).abs() < 0.06, "NiP-2 share {}", twos / total);
+        assert!(
+            (ones / total - 0.52).abs() < 0.06,
+            "NiP-1 share {}",
+            ones / total
+        );
+        assert!(
+            (twos / total - 0.30).abs() < 0.06,
+            "NiP-2 share {}",
+            twos / total
+        );
     }
 
     #[test]
@@ -492,7 +525,10 @@ mod tests {
         drive(&mut pop, &mut app, SimTime::from_days(7), 3);
         let s = pop.stats();
         assert!(s.cap_splits > 0, "large groups split");
-        assert!(app.holds.iter().all(|h| h.1 <= 4), "no hold exceeds the cap");
+        assert!(
+            app.holds.iter().all(|h| h.1 <= 4),
+            "no hold exceeds the cap"
+        );
         // The Fig. 1 week-3 effect: a visible rise at the cap value.
         let at_cap = app.holds.iter().filter(|h| h.1 == 4).count() as f64;
         let share = at_cap / app.holds.len() as f64;
@@ -505,7 +541,11 @@ mod tests {
         let mut app = FakeApp::new(9);
         drive(&mut pop, &mut app, SimTime::from_days(3), 4);
         let s = pop.stats();
-        assert!(s.arrivals < 700, "arrivals bounded by 1-day horizon: {}", s.arrivals);
+        assert!(
+            s.arrivals < 700,
+            "arrivals bounded by 1-day horizon: {}",
+            s.arrivals
+        );
         assert!(s.paid > 0, "pending payments ran after the horizon");
     }
 

@@ -167,11 +167,11 @@ impl Agent for ManualSpinner {
 mod tests {
     use super::*;
     use fg_core::ids::BookingRef;
-    use rand::SeedableRng;
     use fg_detection::names::NameAbuseAnalyzer;
     use fg_inventory::flight::{Availability, Flight};
     use fg_inventory::passenger::Passenger;
     use fg_inventory::system::ReservationSystem;
+    use rand::SeedableRng;
 
     struct OpenApp {
         sys: ReservationSystem,
@@ -195,7 +195,12 @@ mod tests {
                 Err(e) => ApiOutcome::Domain(e),
             }
         }
-        fn pay(&mut self, _req: &ClientRequest, _booking: BookingRef, _now: SimTime) -> ApiOutcome<()> {
+        fn pay(
+            &mut self,
+            _req: &ClientRequest,
+            _booking: BookingRef,
+            _now: SimTime,
+        ) -> ApiOutcome<()> {
             ApiOutcome::Ok(())
         }
         fn send_otp(
@@ -292,6 +297,9 @@ mod tests {
     fn stops_at_end_time() {
         let (bot, _) = run(4, 1);
         let sessions_after_1d = bot.stats().sessions;
-        assert!(sessions_after_1d < 80, "bounded by horizon: {sessions_after_1d}");
+        assert!(
+            sessions_after_1d < 80,
+            "bounded by horizon: {sessions_after_1d}"
+        );
     }
 }

@@ -9,18 +9,18 @@ use rand::Rng;
 /// First-name pool for the legitimate population (multi-locale).
 const FIRST_NAMES: &[&str] = &[
     "Maria", "Elena", "Anna", "Sofia", "Laura", "Carmen", "Julia", "Emma", "Alice", "Clara",
-    "James", "John", "David", "Carlos", "Luis", "Pierre", "Jean", "Marco", "Luca", "Andrea",
-    "Wei", "Ming", "Yuki", "Hiro", "Amir", "Omar", "Fatima", "Aisha", "Priya", "Raj",
-    "Olga", "Ivan", "Dmitri", "Katya", "Hans", "Greta", "Lars", "Ingrid", "Kofi", "Ama",
+    "James", "John", "David", "Carlos", "Luis", "Pierre", "Jean", "Marco", "Luca", "Andrea", "Wei",
+    "Ming", "Yuki", "Hiro", "Amir", "Omar", "Fatima", "Aisha", "Priya", "Raj", "Olga", "Ivan",
+    "Dmitri", "Katya", "Hans", "Greta", "Lars", "Ingrid", "Kofi", "Ama",
 ];
 
 /// Surname pool for the legitimate population.
 const SURNAMES: &[&str] = &[
-    "Garcia", "Martinez", "Rossi", "Bianchi", "Dupont", "Martin", "Schmidt", "Muller",
-    "Smith", "Johnson", "Brown", "Taylor", "Chen", "Wang", "Tanaka", "Sato", "Ali",
-    "Hassan", "Patel", "Sharma", "Ivanov", "Petrov", "Kowalski", "Nowak", "Silva",
-    "Santos", "Larsen", "Berg", "Mensah", "Osei", "Costa", "Ferreira", "Moreau",
-    "Lefebvre", "Ricci", "Greco", "Keller", "Wagner", "Lindberg", "Holm",
+    "Garcia", "Martinez", "Rossi", "Bianchi", "Dupont", "Martin", "Schmidt", "Muller", "Smith",
+    "Johnson", "Brown", "Taylor", "Chen", "Wang", "Tanaka", "Sato", "Ali", "Hassan", "Patel",
+    "Sharma", "Ivanov", "Petrov", "Kowalski", "Nowak", "Silva", "Santos", "Larsen", "Berg",
+    "Mensah", "Osei", "Costa", "Ferreira", "Moreau", "Lefebvre", "Ricci", "Greco", "Keller",
+    "Wagner", "Lindberg", "Holm",
 ];
 
 const EMAIL_DOMAINS: &[&str] = &["example.com", "mail.test", "inbox.example", "post.invalid"];
@@ -76,7 +76,12 @@ pub fn legit_party<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Passenger> {
         if family {
             let first = p.first_name.clone();
             let email = p.email.clone().unwrap_or_default();
-            p = Passenger::full(&first, &shared_surname, p.birthdate.expect("legit passengers carry birthdates"), &email);
+            p = Passenger::full(
+                &first,
+                &shared_surname,
+                p.birthdate.expect("legit passengers carry birthdates"),
+                &email,
+            );
         }
         party.push(p);
     }
@@ -163,7 +168,12 @@ impl RotatingBirthdateGenerator {
         // Companions: overlapping name pairs, varying birthdates.
         for _ in 1..n {
             let (first, last) = &self.companion_pool[rng.gen_range(0..self.companion_pool.len())];
-            party.push(Passenger::full(first, last, random_birthdate(rng), "c@pax.test"));
+            party.push(Passenger::full(
+                first,
+                last,
+                random_birthdate(rng),
+                "c@pax.test",
+            ));
         }
         party
     }

@@ -70,7 +70,12 @@ pub struct Scraper {
 
 impl Scraper {
     /// Creates the scraper.
-    pub fn new(config: ScraperConfig, client: ClientId, geo: GeoDatabase, rng: &mut StdRng) -> Self {
+    pub fn new(
+        config: ScraperConfig,
+        client: ClientId,
+        geo: GeoDatabase,
+        rng: &mut StdRng,
+    ) -> Self {
         let rotator = Rotator::new(
             PopulationModel::default_web(),
             RotationStrategy::Naive { artifact_prob: 0.1 },
@@ -123,9 +128,8 @@ impl Agent for Scraper {
             let outcome = app.search(&req, t);
             if outcome.is_ok() {
                 self.stats.pages_fetched += 1;
-                let _ = app.availability(
-                    self.config.flights[page as usize % self.config.flights.len()],
-                );
+                let _ = app
+                    .availability(self.config.flights[page as usize % self.config.flights.len()]);
             } else {
                 self.stats.defence_refusals += 1;
                 break; // burst aborted; rotate and retry next burst

@@ -271,7 +271,8 @@ impl SeatSpinner {
             ApiOutcome::Ok(reference) => {
                 // No cap at 20 — treat 20 as the working maximum.
                 self.learned_max_nip = Some(20);
-                self.active_holds.push((reference, now + self.config.known_hold_ttl));
+                self.active_holds
+                    .push((reference, now + self.config.known_hold_ttl));
                 self.stats.holds_placed += 1;
                 self.phase = Phase::Attack;
             }
@@ -368,11 +369,11 @@ impl Agent for SeatSpinner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use fg_core::money::Money;
     use fg_inventory::flight::{Availability, Flight};
     use fg_inventory::passenger::Passenger;
     use fg_inventory::system::ReservationSystem;
+    use rand::SeedableRng;
 
     /// An undefended app over a real reservation system.
     struct OpenApp {
@@ -382,7 +383,11 @@ mod tests {
     impl OpenApp {
         fn new(capacity: u32, max_nip: u32, departure_days: u64) -> Self {
             let mut sys = ReservationSystem::new(SimDuration::from_mins(30), max_nip);
-            sys.add_flight(Flight::new(FlightId(1), capacity, SimTime::from_days(departure_days)));
+            sys.add_flight(Flight::new(
+                FlightId(1),
+                capacity,
+                SimTime::from_days(departure_days),
+            ));
             OpenApp { sys }
         }
     }
@@ -403,8 +408,17 @@ mod tests {
                 Err(e) => ApiOutcome::Domain(e),
             }
         }
-        fn pay(&mut self, _req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()> {
-            match self.sys.pay(booking, now).and_then(|()| self.sys.ticket(booking)) {
+        fn pay(
+            &mut self,
+            _req: &ClientRequest,
+            booking: BookingRef,
+            now: SimTime,
+        ) -> ApiOutcome<()> {
+            match self
+                .sys
+                .pay(booking, now)
+                .and_then(|()| self.sys.ticket(booking))
+            {
                 Ok(()) => ApiOutcome::Ok(()),
                 Err(e) => ApiOutcome::Domain(e),
             }
@@ -475,7 +489,11 @@ mod tests {
         drive(&mut bot, &mut app, SimTime::from_days(2), 3);
         let s = bot.stats();
         // 12 concurrent holds × 6 seats ≈ 72 seats continuously denied.
-        assert!(s.holds_placed > 100, "re-holding loop ran: {}", s.holds_placed);
+        assert!(
+            s.holds_placed > 100,
+            "re-holding loop ran: {}",
+            s.holds_placed
+        );
         let a = app.sys.availability(FlightId(1)).unwrap();
         assert!(a.held >= 60, "sustained seat denial: {a}");
         assert_eq!(a.sold, 0, "the spinner never pays");
@@ -525,7 +543,12 @@ mod tests {
         let mut config = SeatSpinnerConfig::airline_a(FlightId(1));
         config.nip_strategy = NipStrategy::LowAndSlow(2);
         config.concurrent_holds = 4;
-        let mut bot = SeatSpinner::new(config, ClientId(667), GeoDatabase::default_world(), &mut rng);
+        let mut bot = SeatSpinner::new(
+            config,
+            ClientId(667),
+            GeoDatabase::default_world(),
+            &mut rng,
+        );
         drive(&mut bot, &mut app, SimTime::from_days(1), 9);
         assert_eq!(bot.chosen_nip(), 2);
         let held = app.sys.availability(FlightId(1)).unwrap().held;

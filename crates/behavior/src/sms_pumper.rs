@@ -184,7 +184,12 @@ impl SmsPumper {
         s
     }
 
-    fn request_via(&mut self, country: CountryCode, now: SimTime, rng: &mut StdRng) -> ClientRequest {
+    fn request_via(
+        &mut self,
+        country: CountryCode,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> ClientRequest {
         // A new fingerprint identity must not keep old exits (linkable);
         // flush the lease cache on rotation.
         let rotations = self.rotator.rotation_times().len();
@@ -277,7 +282,9 @@ impl SmsPumper {
             app.send_otp(&req, phone, now)
         } else {
             // Round-robin across the provisioned booking references.
-            let Some(&booking) = self.tickets.get(self.next_ticket_idx % self.tickets.len().max(1))
+            let Some(&booking) = self
+                .tickets
+                .get(self.next_ticket_idx % self.tickets.len().max(1))
             else {
                 self.phase = Phase::Done;
                 return;
@@ -328,12 +335,12 @@ impl Agent for SmsPumper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use fg_inventory::flight::{Availability, Flight};
     use fg_inventory::passenger::Passenger;
     use fg_inventory::system::ReservationSystem;
     use fg_smsgw::gateway::Gateway;
     use fg_smsgw::message::{SmsKind, SmsMessage};
+    use rand::SeedableRng;
 
     /// An undefended app with a real reservation system and SMS gateway.
     struct OpenApp {
@@ -368,13 +375,27 @@ mod tests {
                 Err(e) => ApiOutcome::Domain(e),
             }
         }
-        fn pay(&mut self, _req: &ClientRequest, booking: BookingRef, now: SimTime) -> ApiOutcome<()> {
-            match self.sys.pay(booking, now).and_then(|()| self.sys.ticket(booking)) {
+        fn pay(
+            &mut self,
+            _req: &ClientRequest,
+            booking: BookingRef,
+            now: SimTime,
+        ) -> ApiOutcome<()> {
+            match self
+                .sys
+                .pay(booking, now)
+                .and_then(|()| self.sys.ticket(booking))
+            {
                 Ok(()) => ApiOutcome::Ok(()),
                 Err(e) => ApiOutcome::Domain(e),
             }
         }
-        fn send_otp(&mut self, _req: &ClientRequest, phone: PhoneNumber, now: SimTime) -> ApiOutcome<()> {
+        fn send_otp(
+            &mut self,
+            _req: &ClientRequest,
+            phone: PhoneNumber,
+            now: SimTime,
+        ) -> ApiOutcome<()> {
             let r = self.gw.send(SmsMessage::new(phone, SmsKind::Otp), now);
             if r.quota_exceeded {
                 ApiOutcome::QuotaExceeded
@@ -435,7 +456,11 @@ mod tests {
         let s = bot.stats();
         assert_eq!(s.tickets, 5, "provisioned the configured tickets");
         assert!(s.sms_sent > 5_000, "pumped hard: {}", s.sms_sent);
-        assert!(app.gw.owner_cost() > Money::from_units(100), "owner pays: {}", app.gw.owner_cost());
+        assert!(
+            app.gw.owner_cost() > Money::from_units(100),
+            "owner pays: {}",
+            app.gw.owner_cost()
+        );
         assert!(app.gw.attacker_revenue() > Money::ZERO, "kickbacks flow");
     }
 
@@ -444,10 +469,7 @@ mod tests {
         let (_, app) = run(2, false, 2);
         let uz = app.gw.sent_to(CountryCode::new("UZ"));
         let fr = app.gw.sent_to(CountryCode::new("FR"));
-        assert!(
-            uz > fr * 5,
-            "premium UZ ({uz}) dwarfs ordinary FR ({fr})"
-        );
+        assert!(uz > fr * 5, "premium UZ ({uz}) dwarfs ordinary FR ({fr})");
     }
 
     #[test]
@@ -455,7 +477,11 @@ mod tests {
         let (bot, _) = run(2, false, 3);
         // §IV-C: 42 different countries. With value-weighted sampling over
         // 48, a two-day pump reaches most of them.
-        assert!(bot.stats().countries_used >= 35, "{}", bot.stats().countries_used);
+        assert!(
+            bot.stats().countries_used >= 35,
+            "{}",
+            bot.stats().countries_used
+        );
     }
 
     #[test]
@@ -480,7 +506,11 @@ mod tests {
         );
         let uz = CountryCode::new("UZ");
         let req = bot.request_via(uz, SimTime::ZERO, &mut rng);
-        assert_eq!(geo.country_of(req.ip), Some(uz), "exit country matches number country");
+        assert_eq!(
+            geo.country_of(req.ip),
+            Some(uz),
+            "exit country matches number country"
+        );
         let _ = &mut app;
     }
 

@@ -32,14 +32,18 @@ fn bench_rate_limiting(c: &mut Criterion) {
         })
     });
     for keys in [100u64, 10_000] {
-        group.bench_with_input(BenchmarkId::new("keyed_limiter", keys), &keys, |b, &keys| {
-            let mut limiter: KeyedLimiter<u64> = KeyedLimiter::new(10.0, 1.0);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                black_box(limiter.try_acquire(i % keys, SimTime::from_millis(i)))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("keyed_limiter", keys),
+            &keys,
+            |b, &keys| {
+                let mut limiter: KeyedLimiter<u64> = KeyedLimiter::new(10.0, 1.0);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    black_box(limiter.try_acquire(i % keys, SimTime::from_millis(i)))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -55,7 +59,9 @@ fn bench_fingerprinting(c: &mut Criterion) {
     group.bench_function("consistency_report", |b| {
         b.iter(|| black_box(consistency_report(&fp)))
     });
-    group.bench_function("identity_hash", |b| b.iter(|| black_box(fp.identity_hash())));
+    group.bench_function("identity_hash", |b| {
+        b.iter(|| black_box(fp.identity_hash()))
+    });
     let other = model.sample_human(&mut StdRng::seed_from_u64(3));
     group.bench_function("similarity", |b| {
         b.iter(|| black_box(similarity(&fp, &other)))
@@ -74,7 +80,11 @@ fn bench_detection(c: &mut Criterion) {
             ip: IpAddress(rng.gen_range(0..500u32)),
             fingerprint: rng.gen_range(0..800),
             truth_client: ClientId(u64::from(i % 997u32)),
-            method: if i % 3 == 0 { Method::Post } else { Method::Get },
+            method: if i % 3 == 0 {
+                Method::Post
+            } else {
+                Method::Get
+            },
             endpoint: Endpoint::ALL[rng.gen_range(0..Endpoint::ALL.len())],
             ok: true,
         })
@@ -109,5 +119,10 @@ fn bench_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rate_limiting, bench_fingerprinting, bench_detection);
+criterion_group!(
+    benches,
+    bench_rate_limiting,
+    bench_fingerprinting,
+    bench_detection
+);
 criterion_main!(benches);

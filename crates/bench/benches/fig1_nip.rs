@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let report = fig1::run(small::fig1());
     println!("{report}");
     assert_eq!(report.attack_bucket, Some(6), "attack week spikes at NiP 6");
-    assert_eq!(report.capped_bucket, Some(4), "capped week spikes at the cap");
+    assert_eq!(
+        report.capped_bucket,
+        Some(4),
+        "capped week spikes at the cap"
+    );
 
     let mut group = c.benchmark_group("fig1_nip");
     group.sample_size(10);

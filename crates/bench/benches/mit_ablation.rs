@@ -8,7 +8,9 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let report = ablation::run(small::ablation());
     println!("{report}");
-    let open = report.cell(Posture::Unprotected, AttackKind::SeatSpinning).attack_effect;
+    let open = report
+        .cell(Posture::Unprotected, AttackKind::SeatSpinning)
+        .attack_effect;
     let defended = report
         .cell(Posture::RecommendedHoneypot, AttackKind::SeatSpinning)
         .attack_effect;

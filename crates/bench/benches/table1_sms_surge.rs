@@ -8,7 +8,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let report = table1::run(small::table1());
     println!("{report}");
-    assert!(report.rows[0].increase_pct > 10_000.0, "premium head surges");
+    assert!(
+        report.rows[0].increase_pct > 10_000.0,
+        "premium head surges"
+    );
     assert!(report.countries_reached >= 30, "broad country coverage");
 
     let mut group = c.benchmark_group("table1_sms_surge");

@@ -1,30 +1,66 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p fg-bench --bin experiments            # everything
-//! cargo run --release -p fg-bench --bin experiments fig1      # one artifact
+//! cargo run --release -p fg-bench --bin experiments              # everything
+//! cargo run --release -p fg-bench --bin experiments fig1        # one artifact
+//! cargo run --release -p fg-bench --bin experiments case_a --telemetry
 //! ```
 //!
 //! Artifacts: the human-readable report on stdout, plus a JSON file per
-//! experiment under `results/`.
+//! experiment under `results/`. With `--telemetry`, experiments that expose a
+//! telemetry sink (`case_a`, `case_b`) additionally write
+//! `results/<name>.telemetry.json` (full metrics + audit-trail snapshot) and
+//! `results/<name>.prom` (Prometheus text exposition), and print the
+//! per-stage latency table.
 
 use fg_scenario::experiments::*;
-use fg_scenario::report::to_json;
+use fg_scenario::report::{render_stage_table, to_json};
+use fg_telemetry::Telemetry;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
+
+fn write_file(path: &Path, contents: String) {
+    match fs::write(path, contents) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[artifact] failed to write {}: {e}", path.display()),
+    }
+}
 
 fn write_artifact(name: &str, json: String) {
     let dir = Path::new("results");
     if fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        match fs::write(&path, json) {
-            Ok(()) => println!("[artifact] {}", path.display()),
-            Err(e) => eprintln!("[artifact] failed to write {}: {e}", path.display()),
-        }
+        write_file(&dir.join(format!("{name}.json")), json);
     }
 }
 
-fn run_one(name: &str) -> bool {
+/// Dumps the telemetry artifacts for one experiment run: the JSON snapshot,
+/// the Prometheus exposition, and the stage-latency table on stdout.
+fn dump_telemetry(name: &str, telemetry: &Arc<Telemetry>) {
+    let snapshot = telemetry.snapshot();
+    println!("{}", render_stage_table(&snapshot.stages));
+    let audit = telemetry.audit();
+    println!(
+        "audit trail: {} decisions recorded ({} evicted); totals {:?}",
+        audit.recorded(),
+        audit.evicted(),
+        audit.decision_totals()
+    );
+    drop(audit);
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        write_file(
+            &dir.join(format!("{name}.telemetry.json")),
+            snapshot.to_json(),
+        );
+        write_file(&dir.join(format!("{name}.prom")), snapshot.to_prometheus());
+    }
+}
+
+fn run_one(name: &str, telemetry: bool) -> bool {
+    if telemetry && !TELEMETRY_CAPABLE.contains(&name) {
+        eprintln!("[telemetry] {name} does not expose a telemetry sink; running plain");
+    }
     match name {
         "fig1" => {
             let r = fig1::run(fig1::Fig1Config::default());
@@ -36,10 +72,22 @@ fn run_one(name: &str) -> bool {
             println!("{r}");
             write_artifact("table1", to_json(&r));
         }
+        "case_a" if telemetry => {
+            let (r, t) = case_a::run_with_telemetry(case_a::CaseAConfig::default());
+            println!("{r}");
+            write_artifact("case_a", to_json(&r));
+            dump_telemetry("case_a", &t);
+        }
         "case_a" => {
             let r = case_a::run(case_a::CaseAConfig::default());
             println!("{r}");
             write_artifact("case_a", to_json(&r));
+        }
+        "case_b" if telemetry => {
+            let (r, t) = case_b::run_with_telemetry(case_b::CaseBConfig::default());
+            println!("{r}");
+            write_artifact("case_b", to_json(&r));
+            dump_telemetry("case_b", &t);
         }
         "case_b" => {
             let r = case_b::run(case_b::CaseBConfig::default());
@@ -85,24 +133,41 @@ fn run_one(name: &str) -> bool {
 }
 
 const ALL: [&str; 10] = [
-    "fig1", "table1", "case_a", "case_b", "case_c", "ablation", "honeypot", "detectors",
-    "pricing", "proxies",
+    "fig1",
+    "table1",
+    "case_a",
+    "case_b",
+    "case_c",
+    "ablation",
+    "honeypot",
+    "detectors",
+    "pricing",
+    "proxies",
 ];
+
+/// Experiments that expose a telemetry sink via `run_with_telemetry`.
+const TELEMETRY_CAPABLE: [&str; 2] = ["case_a", "case_b"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&str> = if args.is_empty() {
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    let names: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let selected: Vec<&str> = if names.is_empty() {
         ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        names
     };
     let mut ok = true;
     for name in selected {
         println!("\n================ {name} ================\n");
-        ok &= run_one(name);
+        ok &= run_one(name, telemetry);
     }
     if !ok {
-        eprintln!("\navailable experiments: {ALL:?}");
+        eprintln!("\navailable experiments: {ALL:?} (flags: --telemetry)");
         std::process::exit(2);
     }
 }

@@ -44,7 +44,9 @@ pub enum CategoricalError {
 impl std::fmt::Display for CategoricalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CategoricalError::Empty => write!(f, "categorical distribution needs at least one item"),
+            CategoricalError::Empty => {
+                write!(f, "categorical distribution needs at least one item")
+            }
             CategoricalError::InvalidWeight => {
                 write!(f, "weights must be finite and non-negative")
             }

@@ -104,7 +104,11 @@ impl TimeSeries {
     /// (e.g. attack week vs. baseline week, the Table I metric).
     ///
     /// Returns `None` when the baseline window total is zero.
-    pub fn surge_pct(&self, baseline: (SimTime, SimTime), window: (SimTime, SimTime)) -> Option<f64> {
+    pub fn surge_pct(
+        &self,
+        baseline: (SimTime, SimTime),
+        window: (SimTime, SimTime),
+    ) -> Option<f64> {
         let base = self.total_between(baseline.0, baseline.1);
         if base == 0 {
             return None;
@@ -161,7 +165,10 @@ mod tests {
             "day-1 bucket excluded by exclusive upper bound"
         );
         assert_eq!(ts.total_between(SimTime::ZERO, SimTime::from_days(2)), 2);
-        assert_eq!(ts.total_between(SimTime::from_days(1), SimTime::from_days(1)), 0);
+        assert_eq!(
+            ts.total_between(SimTime::from_days(1), SimTime::from_days(1)),
+            0
+        );
     }
 
     #[test]
@@ -181,7 +188,10 @@ mod tests {
                 (SimTime::from_weeks(1), SimTime::from_weeks(2)),
             )
             .unwrap();
-        assert!(surge > 100.0, "tripled traffic is a >100% surge, got {surge}");
+        assert!(
+            surge > 100.0,
+            "tripled traffic is a >100% surge, got {surge}"
+        );
     }
 
     #[test]

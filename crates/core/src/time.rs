@@ -39,7 +39,9 @@ pub const MILLIS_PER_WEEK: u64 = 7 * MILLIS_PER_DAY;
 /// assert_eq!(t.day_of_week(), 2); // epoch is a Monday, day 9 is a Wednesday
 /// assert_eq!(t.hour_of_day(), 3);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -170,7 +172,9 @@ impl fmt::Display for SimTime {
 /// assert_eq!(b - a, SimDuration::from_hours(3));
 /// assert_eq!((a - b).as_hours_f64(), -3.0);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(i64);
 
 impl SimDuration {

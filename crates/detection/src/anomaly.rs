@@ -227,7 +227,11 @@ mod tests {
         normal.record_n(2, 31);
         normal.record_n(3, 9);
         normal.record_n(4, 6);
-        assert!(!monitor.is_anomalous(&normal), "score {}", monitor.score(&normal));
+        assert!(
+            !monitor.is_anomalous(&normal),
+            "score {}",
+            monitor.score(&normal)
+        );
 
         // Attack week: NiP-6 spike.
         let mut attack = normal.clone();

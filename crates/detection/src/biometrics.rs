@@ -333,8 +333,16 @@ mod tests {
     #[test]
     fn short_traces_are_neutral() {
         let trace = MouseTrace::new(vec![
-            MouseSample { x: 0.0, y: 0.0, t: 0.0 },
-            MouseSample { x: 5.0, y: 5.0, t: 10.0 },
+            MouseSample {
+                x: 0.0,
+                y: 0.0,
+                t: 0.0,
+            },
+            MouseSample {
+                x: 5.0,
+                y: 5.0,
+                t: 10.0,
+            },
         ]);
         assert_eq!(MotionFeatures::extract(&trace), MotionFeatures::default());
         assert!(trace.len() == 2 && !trace.is_empty());

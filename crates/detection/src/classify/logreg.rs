@@ -81,7 +81,13 @@ impl LogisticRegression {
     /// Panics if `x` has the wrong dimension.
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
-        let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, xi)| w * xi)
+                .sum::<f64>();
         sigmoid(z)
     }
 
@@ -174,7 +180,14 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dimension_rejected_at_predict() {
         let mut rng = StdRng::seed_from_u64(0);
-        let m = LogisticRegression::train(&[vec![0.0], vec![1.0]], &[false, true], 1, 0.1, 0.0, &mut rng);
+        let m = LogisticRegression::train(
+            &[vec![0.0], vec![1.0]],
+            &[false, true],
+            1,
+            0.1,
+            0.0,
+            &mut rng,
+        );
         m.predict(&[0.0, 1.0]);
     }
 }

@@ -146,7 +146,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 4.0], vec![1.0, 5.0]];
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 4.0],
+            vec![1.0, 5.0],
+        ];
         let ys = vec![false, false, true, true];
         let model = GaussianNaiveBayes::train(&xs, &ys);
         let p = model.predict_proba(&[1.0, 4.5]);

@@ -49,6 +49,30 @@ pub enum Signal {
 }
 
 impl Signal {
+    /// Stable kind labels for every signal family, for pre-registering
+    /// per-signal metrics (the [`fmt::Display`] form embeds per-request
+    /// values and is unsuitable as a metric label).
+    pub const KINDS: [&'static str; 6] = [
+        "fingerprint-inconsistent",
+        "ip-reputation",
+        "ip-velocity",
+        "fp-velocity",
+        "booking-sms-velocity",
+        "trap-hit",
+    ];
+
+    /// This signal's stable kind label (one of [`Signal::KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Signal::FingerprintInconsistent { .. } => "fingerprint-inconsistent",
+            Signal::IpReputation => "ip-reputation",
+            Signal::IpVelocity { .. } => "ip-velocity",
+            Signal::FingerprintVelocity { .. } => "fp-velocity",
+            Signal::BookingSmsVelocity { .. } => "booking-sms-velocity",
+            Signal::TrapHit => "trap-hit",
+        }
+    }
+
     /// The signal's contribution weight in `0.0..=1.0`.
     pub fn weight(&self) -> f64 {
         match self {
@@ -157,6 +181,7 @@ pub struct DetectionEngine {
     fp_velocity: VelocityCounter<u64>,
     booking_sms_velocity: VelocityCounter<BookingRef>,
     reputation: ReputationLedger,
+    telemetry: Option<std::sync::Arc<fg_telemetry::Telemetry>>,
 }
 
 impl DetectionEngine {
@@ -169,6 +194,19 @@ impl DetectionEngine {
             fp_velocity: VelocityCounter::new(config.velocity_window),
             booking_sms_velocity: VelocityCounter::new(config.velocity_window),
             reputation: ReputationLedger::new(SimDuration::from_hours(12), 3.0, 10.0),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry hub; [`DetectionEngine::assess`] then profiles
+    /// each signal family as a `detect.*` stage.
+    pub fn attach_telemetry(&mut self, telemetry: std::sync::Arc<fg_telemetry::Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn note_stage(&self, stage: &'static str, start: std::time::Instant) {
+        if let Some(t) = &self.telemetry {
+            t.record_stage(stage, start.elapsed());
         }
     }
 
@@ -204,29 +242,38 @@ impl DetectionEngine {
     ) -> Verdict {
         let mut signals = Vec::new();
 
+        let t = std::time::Instant::now();
         let report = consistency_report(fingerprint);
         if !report.is_clean() {
             signals.push(Signal::FingerprintInconsistent {
                 suspicion: report.suspicion(),
             });
         }
+        self.note_stage("detect.fingerprint-consistency", t);
 
+        let t = std::time::Instant::now();
         if self.reputation.is_denied(ip, now) {
             signals.push(Signal::IpReputation);
         }
+        self.note_stage("detect.ip-reputation", t);
 
+        let t = std::time::Instant::now();
         let ip_count = self.ip_velocity.record_and_count(ip.as_u32(), now);
         if ip_count > self.config.ip_velocity_threshold {
             signals.push(Signal::IpVelocity { count: ip_count });
         }
+        self.note_stage("detect.ip-velocity", t);
 
+        let t = std::time::Instant::now();
         let fp_count = self
             .fp_velocity
             .record_and_count(fingerprint.identity_hash(), now);
         if fp_count > self.config.fp_velocity_threshold {
             signals.push(Signal::FingerprintVelocity { count: fp_count });
         }
+        self.note_stage("detect.fp-velocity", t);
 
+        let t = std::time::Instant::now();
         let sms_endpoint = matches!(endpoint, Endpoint::SendOtp | Endpoint::BoardingPass);
         if sms_endpoint {
             if let Some(reference) = booking {
@@ -236,16 +283,13 @@ impl DetectionEngine {
                 }
             }
         }
+        self.note_stage("detect.booking-sms-velocity", t);
 
         if endpoint == Endpoint::TrapFile {
             signals.push(Signal::TrapHit);
         }
 
-        let score = 1.0
-            - signals
-                .iter()
-                .map(|s| 1.0 - s.weight())
-                .product::<f64>();
+        let score = 1.0 - signals.iter().map(|s| 1.0 - s.weight()).product::<f64>();
         Verdict { score, signals }
     }
 }
@@ -316,9 +360,17 @@ mod tests {
         let mut e = DetectionEngine::with_defaults();
         let fp = human_fp(4);
         for i in 0..10 {
-            let v = e.assess(SimTime::from_mins(i), ip(1), &fp, Endpoint::BoardingPass, None);
+            let v = e.assess(
+                SimTime::from_mins(i),
+                ip(1),
+                &fp,
+                Endpoint::BoardingPass,
+                None,
+            );
             assert!(
-                !v.signals.iter().any(|s| matches!(s, Signal::BookingSmsVelocity { .. })),
+                !v.signals
+                    .iter()
+                    .any(|s| matches!(s, Signal::BookingSmsVelocity { .. })),
                 "no booking key, no velocity signal"
             );
         }
@@ -330,14 +382,11 @@ mod tests {
         let fp = human_fp(5);
         let mut flagged = false;
         for i in 0..200u64 {
-            let v = e.assess(
-                SimTime::from_secs(i),
-                ip(9),
-                &fp,
-                Endpoint::Search,
-                None,
-            );
-            if v.signals.iter().any(|s| matches!(s, Signal::IpVelocity { .. })) {
+            let v = e.assess(SimTime::from_secs(i), ip(9), &fp, Endpoint::Search, None);
+            if v.signals
+                .iter()
+                .any(|s| matches!(s, Signal::IpVelocity { .. }))
+            {
                 flagged = true;
             }
         }
@@ -351,13 +400,7 @@ mod tests {
         let mut e = DetectionEngine::with_defaults();
         let fp = human_fp(6);
         for i in 0..48 {
-            let v = e.assess(
-                SimTime::from_mins(i * 30),
-                ip(3),
-                &fp,
-                Endpoint::Hold,
-                None,
-            );
+            let v = e.assess(SimTime::from_mins(i * 30), ip(3), &fp, Endpoint::Hold, None);
             assert_eq!(v.score, 0.0, "low-volume mimicry bot stays invisible");
         }
     }
@@ -374,8 +417,54 @@ mod tests {
         let mut e = DetectionEngine::with_defaults();
         let bad_ip = ip(66);
         e.reputation_mut().report(bad_ip, 5.0, SimTime::ZERO);
-        let v = e.assess(SimTime::from_mins(1), bad_ip, &human_fp(8), Endpoint::Search, None);
+        let v = e.assess(
+            SimTime::from_mins(1),
+            bad_ip,
+            &human_fp(8),
+            Endpoint::Search,
+            None,
+        );
         assert!(v.signals.contains(&Signal::IpReputation));
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        let sigs = [
+            Signal::FingerprintInconsistent { suspicion: 0.5 },
+            Signal::IpReputation,
+            Signal::IpVelocity { count: 1 },
+            Signal::FingerprintVelocity { count: 1 },
+            Signal::BookingSmsVelocity { count: 1 },
+            Signal::TrapHit,
+        ];
+        for s in &sigs {
+            assert!(Signal::KINDS.contains(&s.kind()), "{}", s.kind());
+        }
+        // Kinds carry no per-request values, unlike Display.
+        assert_eq!(Signal::IpVelocity { count: 132 }.kind(), "ip-velocity");
+    }
+
+    #[test]
+    fn attached_telemetry_profiles_each_signal_family() {
+        let telemetry = fg_telemetry::Telemetry::shared();
+        let mut e = DetectionEngine::with_defaults();
+        e.attach_telemetry(telemetry.clone());
+        e.assess(SimTime::ZERO, ip(1), &human_fp(1), Endpoint::Search, None);
+        let stages: Vec<String> = telemetry
+            .snapshot()
+            .stages
+            .iter()
+            .map(|s| s.stage.clone())
+            .collect();
+        for expected in [
+            "detect.fingerprint-consistency",
+            "detect.ip-reputation",
+            "detect.ip-velocity",
+            "detect.fp-velocity",
+            "detect.booking-sms-velocity",
+        ] {
+            assert!(stages.iter().any(|s| s == expected), "missing {expected}");
+        }
     }
 
     #[test]

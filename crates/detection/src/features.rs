@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn metronomic_bot_has_zero_gap_cv() {
-        let s = single_session((0..10).map(|i| rec(i * 5, Endpoint::Hold, Method::Post, true)).collect());
+        let s = single_session(
+            (0..10)
+                .map(|i| rec(i * 5, Endpoint::Hold, Method::Post, true))
+                .collect(),
+        );
         let f = SessionFeatures::extract(&s);
         assert!(f.gap_cv < 1e-12, "constant gaps → cv 0, got {}", f.gap_cv);
     }
@@ -201,7 +205,12 @@ mod tests {
     #[test]
     fn bursty_human_has_positive_gap_cv() {
         let times = [0u64, 2, 4, 300, 302, 600];
-        let s = single_session(times.iter().map(|&t| rec(t, Endpoint::Search, Method::Get, true)).collect());
+        let s = single_session(
+            times
+                .iter()
+                .map(|&t| rec(t, Endpoint::Search, Method::Get, true))
+                .collect(),
+        );
         let f = SessionFeatures::extract(&s);
         assert!(f.gap_cv > 0.5, "bursty gaps → high cv, got {}", f.gap_cv);
     }

@@ -20,18 +20,17 @@ use std::collections::{HashMap, HashSet};
 
 /// Common English/name letter bigrams used by the gibberish detector.
 const COMMON_BIGRAMS: &[&str] = &[
-    "th", "he", "in", "er", "an", "re", "nd", "at", "on", "nt", "ha", "es", "st", "en", "ed",
-    "to", "it", "ou", "ea", "hi", "is", "or", "ti", "as", "te", "et", "ng", "of", "al", "de",
-    "se", "le", "sa", "si", "ar", "ve", "ra", "ld", "ur", "li", "ri", "io", "ne", "ma", "el",
-    "la", "ta", "ro", "ia", "ic", "ll", "na", "be", "ch", "am", "ca", "om", "ab", "da", "no",
-    "ni", "us", "os", "ir", "ol", "ad", "lo", "do", "mi", "co", "me", "ac", "em", "um", "jo",
-    "oh", "ja", "ju", "so", "su", "mo", "wi", "wa", "sh", "ke", "ko", "ki", "pa", "pe", "po",
-    "ba", "bo", "bi", "du", "di", "ga", "go", "gi", "fa", "fe", "fr", "ge", "gr", "tr", "br",
-    "ck", "ce", "ci", "ss", "tt", "nn", "mm", "ee", "oo", "ff", "ey", "ay", "oy", "ye", "ya",
-    "yo", "va", "vi", "vo", "za", "ze", "zi", "ex", "ax", "ui", "ua", "ue", "af", "ev", "iv",
-    "ov", "av", "ph", "gh", "wh", "qu", "ly", "ry", "ny", "my", "ty", "sy", "by", "dy",
-    "we", "ei", "pr", "sc", "hm", "id", "dt", "mp", "ps", "ow", "ls", "sk", "nm", "rs",
-    "ns", "hn", "aj", "fi", "ub", "oi", "uk", "yu", "iy",
+    "th", "he", "in", "er", "an", "re", "nd", "at", "on", "nt", "ha", "es", "st", "en", "ed", "to",
+    "it", "ou", "ea", "hi", "is", "or", "ti", "as", "te", "et", "ng", "of", "al", "de", "se", "le",
+    "sa", "si", "ar", "ve", "ra", "ld", "ur", "li", "ri", "io", "ne", "ma", "el", "la", "ta", "ro",
+    "ia", "ic", "ll", "na", "be", "ch", "am", "ca", "om", "ab", "da", "no", "ni", "us", "os", "ir",
+    "ol", "ad", "lo", "do", "mi", "co", "me", "ac", "em", "um", "jo", "oh", "ja", "ju", "so", "su",
+    "mo", "wi", "wa", "sh", "ke", "ko", "ki", "pa", "pe", "po", "ba", "bo", "bi", "du", "di", "ga",
+    "go", "gi", "fa", "fe", "fr", "ge", "gr", "tr", "br", "ck", "ce", "ci", "ss", "tt", "nn", "mm",
+    "ee", "oo", "ff", "ey", "ay", "oy", "ye", "ya", "yo", "va", "vi", "vo", "za", "ze", "zi", "ex",
+    "ax", "ui", "ua", "ue", "af", "ev", "iv", "ov", "av", "ph", "gh", "wh", "qu", "ly", "ry", "ny",
+    "my", "ty", "sy", "by", "dy", "we", "ei", "pr", "sc", "hm", "id", "dt", "mp", "ps", "ow", "ls",
+    "sk", "nm", "rs", "ns", "hn", "aj", "fi", "ub", "oi", "uk", "yu", "iy",
 ];
 
 fn is_vowel(c: char) -> bool {
@@ -269,7 +268,10 @@ impl PermutationSetDetector {
         sorted.sort_unstable();
         let signature = sorted.join("|");
         let order = ordered.join("|");
-        let entry = self.signatures.entry(signature).or_insert((0, HashSet::new()));
+        let entry = self
+            .signatures
+            .entry(signature)
+            .or_insert((0, HashSet::new()));
         entry.0 += 1;
         entry.1.insert(order);
     }
@@ -382,7 +384,11 @@ mod tests {
     #[test]
     fn gibberish_separates_random_from_real() {
         for fake in ["affjgdui", "ddfjrei", "xkcdqwrt", "zzgrxk"] {
-            assert!(gibberish_score(fake) > 0.5, "{fake}: {}", gibberish_score(fake));
+            assert!(
+                gibberish_score(fake) > 0.5,
+                "{fake}: {}",
+                gibberish_score(fake)
+            );
         }
         for real in [
             "Elisabeth",
@@ -394,7 +400,11 @@ mod tests {
             "Johnson",
             "Dubois",
         ] {
-            assert!(gibberish_score(real) < 0.5, "{real}: {}", gibberish_score(real));
+            assert!(
+                gibberish_score(real) < 0.5,
+                "{real}: {}",
+                gibberish_score(real)
+            );
         }
     }
 
@@ -505,7 +515,10 @@ mod tests {
         manual.record(&[p3.clone(), p1.clone(), p2.clone()]);
         manual.record(&[p2.clone(), p3.clone(), p1.clone()]);
         // Typo variant of DUPONT in a further booking.
-        manual.record(&[Passenger::simple("MARC", "DUPONT"), Passenger::simple("MARC", "DUPONR")]);
+        manual.record(&[
+            Passenger::simple("MARC", "DUPONT"),
+            Passenger::simple("MARC", "DUPONR"),
+        ]);
         let r = manual.report();
         assert!(r.manual_suspected(), "{r:?}");
         assert!(!r.automated_suspected(), "{r:?}");
@@ -513,7 +526,10 @@ mod tests {
         // Legit stream: diverse names, single bookings.
         let mut legit = NameAbuseAnalyzer::new();
         legit.record(&[Passenger::simple("ALICE", "MARTIN")]);
-        legit.record(&[Passenger::simple("BRUNO", "ROSSI"), Passenger::simple("CARLA", "ROSSI")]);
+        legit.record(&[
+            Passenger::simple("BRUNO", "ROSSI"),
+            Passenger::simple("CARLA", "ROSSI"),
+        ]);
         legit.record(&[Passenger::simple("DAVID", "CHEN")]);
         let r = legit.report();
         assert!(!r.automated_suspected(), "{r:?}");

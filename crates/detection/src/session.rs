@@ -172,13 +172,20 @@ mod tests {
             SimDuration::from_mins(30),
         );
         assert_eq!(sessions.len(), 1);
-        let times: Vec<u64> = sessions[0].records().iter().map(|r| r.at.as_secs()).collect();
+        let times: Vec<u64> = sessions[0]
+            .records()
+            .iter()
+            .map(|r| r.at.as_secs())
+            .collect();
         assert_eq!(times, vec![0, 50, 100]);
     }
 
     #[test]
     fn session_metadata() {
-        let sessions = sessionize(vec![rec(10, 1, 1), rec(70, 1, 1)], SimDuration::from_mins(30));
+        let sessions = sessionize(
+            vec![rec(10, 1, 1), rec(70, 1, 1)],
+            SimDuration::from_mins(30),
+        );
         let s = &sessions[0];
         assert_eq!(s.started_at(), SimTime::from_secs(10));
         assert_eq!(s.ended_at(), SimTime::from_secs(70));

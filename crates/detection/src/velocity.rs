@@ -133,7 +133,11 @@ mod tests {
     fn window_boundary_inclusive() {
         let mut v = VelocityCounter::new(SimDuration::from_secs(10));
         v.record("k", SimTime::ZERO);
-        assert_eq!(v.count(&"k", SimTime::from_secs(10)), 1, "exactly window old stays");
+        assert_eq!(
+            v.count(&"k", SimTime::from_secs(10)),
+            1,
+            "exactly window old stays"
+        );
         assert_eq!(v.count(&"k", SimTime::from_millis(10_001)), 0);
     }
 

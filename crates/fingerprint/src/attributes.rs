@@ -202,15 +202,11 @@ impl Fingerprint {
         match self.browser {
             BrowserFamily::HeadlessChrome => format!(
                 "Mozilla/5.0 ({}) HeadlessChrome/{}.0.0.0",
-                self.os,
-                self.browser_version
+                self.os, self.browser_version
             ),
             b => format!(
                 "Mozilla/5.0 ({}; {}) {}/{}.0",
-                self.os,
-                self.platform,
-                b,
-                self.browser_version
+                self.os, self.platform, b, self.browser_version
             ),
         }
     }

@@ -120,7 +120,8 @@ pub fn consistency_report(fp: &Fingerprint) -> ConsistencyReport {
     if fp.touch_support != fp.os.is_mobile() {
         findings.push(Inconsistency::TouchMismatch);
     }
-    if fp.browser != BrowserFamily::HeadlessChrome && !plausible_canvas(fp.browser, fp.os, fp.canvas_hash)
+    if fp.browser != BrowserFamily::HeadlessChrome
+        && !plausible_canvas(fp.browser, fp.os, fp.canvas_hash)
     {
         findings.push(Inconsistency::ImplausibleCanvas);
     }

@@ -247,7 +247,11 @@ impl PopulationModel {
     ///
     /// `artifact_prob` is the probability that `navigator.webdriver` (or a
     /// headless UA) leaks through — 0.0 for carefully patched frameworks.
-    pub fn sample_naive_bot<R: Rng + ?Sized>(&self, rng: &mut R, artifact_prob: f64) -> Fingerprint {
+    pub fn sample_naive_bot<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        artifact_prob: f64,
+    ) -> Fingerprint {
         let mut fp = self.sample_human(rng);
         // Independently re-roll structure-bearing attributes, breaking their
         // correlation with the chosen OS/browser.
@@ -343,10 +347,21 @@ mod tests {
     fn canvas_class_is_deterministic_and_keyed() {
         let a = canvas_class(BrowserFamily::Chrome, OsFamily::Windows, 0);
         assert_eq!(a, canvas_class(BrowserFamily::Chrome, OsFamily::Windows, 0));
-        assert_ne!(a, canvas_class(BrowserFamily::Firefox, OsFamily::Windows, 0));
+        assert_ne!(
+            a,
+            canvas_class(BrowserFamily::Firefox, OsFamily::Windows, 0)
+        );
         assert_ne!(a, canvas_class(BrowserFamily::Chrome, OsFamily::MacOs, 0));
-        assert!(plausible_canvas(BrowserFamily::Chrome, OsFamily::Windows, a));
-        assert!(!plausible_canvas(BrowserFamily::Firefox, OsFamily::Windows, a));
+        assert!(plausible_canvas(
+            BrowserFamily::Chrome,
+            OsFamily::Windows,
+            a
+        ));
+        assert!(!plausible_canvas(
+            BrowserFamily::Firefox,
+            OsFamily::Windows,
+            a
+        ));
     }
 
     #[test]

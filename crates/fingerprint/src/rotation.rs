@@ -275,7 +275,10 @@ mod tests {
             r.tick(now, &mut rng);
         }
         let n = r.rotation_times().len();
-        assert!((15..=25).contains(&n), "expected ~20 rotations in 100h, got {n}");
+        assert!(
+            (15..=25).contains(&n),
+            "expected ~20 rotations in 100h, got {n}"
+        );
         let mean = r.mean_rotation_interval().unwrap().as_hours_f64();
         assert!((4.0..6.5).contains(&mean), "mean interval {mean}h");
     }

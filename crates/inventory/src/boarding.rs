@@ -49,7 +49,12 @@ pub struct BoardingPass {
 
 impl BoardingPass {
     /// Records an issuance: the `sequence`-th pass for this booking.
-    pub fn new(booking: BookingRef, channel: DeliveryChannel, issued_at: SimTime, sequence: u32) -> Self {
+    pub fn new(
+        booking: BookingRef,
+        channel: DeliveryChannel,
+        issued_at: SimTime,
+        sequence: u32,
+    ) -> Self {
         BoardingPass {
             booking,
             channel,

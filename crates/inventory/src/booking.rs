@@ -141,10 +141,7 @@ mod tests {
         Booking::new(
             BookingRef::from_index(1),
             FlightId(2),
-            vec![
-                Passenger::simple("A", "B"),
-                Passenger::simple("C", "D"),
-            ],
+            vec![Passenger::simple("A", "B"), Passenger::simple("C", "D")],
             SimTime::ZERO,
             SimTime::from_mins(30),
         )

@@ -17,7 +17,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies a product in a [`CartStore`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct ProductId(pub u64);
 
 impl fmt::Display for ProductId {
@@ -151,7 +153,10 @@ impl CartStore {
         if !self.products.contains_key(&product) {
             return Err(InventoryError::UnknownProduct(product.0));
         }
-        let avail = self.available.get_mut(&product).expect("ledger exists per product");
+        let avail = self
+            .available
+            .get_mut(&product)
+            .expect("ledger exists per product");
         if *avail < quantity {
             return Err(InventoryError::InsufficientStock {
                 product: product.0,
@@ -180,8 +185,10 @@ impl CartStore {
         for line in &mut self.lines {
             if line.live && line.client == client {
                 line.live = false;
-                *self.sold.get_mut(&line.product).expect("ledger exists per product") +=
-                    line.quantity;
+                *self
+                    .sold
+                    .get_mut(&line.product)
+                    .expect("ledger exists per product") += line.quantity;
                 let price = self.products[&line.product].price;
                 total += price * u64::from(line.quantity);
             }
@@ -211,9 +218,9 @@ impl CartStore {
     /// Conservation check: for every product,
     /// `available + in_carts + sold == stock`.
     pub fn conservation_holds(&self) -> bool {
-        self.products.values().all(|p| {
-            self.available[&p.id] + self.in_carts(p.id) + self.sold[&p.id] == p.stock
-        })
+        self.products
+            .values()
+            .all(|p| self.available[&p.id] + self.in_carts(p.id) + self.sold[&p.id] == p.stock)
     }
 }
 
@@ -236,7 +243,8 @@ mod tests {
     #[test]
     fn add_and_checkout() {
         let mut s = store(10);
-        s.add_to_cart(ClientId(1), ProductId(1), 3, SimTime::ZERO).unwrap();
+        s.add_to_cart(ClientId(1), ProductId(1), 3, SimTime::ZERO)
+            .unwrap();
         assert_eq!(s.available(ProductId(1)), Some(7));
         assert_eq!(s.in_carts(ProductId(1)), 3);
         let charged = s.checkout(ClientId(1), SimTime::from_mins(5));
@@ -249,7 +257,8 @@ mod tests {
     #[test]
     fn abandoned_cart_releases_stock() {
         let mut s = store(10);
-        s.add_to_cart(ClientId(2), ProductId(1), 10, SimTime::ZERO).unwrap();
+        s.add_to_cart(ClientId(2), ProductId(1), 10, SimTime::ZERO)
+            .unwrap();
         assert_eq!(s.available(ProductId(1)), Some(0));
         assert_eq!(s.expire_due(SimTime::from_mins(21)), 1);
         assert_eq!(s.available(ProductId(1)), Some(10));
@@ -267,7 +276,12 @@ mod tests {
             s.add_to_cart(attacker, ProductId(1), 100, now).unwrap();
             // A legitimate buyer finds nothing for the whole TTL window.
             assert_eq!(
-                s.add_to_cart(ClientId(1), ProductId(1), 1, now + SimDuration::from_mins(10)),
+                s.add_to_cart(
+                    ClientId(1),
+                    ProductId(1),
+                    1,
+                    now + SimDuration::from_mins(10)
+                ),
                 Err(InventoryError::InsufficientStock {
                     product: 1,
                     requested: 1,
@@ -294,8 +308,10 @@ mod tests {
     #[test]
     fn checkout_only_affects_own_cart() {
         let mut s = store(10);
-        s.add_to_cart(ClientId(1), ProductId(1), 2, SimTime::ZERO).unwrap();
-        s.add_to_cart(ClientId(2), ProductId(1), 3, SimTime::ZERO).unwrap();
+        s.add_to_cart(ClientId(1), ProductId(1), 2, SimTime::ZERO)
+            .unwrap();
+        s.add_to_cart(ClientId(2), ProductId(1), 3, SimTime::ZERO)
+            .unwrap();
         s.checkout(ClientId(1), SimTime::from_mins(1));
         assert_eq!(s.sold(ProductId(1)), Some(2));
         assert_eq!(s.in_carts(ProductId(1)), 3);

@@ -76,7 +76,10 @@ impl fmt::Display for InventoryError {
                 booking,
                 expected,
                 actual,
-            } => write!(f, "booking {booking} is {actual}, operation requires {expected}"),
+            } => write!(
+                f,
+                "booking {booking} is {actual}, operation requires {expected}"
+            ),
             InventoryError::FlightDeparted(id) => write!(f, "flight {id} already departed"),
             InventoryError::EmptyParty => write!(f, "a hold requires at least one passenger"),
             InventoryError::PaymentDeclined(r) => write!(f, "payment declined for booking {r}"),
@@ -112,7 +115,10 @@ mod tests {
             requested: 6,
             available: 2,
         };
-        assert_eq!(e.to_string(), "flight f3 has 2 seats available, 6 requested");
+        assert_eq!(
+            e.to_string(),
+            "flight f3 has 2 seats available, 6 requested"
+        );
         let e = InventoryError::PartyTooLarge {
             requested: 9,
             max: 4,

@@ -51,7 +51,11 @@ impl Flight {
 
 impl fmt::Display for Flight {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} seats, departs {})", self.id, self.capacity, self.departure)
+        write!(
+            f,
+            "{} ({} seats, departs {})",
+            self.id, self.capacity, self.departure
+        )
     }
 }
 

@@ -183,7 +183,12 @@ mod tests {
     #[test]
     fn degenerate_timeline_is_safe() {
         let p = DynamicPricer::airline(BASE);
-        let q = p.quote(avail(180, 0, 0), SimTime::from_days(5), SimTime::from_days(5), SimTime::from_days(5));
+        let q = p.quote(
+            avail(180, 0, 0),
+            SimTime::from_days(5),
+            SimTime::from_days(5),
+            SimTime::from_days(5),
+        );
         assert!(q >= BASE.mul_f64(0.55) && q <= BASE.mul_f64(1.8));
     }
 }

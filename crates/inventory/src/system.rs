@@ -152,7 +152,10 @@ impl ReservationSystem {
                 max: self.max_nip,
             });
         }
-        let ledger = self.ledgers.get_mut(&flight).expect("ledger exists per flight");
+        let ledger = self
+            .ledgers
+            .get_mut(&flight)
+            .expect("ledger exists per flight");
         if ledger.available < nip {
             return Err(InventoryError::InsufficientSeats {
                 flight,
@@ -197,7 +200,10 @@ impl ReservationSystem {
         let nip = booking.nip();
         let flight = booking.flight();
         booking.set_status(BookingStatus::Paid);
-        let ledger = self.ledgers.get_mut(&flight).expect("ledger exists per flight");
+        let ledger = self
+            .ledgers
+            .get_mut(&flight)
+            .expect("ledger exists per flight");
         ledger.held -= nip;
         ledger.sold += nip;
         Ok(())
@@ -243,7 +249,10 @@ impl ReservationSystem {
         match prior {
             BookingStatus::Held | BookingStatus::Paid | BookingStatus::Ticketed => {
                 booking.set_status(BookingStatus::Cancelled);
-                let ledger = self.ledgers.get_mut(&flight).expect("ledger exists per flight");
+                let ledger = self
+                    .ledgers
+                    .get_mut(&flight)
+                    .expect("ledger exists per flight");
                 if prior == BookingStatus::Held {
                     ledger.held -= nip;
                 } else {
@@ -274,7 +283,10 @@ impl ReservationSystem {
                 let nip = booking.nip();
                 let flight = booking.flight();
                 booking.set_status(BookingStatus::Expired);
-                let ledger = self.ledgers.get_mut(&flight).expect("ledger exists per flight");
+                let ledger = self
+                    .ledgers
+                    .get_mut(&flight)
+                    .expect("ledger exists per flight");
                 ledger.held -= nip;
                 ledger.available += nip;
                 expired.push(reference);
@@ -402,7 +414,10 @@ mod tests {
     fn hold_exactly_at_ttl_boundary_expires() {
         let mut sys = system_with_flight(10);
         let r = sys.hold(FlightId(1), pax(1), SimTime::ZERO).unwrap();
-        assert!(sys.pay(r, SimTime::from_mins(30)).is_err(), "expiry is inclusive");
+        assert!(
+            sys.pay(r, SimTime::from_mins(30)).is_err(),
+            "expiry is inclusive"
+        );
     }
 
     #[test]
@@ -410,7 +425,13 @@ mod tests {
         let mut sys = system_with_flight(10);
         let r = sys.hold(FlightId(1), pax(1), SimTime::ZERO).unwrap();
         let err = sys.pay(r, SimTime::from_hours(2)).unwrap_err();
-        assert!(matches!(err, InventoryError::WrongState { actual: "expired", .. }));
+        assert!(matches!(
+            err,
+            InventoryError::WrongState {
+                actual: "expired",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -445,7 +466,10 @@ mod tests {
         let mut sys = system_with_flight(3);
         sys.hold(FlightId(1), pax(3), SimTime::ZERO).unwrap();
         let err = sys.hold(FlightId(1), pax(1), SimTime::ZERO).unwrap_err();
-        assert!(matches!(err, InventoryError::InsufficientSeats { available: 0, .. }));
+        assert!(matches!(
+            err,
+            InventoryError::InsufficientSeats { available: 0, .. }
+        ));
     }
 
     #[test]
@@ -467,7 +491,9 @@ mod tests {
     fn departed_flight_rejects_holds() {
         let mut sys = ReservationSystem::new(SimDuration::from_mins(30), 9);
         sys.add_flight(Flight::new(FlightId(5), 10, SimTime::from_days(1)));
-        let err = sys.hold(FlightId(5), pax(1), SimTime::from_days(2)).unwrap_err();
+        let err = sys
+            .hold(FlightId(5), pax(1), SimTime::from_days(2))
+            .unwrap_err();
         assert_eq!(err, InventoryError::FlightDeparted(FlightId(5)));
     }
 
@@ -501,7 +527,9 @@ mod tests {
         sys.cancel(held, SimTime::from_mins(1)).unwrap();
         assert_eq!(sys.availability(FlightId(1)).unwrap().available, 10);
 
-        let paid = sys.hold(FlightId(1), pax(3), SimTime::from_mins(2)).unwrap();
+        let paid = sys
+            .hold(FlightId(1), pax(3), SimTime::from_mins(2))
+            .unwrap();
         sys.pay(paid, SimTime::from_mins(3)).unwrap();
         sys.cancel(paid, SimTime::from_mins(4)).unwrap();
         assert_eq!(sys.availability(FlightId(1)).unwrap().available, 10);
@@ -528,9 +556,12 @@ mod tests {
     #[test]
     fn nip_histogram_windows_by_creation_time() {
         let mut sys = system_with_flight(200);
-        sys.hold(FlightId(1), pax(2), SimTime::from_days(0)).unwrap();
-        sys.hold(FlightId(1), pax(6), SimTime::from_days(8)).unwrap();
-        sys.hold(FlightId(1), pax(6), SimTime::from_days(9)).unwrap();
+        sys.hold(FlightId(1), pax(2), SimTime::from_days(0))
+            .unwrap();
+        sys.hold(FlightId(1), pax(6), SimTime::from_days(8))
+            .unwrap();
+        sys.hold(FlightId(1), pax(6), SimTime::from_days(9))
+            .unwrap();
         let week0 = sys.nip_histogram(SimTime::ZERO, SimTime::from_weeks(1), 9);
         let week1 = sys.nip_histogram(SimTime::from_weeks(1), SimTime::from_weeks(2), 9);
         assert_eq!(week0.count(2), 1);

@@ -213,7 +213,10 @@ mod tests {
         assert!(rule.matches(&a, ip(1)));
         let mut rotated = a.clone();
         rotated.canvas_hash ^= 1; // identity changed, combo unchanged
-        assert!(rule.matches(&rotated, ip(1)), "combo survives small rotation");
+        assert!(
+            rule.matches(&rotated, ip(1)),
+            "combo survives small rotation"
+        );
     }
 
     #[test]
@@ -235,7 +238,10 @@ mod tests {
         let s = &e.stats()[0];
         assert_eq!(s.hits, 2);
         assert_eq!(s.effective_for(), Some(SimDuration::from_hours(5)));
-        assert_eq!(e.mean_effective_lifetime(), Some(SimDuration::from_hours(5)));
+        assert_eq!(
+            e.mean_effective_lifetime(),
+            Some(SimDuration::from_hours(5))
+        );
     }
 
     #[test]
@@ -252,7 +258,10 @@ mod tests {
     fn would_block_does_not_mutate() {
         let mut e = BlockRuleEngine::new();
         let target = fp(4);
-        e.add_rule(BlockRule::FingerprintIdentity(target.identity_hash()), SimTime::ZERO);
+        e.add_rule(
+            BlockRule::FingerprintIdentity(target.identity_hash()),
+            SimTime::ZERO,
+        );
         assert!(e.would_block(&target, ip(1)));
         assert_eq!(e.stats()[0].hits, 0);
     }
@@ -272,12 +281,17 @@ mod tests {
                 evasions += 1;
             }
         }
-        assert!(evasions >= 45, "fresh identities usually evade: {evasions}/50");
+        assert!(
+            evasions >= 45,
+            "fresh identities usually evade: {evasions}/50"
+        );
     }
 
     #[test]
     fn display_is_readable() {
-        assert!(BlockRule::IpExact(ip(1)).to_string().starts_with("ip:192.0.2.1"));
+        assert!(BlockRule::IpExact(ip(1))
+            .to_string()
+            .starts_with("ip:192.0.2.1"));
         let combo = BlockRule::AttributeCombo {
             browser: BrowserFamily::Chrome,
             os: OsFamily::Windows,

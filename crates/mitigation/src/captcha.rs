@@ -110,8 +110,9 @@ mod tests {
     fn humans_usually_pass_free() {
         let policy = CaptchaPolicy::default();
         let mut rng = StdRng::seed_from_u64(1);
-        let outcomes: Vec<CaptchaOutcome> =
-            (0..1000).map(|_| policy.challenge_human(&mut rng)).collect();
+        let outcomes: Vec<CaptchaOutcome> = (0..1000)
+            .map(|_| policy.challenge_human(&mut rng))
+            .collect();
         let solved = outcomes.iter().filter(|o| o.solved()).count();
         assert!(solved > 940, "solved {solved}/1000");
         assert!(outcomes.iter().all(|o| o.cost() == Money::ZERO));

@@ -100,7 +100,11 @@ impl DefenderLedger {
 
     /// Total loss across all categories.
     pub fn total_loss(&self) -> Money {
-        self.sms_cost + self.lost_sales + self.friction_losses + self.serving_cost + self.mitigation_cost
+        self.sms_cost
+            + self.lost_sales
+            + self.friction_losses
+            + self.serving_cost
+            + self.mitigation_cost
     }
 }
 

@@ -14,6 +14,7 @@ use fg_detection::engine::Verdict;
 use fg_detection::log::Endpoint;
 use fg_fingerprint::attributes::Fingerprint;
 use fg_netsim::ip::IpAddress;
+use fg_telemetry::metrics::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -140,7 +141,119 @@ pub struct RequestContext<'a> {
     pub verdict: &'a Verdict,
 }
 
+/// The ordered stages of [`PolicyEngine::decide`], named for the reason
+/// chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyStage {
+    /// Explicit incident-response block rules.
+    BlockRules,
+    /// Trust-tier feature gate.
+    TierGate,
+    /// Verdict score vs the block threshold.
+    ScoreBlock,
+    /// Feature-scoped rate limits (SMS, holds).
+    FeatureRateLimits,
+    /// Verdict score vs the challenge threshold.
+    ScoreChallenge,
+}
+
+impl PolicyStage {
+    /// Every stage, in evaluation order.
+    pub const ALL: [PolicyStage; 5] = [
+        PolicyStage::BlockRules,
+        PolicyStage::TierGate,
+        PolicyStage::ScoreBlock,
+        PolicyStage::FeatureRateLimits,
+        PolicyStage::ScoreChallenge,
+    ];
+}
+
+impl fmt::Display for PolicyStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyStage::BlockRules => "block-rules",
+            PolicyStage::TierGate => "tier-gate",
+            PolicyStage::ScoreBlock => "score-block",
+            PolicyStage::FeatureRateLimits => "feature-rate-limits",
+            PolicyStage::ScoreChallenge => "score-challenge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One link in the machine-readable reason chain: a stage that was
+/// consulted, whether it fired, and (when it fired) why.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReasonLink {
+    /// The stage consulted.
+    pub stage: PolicyStage,
+    /// `true` when this stage determined the decision.
+    pub triggered: bool,
+    /// Machine-readable detail, e.g. `score=0.950 >= block_threshold=0.900`.
+    /// Empty for stages that merely passed.
+    pub detail: String,
+}
+
+impl ReasonLink {
+    fn passed(stage: PolicyStage) -> Self {
+        ReasonLink {
+            stage,
+            triggered: false,
+            detail: String::new(),
+        }
+    }
+
+    fn triggered(stage: PolicyStage, detail: String) -> Self {
+        ReasonLink {
+            stage,
+            triggered: true,
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for ReasonLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}",
+            self.stage,
+            if self.triggered { "triggered" } else { "pass" }
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, "({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A decision plus the ordered reason chain that produced it — every stage
+/// consulted, ending with the one that fired (all stages pass for `Allow`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    /// The decision taken.
+    pub decision: Decision,
+    /// Stages consulted, in order.
+    pub chain: Vec<ReasonLink>,
+}
+
+impl DecisionTrace {
+    /// The link that determined the decision, if any stage fired.
+    pub fn triggered(&self) -> Option<&ReasonLink> {
+        self.chain.iter().find(|l| l.triggered)
+    }
+
+    /// The chain rendered as stable string tokens (for audit records).
+    pub fn reason_strings(&self) -> Vec<String> {
+        self.chain.iter().map(ToString::to_string).collect()
+    }
+}
+
 /// Counters of decisions taken, for experiment reports.
+///
+/// Since the telemetry refactor this is a *snapshot* of the live
+/// [`DecisionCounters`] a [`PolicyEngine`] maintains; the field and
+/// accessor surface is unchanged.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionCounts {
     /// Allowed.
@@ -158,20 +271,76 @@ pub struct DecisionCounts {
 }
 
 impl DecisionCounts {
-    fn bump(&mut self, d: Decision) {
+    /// Total decisions taken.
+    pub fn total(&self) -> u64 {
+        self.allow
+            + self.challenge
+            + self.rate_limited
+            + self.tier_denied
+            + self.honeypot
+            + self.block
+    }
+}
+
+/// Live decision counters backed by telemetry [`Counter`]s, so the policy
+/// engine's per-decision tallies and the exported `fg_decisions_total`
+/// series are the same cells.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionCounters {
+    allow: Counter,
+    challenge: Counter,
+    rate_limited: Counter,
+    tier_denied: Counter,
+    honeypot: Counter,
+    block: Counter,
+}
+
+impl DecisionCounters {
+    fn counter(&self, d: Decision) -> &Counter {
         match d {
-            Decision::Allow => self.allow += 1,
-            Decision::Challenge => self.challenge += 1,
-            Decision::RateLimited => self.rate_limited += 1,
-            Decision::TierDenied => self.tier_denied += 1,
-            Decision::Honeypot => self.honeypot += 1,
-            Decision::Block => self.block += 1,
+            Decision::Allow => &self.allow,
+            Decision::Challenge => &self.challenge,
+            Decision::RateLimited => &self.rate_limited,
+            Decision::TierDenied => &self.tier_denied,
+            Decision::Honeypot => &self.honeypot,
+            Decision::Block => &self.block,
         }
     }
 
-    /// Total decisions taken.
-    pub fn total(&self) -> u64 {
-        self.allow + self.challenge + self.rate_limited + self.tier_denied + self.honeypot + self.block
+    fn bump(&self, d: Decision) {
+        self.counter(d).inc();
+    }
+
+    /// Point-in-time copy of all six tallies.
+    pub fn snapshot(&self) -> DecisionCounts {
+        DecisionCounts {
+            allow: self.allow.get(),
+            challenge: self.challenge.get(),
+            rate_limited: self.rate_limited.get(),
+            tier_denied: self.tier_denied.get(),
+            honeypot: self.honeypot.get(),
+            block: self.block.get(),
+        }
+    }
+
+    /// Exposes the counters in `registry` as
+    /// `fg_decisions_total{decision="..."}`.
+    pub fn register_in(&self, registry: &MetricsRegistry) {
+        for d in [
+            Decision::Allow,
+            Decision::Challenge,
+            Decision::RateLimited,
+            Decision::TierDenied,
+            Decision::Honeypot,
+            Decision::Block,
+        ] {
+            let label = d.to_string();
+            registry.adopt_counter(
+                "fg_decisions_total",
+                &[("decision", label.as_str())],
+                self.counter(d),
+            );
+        }
     }
 }
 
@@ -210,7 +379,7 @@ pub struct PolicyEngine {
     booking_sms_limiter: Option<KeyedLimiter<BookingRef>>,
     path_sms_limiter: Option<TokenBucket>,
     client_hold_limiter: Option<KeyedLimiter<u64>>,
-    counts: DecisionCounts,
+    counters: DecisionCounters,
 }
 
 const SECS_PER_DAY: f64 = 86_400.0;
@@ -228,7 +397,7 @@ impl PolicyEngine {
                 .path_sms_limit
                 .map(|(burst, per_day)| TokenBucket::new(burst, per_day / SECS_PER_DAY)),
             rules: BlockRuleEngine::new(),
-            counts: DecisionCounts::default(),
+            counters: DecisionCounters::default(),
             config,
         }
     }
@@ -251,68 +420,121 @@ impl PolicyEngine {
 
     /// Decision counters so far.
     pub fn counts(&self) -> DecisionCounts {
-        self.counts
+        self.counters.snapshot()
+    }
+
+    /// The live telemetry-backed counters, for registry adoption.
+    pub fn decision_counters(&self) -> &DecisionCounters {
+        &self.counters
     }
 
     /// Decides one request.
     pub fn decide(&mut self, ctx: &RequestContext<'_>) -> Decision {
-        let d = self.decide_inner(ctx);
-        self.counts.bump(d);
-        d
+        self.decide_traced(ctx).decision
     }
 
-    fn decide_inner(&mut self, ctx: &RequestContext<'_>) -> Decision {
+    /// Decides one request and returns the full reason chain alongside the
+    /// decision — the audit trail's view of this engine.
+    pub fn decide_traced(&mut self, ctx: &RequestContext<'_>) -> DecisionTrace {
+        let trace = self.trace_inner(ctx);
+        self.counters.bump(trace.decision);
+        trace
+    }
+
+    fn block_or_divert(&self) -> Decision {
+        if self.config.honeypot_instead_of_block {
+            Decision::Honeypot
+        } else {
+            Decision::Block
+        }
+    }
+
+    fn trace_inner(&mut self, ctx: &RequestContext<'_>) -> DecisionTrace {
+        let mut chain = Vec::with_capacity(PolicyStage::ALL.len());
+        let done = |decision: Decision, chain: Vec<ReasonLink>| DecisionTrace { decision, chain };
+
         // 1. Explicit block rules (incident response) come first.
         if self.rules.check(ctx.fingerprint, ctx.ip, ctx.now).is_some() {
-            return if self.config.honeypot_instead_of_block {
-                Decision::Honeypot
-            } else {
-                Decision::Block
-            };
+            chain.push(ReasonLink::triggered(
+                PolicyStage::BlockRules,
+                "incident-response rule matched".to_owned(),
+            ));
+            return done(self.block_or_divert(), chain);
         }
+        chain.push(ReasonLink::passed(PolicyStage::BlockRules));
 
         // 2. Trust-tier gate.
         if !self.config.gate.allows(ctx.endpoint, ctx.tier) {
-            return Decision::TierDenied;
+            chain.push(ReasonLink::triggered(
+                PolicyStage::TierGate,
+                format!("tier={:?} denied endpoint={}", ctx.tier, ctx.endpoint),
+            ));
+            return done(Decision::TierDenied, chain);
         }
+        chain.push(ReasonLink::passed(PolicyStage::TierGate));
 
         // 3. Verdict-driven thresholds.
         if ctx.verdict.score >= self.config.block_threshold {
-            return if self.config.honeypot_instead_of_block {
-                Decision::Honeypot
-            } else {
-                Decision::Block
-            };
+            chain.push(ReasonLink::triggered(
+                PolicyStage::ScoreBlock,
+                format!(
+                    "score={:.3} >= block_threshold={:.3}",
+                    ctx.verdict.score, self.config.block_threshold
+                ),
+            ));
+            return done(self.block_or_divert(), chain);
         }
+        chain.push(ReasonLink::passed(PolicyStage::ScoreBlock));
 
         // 4. Feature-scoped rate limits.
         let sms_endpoint = matches!(ctx.endpoint, Endpoint::SendOtp | Endpoint::BoardingPass);
         if sms_endpoint {
             if let (Some(limiter), Some(booking)) = (&mut self.booking_sms_limiter, ctx.booking) {
                 if !limiter.try_acquire(booking, ctx.now) {
-                    return Decision::RateLimited;
+                    chain.push(ReasonLink::triggered(
+                        PolicyStage::FeatureRateLimits,
+                        "booking-sms limiter exhausted".to_owned(),
+                    ));
+                    return done(Decision::RateLimited, chain);
                 }
             }
             if let Some(bucket) = &mut self.path_sms_limiter {
                 if !bucket.try_acquire(ctx.now) {
-                    return Decision::RateLimited;
+                    chain.push(ReasonLink::triggered(
+                        PolicyStage::FeatureRateLimits,
+                        "path-sms limiter exhausted".to_owned(),
+                    ));
+                    return done(Decision::RateLimited, chain);
                 }
             }
         }
         if ctx.endpoint == Endpoint::Hold {
             if let Some(limiter) = &mut self.client_hold_limiter {
                 if !limiter.try_acquire(ctx.client_key, ctx.now) {
-                    return Decision::RateLimited;
+                    chain.push(ReasonLink::triggered(
+                        PolicyStage::FeatureRateLimits,
+                        "client-hold limiter exhausted".to_owned(),
+                    ));
+                    return done(Decision::RateLimited, chain);
                 }
             }
         }
+        chain.push(ReasonLink::passed(PolicyStage::FeatureRateLimits));
 
         // 5. Challenge band.
         if ctx.verdict.score >= self.config.challenge_threshold {
-            return Decision::Challenge;
+            chain.push(ReasonLink::triggered(
+                PolicyStage::ScoreChallenge,
+                format!(
+                    "score={:.3} >= challenge_threshold={:.3}",
+                    ctx.verdict.score, self.config.challenge_threshold
+                ),
+            ));
+            return done(Decision::Challenge, chain);
         }
+        chain.push(ReasonLink::passed(PolicyStage::ScoreChallenge));
 
-        Decision::Allow
+        done(Decision::Allow, chain)
     }
 }
 
@@ -360,7 +582,13 @@ mod tests {
         let f = fp();
         let v = verdict(1.0);
         for _ in 0..100 {
-            let d = e.decide(&ctx(&f, &v, Endpoint::BoardingPass, Some(BookingRef::from_index(1)), SimTime::ZERO));
+            let d = e.decide(&ctx(
+                &f,
+                &v,
+                Endpoint::BoardingPass,
+                Some(BookingRef::from_index(1)),
+                SimTime::ZERO,
+            ));
             assert_eq!(d, Decision::Allow);
         }
         assert_eq!(e.counts().allow, 100);
@@ -371,11 +599,20 @@ mod tests {
         let mut e = PolicyEngine::new(PolicyConfig::traditional_antibot());
         let f = fp();
         let clean = Verdict::clean();
-        assert_eq!(e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::ZERO)), Decision::Allow);
+        assert_eq!(
+            e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::ZERO)),
+            Decision::Allow
+        );
         let mid = verdict(0.6);
-        assert_eq!(e.decide(&ctx(&f, &mid, Endpoint::Search, None, SimTime::ZERO)), Decision::Challenge);
+        assert_eq!(
+            e.decide(&ctx(&f, &mid, Endpoint::Search, None, SimTime::ZERO)),
+            Decision::Challenge
+        );
         let high = verdict(0.95);
-        assert_eq!(e.decide(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO)), Decision::Block);
+        assert_eq!(
+            e.decide(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO)),
+            Decision::Block
+        );
     }
 
     #[test]
@@ -410,7 +647,13 @@ mod tests {
         // A different booking is unaffected.
         let other = BookingRef::from_index(10);
         assert_eq!(
-            e.decide(&ctx(&f, &clean, Endpoint::BoardingPass, Some(other), SimTime::from_mins(6))),
+            e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::BoardingPass,
+                Some(other),
+                SimTime::from_mins(6)
+            )),
             Decision::Allow
         );
     }
@@ -434,7 +677,13 @@ mod tests {
         let clean = Verdict::clean();
         let mut limited = 0;
         for i in 0..20 {
-            let d = e.decide(&ctx(&f, &clean, Endpoint::Hold, None, SimTime::from_mins(i)));
+            let d = e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::Hold,
+                None,
+                SimTime::from_mins(i),
+            ));
             if d == Decision::RateLimited {
                 limited += 1;
             }
@@ -449,7 +698,13 @@ mod tests {
         e.rules_mut().block_observed_fingerprint(&f, SimTime::ZERO);
         let clean = Verdict::clean();
         assert_eq!(
-            e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::from_mins(1))),
+            e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::Search,
+                None,
+                SimTime::from_mins(1)
+            )),
             Decision::Block
         );
         assert!(e.rules().stats()[0].hits > 0);
@@ -466,20 +721,114 @@ mod tests {
         let booking = BookingRef::from_index(1);
         let mut first_limited = None;
         for i in 0..200u64 {
-            let d = e.decide(&ctx(&f, &clean, Endpoint::BoardingPass, Some(booking), SimTime::from_secs(i)));
+            let d = e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::BoardingPass,
+                Some(booking),
+                SimTime::from_secs(i),
+            ));
             if d == Decision::RateLimited && first_limited.is_none() {
                 first_limited = Some(i);
             }
         }
         let hit = first_limited.expect("path limit fires");
-        assert!(hit >= 100, "path limit only fires after ~100 sends, at {hit}");
+        assert!(
+            hit >= 100,
+            "path limit only fires after ~100 sends, at {hit}"
+        );
+    }
+
+    #[test]
+    fn traced_decisions_explain_the_triggering_stage() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let high = verdict(0.95);
+        let trace = e.decide_traced(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO));
+        assert_eq!(trace.decision, Decision::Honeypot);
+        let fired = trace.triggered().expect("a stage fired");
+        assert_eq!(fired.stage, PolicyStage::ScoreBlock);
+        assert!(fired.detail.contains("score=0.950"), "{}", fired.detail);
+        // Chain records the stages consulted before the trigger.
+        assert_eq!(
+            trace.chain.iter().map(|l| l.stage).collect::<Vec<_>>(),
+            vec![
+                PolicyStage::BlockRules,
+                PolicyStage::TierGate,
+                PolicyStage::ScoreBlock
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_trace_consults_every_stage() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let clean = Verdict::clean();
+        let trace = e.decide_traced(&ctx(&f, &clean, Endpoint::Search, None, SimTime::ZERO));
+        assert_eq!(trace.decision, Decision::Allow);
+        assert!(trace.triggered().is_none());
+        assert_eq!(trace.chain.len(), PolicyStage::ALL.len());
+        assert_eq!(
+            trace.reason_strings(),
+            vec![
+                "block-rules:pass",
+                "tier-gate:pass",
+                "score-block:pass",
+                "feature-rate-limits:pass",
+                "score-challenge:pass"
+            ]
+        );
+    }
+
+    #[test]
+    fn reason_chain_round_trips_through_json() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let high = verdict(0.95);
+        let trace = e.decide_traced(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO));
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: DecisionTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn counts_are_telemetry_backed() {
+        let registry = fg_telemetry::MetricsRegistry::new();
+        let mut e = PolicyEngine::new(PolicyConfig::traditional_antibot());
+        e.decision_counters().register_in(&registry);
+        let f = fp();
+        let clean = Verdict::clean();
+        let high = verdict(0.95);
+        e.decide(&ctx(&f, &clean, Endpoint::Search, None, SimTime::ZERO));
+        e.decide(&ctx(&f, &high, Endpoint::Search, None, SimTime::ZERO));
+        // The snapshot accessor and the exported counters agree because
+        // they are the same cells.
+        let counts = e.counts();
+        assert_eq!(counts.allow, 1);
+        assert_eq!(counts.block, 1);
+        assert_eq!(counts.total(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("fg_decisions_total", &[("decision", "allow")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("fg_decisions_total", &[("decision", "block")]),
+            Some(1)
+        );
     }
 
     #[test]
     fn decision_reaches_application() {
         assert!(Decision::Allow.reaches_application());
         assert!(Decision::Challenge.reaches_application());
-        for d in [Decision::Block, Decision::Honeypot, Decision::RateLimited, Decision::TierDenied] {
+        for d in [
+            Decision::Block,
+            Decision::Honeypot,
+            Decision::RateLimited,
+            Decision::TierDenied,
+        ] {
             assert!(!d.reaches_application());
         }
     }

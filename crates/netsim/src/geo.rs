@@ -77,9 +77,7 @@ impl GeoDatabase {
 
     fn lookup(&self, ip: IpAddress) -> Option<&Allocation> {
         // partition_point: first allocation whose start is > ip, minus one.
-        let idx = self
-            .allocations
-            .partition_point(|a| a.range.start() <= ip);
+        let idx = self.allocations.partition_point(|a| a.range.start() <= ip);
         let candidate = self.allocations.get(idx.checked_sub(1)?)?;
         candidate.range.contains(ip).then_some(candidate)
     }

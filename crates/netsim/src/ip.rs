@@ -14,7 +14,9 @@ use std::fmt;
 /// assert_eq!(ip.to_string(), "192.168.1.7");
 /// assert_eq!(ip.subnet24(), IpAddress::from_octets(192, 168, 1, 0));
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct IpAddress(pub u32);
 
 impl IpAddress {

@@ -80,13 +80,23 @@ impl ProxyPool {
     /// ($0.60/lease — in the ballpark of per-IP pricing of commercial
     /// residential providers).
     pub fn residential(geo: &GeoDatabase, exits_per_country: usize) -> Self {
-        Self::with_class(geo, exits_per_country, IpClass::Residential, Money::from_cents(60))
+        Self::with_class(
+            geo,
+            exits_per_country,
+            IpClass::Residential,
+            Money::from_cents(60),
+        )
     }
 
     /// Builds a datacenter pool: effectively unlimited cheap exits
     /// ($0.02/lease) that the defender can detect by class.
     pub fn datacenter(geo: &GeoDatabase, exits_per_country: usize) -> Self {
-        Self::with_class(geo, exits_per_country, IpClass::Datacenter, Money::from_cents(2))
+        Self::with_class(
+            geo,
+            exits_per_country,
+            IpClass::Datacenter,
+            Money::from_cents(2),
+        )
     }
 
     /// Builds a pool of `class` exits with a custom price.
@@ -246,7 +256,9 @@ mod tests {
     #[test]
     fn unknown_country_has_no_inventory() {
         let (_, mut pool, mut rng) = setup();
-        assert!(pool.rent(CountryCode::new("ZZ"), SimTime::ZERO, &mut rng).is_none());
+        assert!(pool
+            .rent(CountryCode::new("ZZ"), SimTime::ZERO, &mut rng)
+            .is_none());
         assert_eq!(pool.inventory(CountryCode::new("ZZ")), 0);
     }
 
@@ -280,7 +292,9 @@ mod tests {
         let geo = GeoDatabase::default_world();
         let mut dc = ProxyPool::datacenter(&geo, 8);
         let mut rng = StdRng::seed_from_u64(5);
-        let lease = dc.rent(CountryCode::new("US"), SimTime::ZERO, &mut rng).unwrap();
+        let lease = dc
+            .rent(CountryCode::new("US"), SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(geo.class_of(lease.ip()), Some(IpClass::Datacenter));
         assert!(lease.price() < Money::from_cents(60));
     }
@@ -292,6 +306,10 @@ mod tests {
         let distinct: std::collections::HashSet<IpAddress> = (0..200)
             .filter_map(|_| pool.rent(c, SimTime::ZERO, &mut rng).map(|l| l.ip()))
             .collect();
-        assert!(distinct.len() >= 10, "got {} distinct exits", distinct.len());
+        assert!(
+            distinct.len() >= 10,
+            "got {} distinct exits",
+            distinct.len()
+        );
     }
 }

@@ -6,6 +6,7 @@ use fg_core::money::Money;
 use fg_core::rng::SeedFork;
 use fg_core::time::{SimDuration, SimTime};
 use fg_detection::engine::DetectionEngine;
+use fg_detection::engine::Signal;
 use fg_detection::log::{Endpoint, LogRecord, Method};
 use fg_fingerprint::attributes::Fingerprint;
 use fg_inventory::flight::{Availability, Flight};
@@ -17,8 +18,13 @@ use fg_mitigation::honeypot::Honeypot;
 use fg_mitigation::policy::{Decision, PolicyConfig, PolicyEngine, RequestContext};
 use fg_smsgw::gateway::Gateway;
 use fg_smsgw::message::{SmsKind, SmsMessage};
+use fg_telemetry::audit::{AuditRecord, SignalScore};
+use fg_telemetry::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use fg_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Application-level configuration.
 #[derive(Clone, Debug)]
@@ -86,17 +92,96 @@ pub struct DefendedApp {
     captcha_rng: StdRng,
     human_abandons: u64,
     ticket_revenue: Money,
+    telemetry: Arc<Telemetry>,
+    metrics: AppMetrics,
+}
+
+/// Pre-registered handles for everything the gate increments per request,
+/// so the hot path never touches the registry mutex.
+#[derive(Debug)]
+struct AppMetrics {
+    /// One counter per endpoint, in [`Endpoint::ALL`] order.
+    requests: Vec<Counter>,
+    /// One counter per signal kind, in [`Signal::KINDS`] order.
+    signals: Vec<Counter>,
+    honeypot_diversions: Counter,
+    challenges_solved: Counter,
+    challenges_failed: Counter,
+    human_abandons: Counter,
+    detection_score: Histogram,
+    ticket_revenue: Gauge,
+    solver_spend: Gauge,
+}
+
+impl AppMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        AppMetrics {
+            requests: Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    let path = e.to_string();
+                    registry.counter_with("fg_requests_total", &[("endpoint", path.as_str())])
+                })
+                .collect(),
+            signals: Signal::KINDS
+                .iter()
+                .map(|kind| registry.counter_with("fg_signals_total", &[("signal", kind)]))
+                .collect(),
+            honeypot_diversions: registry.counter("fg_honeypot_diversions_total"),
+            challenges_solved: registry
+                .counter_with("fg_challenges_total", &[("outcome", "solved")]),
+            challenges_failed: registry
+                .counter_with("fg_challenges_total", &[("outcome", "failed")]),
+            human_abandons: registry.counter("fg_human_abandons_total"),
+            detection_score: registry.histogram(
+                "fg_detection_score",
+                &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            ),
+            ticket_revenue: registry.gauge("fg_ticket_revenue_units"),
+            solver_spend: registry.gauge("fg_solver_spend_units"),
+        }
+    }
+
+    fn endpoint_counter(&self, endpoint: Endpoint) -> &Counter {
+        let i = Endpoint::ALL
+            .iter()
+            .position(|e| *e == endpoint)
+            .expect("every endpoint is pre-registered");
+        &self.requests[i]
+    }
+
+    fn signal_counter(&self, kind: &str) -> Option<&Counter> {
+        Signal::KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map(|i| &self.signals[i])
+    }
 }
 
 impl DefendedApp {
     /// Creates the app with the given config and master seed (the seed only
-    /// drives CAPTCHA outcome randomness).
+    /// drives CAPTCHA outcome randomness). A fresh telemetry hub is created;
+    /// use [`DefendedApp::with_telemetry`] to share one.
     pub fn new(config: AppConfig, seed: u64) -> Self {
+        DefendedApp::with_telemetry(config, seed, Telemetry::shared())
+    }
+
+    /// Creates the app wired to an existing telemetry hub, so callers (e.g.
+    /// the `experiments --telemetry` runner) keep access to metrics, audit
+    /// trail, and stage profiles after the run.
+    pub fn with_telemetry(config: AppConfig, seed: u64, telemetry: Arc<Telemetry>) -> Self {
+        let mut detection = DetectionEngine::with_defaults();
+        detection.attach_telemetry(telemetry.clone());
+        let policy = PolicyEngine::new(config.policy.clone());
+        policy.decision_counters().register_in(telemetry.metrics());
+        let mut gateway = Gateway::default_network();
+        gateway.attach_telemetry(telemetry.clone());
+        let metrics = AppMetrics::register(telemetry.metrics());
         DefendedApp {
             reservations: ReservationSystem::new(config.hold_ttl, config.max_nip),
-            gateway: Gateway::default_network(),
-            detection: DetectionEngine::with_defaults(),
-            policy: PolicyEngine::new(config.policy.clone()),
+            gateway,
+            detection,
+            policy,
             honeypot: Honeypot::new(),
             logs: Vec::new(),
             fingerprints_seen: HashMap::new(),
@@ -105,8 +190,15 @@ impl DefendedApp {
             captcha_rng: SeedFork::new(seed).rng("captcha"),
             human_abandons: 0,
             ticket_revenue: Money::ZERO,
+            telemetry,
+            metrics,
             config,
         }
+    }
+
+    /// The telemetry hub this app reports into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Registers a flight.
@@ -167,7 +259,10 @@ impl DefendedApp {
 
     /// CAPTCHA-solver fees charged to a client so far.
     pub fn solver_spend(&self, client: ClientId) -> Money {
-        self.solver_spend.get(&client).copied().unwrap_or(Money::ZERO)
+        self.solver_spend
+            .get(&client)
+            .copied()
+            .unwrap_or(Money::ZERO)
     }
 
     /// Total CAPTCHA-solver fees across all clients.
@@ -208,7 +303,14 @@ impl DefendedApp {
         self.reservations.expire_due(now);
     }
 
-    fn log(&mut self, req: &ClientRequest, endpoint: Endpoint, method: Method, ok: bool, now: SimTime) {
+    fn log(
+        &mut self,
+        req: &ClientRequest,
+        endpoint: Endpoint,
+        method: Method,
+        ok: bool,
+        now: SimTime,
+    ) {
         self.logs.push(LogRecord {
             at: now,
             ip: req.ip,
@@ -233,18 +335,47 @@ impl DefendedApp {
         booking: Option<BookingRef>,
         now: SimTime,
     ) -> Result<bool, ApiOutcome<T>> {
+        self.metrics.endpoint_counter(endpoint).inc();
+
         // Already-diverted clients stay in the decoy.
-        if self.honeypot.is_diverted(req.client) {
+        let t = Instant::now();
+        let diverted = self.honeypot.is_diverted(req.client);
+        self.telemetry
+            .record_stage("mitigation.honeypot-check", t.elapsed());
+        if diverted {
+            self.telemetry.record_audit(AuditRecord {
+                at: now,
+                endpoint: endpoint.to_string(),
+                client: req.client.as_u64(),
+                fingerprint: req.fingerprint.identity_hash(),
+                ip: req.ip.to_string(),
+                score: 0.0,
+                signals: Vec::new(),
+                decision: Decision::Honeypot.to_string(),
+                reasons: vec!["honeypot:session-diverted".to_owned()],
+            });
             return Ok(false);
         }
 
+        let t = Instant::now();
         let verdict = self
             .detection
             .assess(now, req.ip, &req.fingerprint, endpoint, booking);
-        if verdict.score >= self.config.reputation_feedback_threshold {
-            self.detection.reputation_mut().report(req.ip, verdict.score, now);
+        self.telemetry.record_stage("detect.assess", t.elapsed());
+        self.metrics.detection_score.record(verdict.score);
+        for signal in &verdict.signals {
+            if let Some(counter) = self.metrics.signal_counter(signal.kind()) {
+                counter.inc();
+            }
         }
-        let decision = self.policy.decide(&RequestContext {
+        if verdict.score >= self.config.reputation_feedback_threshold {
+            self.detection
+                .reputation_mut()
+                .report(req.ip, verdict.score, now);
+        }
+
+        let t = Instant::now();
+        let trace = self.policy.decide_traced(&RequestContext {
             now,
             ip: req.ip,
             fingerprint: &req.fingerprint,
@@ -254,14 +385,38 @@ impl DefendedApp {
             client_key: req.client.as_u64(),
             verdict: &verdict,
         });
+        self.telemetry.record_stage("policy.decide", t.elapsed());
+        let decision = trace.decision;
+        self.telemetry.record_audit(AuditRecord {
+            at: now,
+            endpoint: endpoint.to_string(),
+            client: req.client.as_u64(),
+            fingerprint: req.fingerprint.identity_hash(),
+            ip: req.ip.to_string(),
+            score: verdict.score,
+            signals: verdict
+                .signals
+                .iter()
+                .map(|s| SignalScore {
+                    signal: s.to_string(),
+                    weight: s.weight(),
+                })
+                .collect(),
+            decision: decision.to_string(),
+            reasons: trace.reason_strings(),
+        });
 
         match decision {
             Decision::Allow => Ok(true),
             Decision::Challenge => {
-                if req.is_bot {
+                let t = Instant::now();
+                let result = if req.is_bot {
                     let outcome = self.config.captcha.challenge_bot(&mut self.captcha_rng);
                     *self.solver_spend.entry(req.client).or_insert(Money::ZERO) +=
                         self.config.captcha.solver_price;
+                    self.metrics
+                        .solver_spend
+                        .add(self.config.captcha.solver_price.as_f64());
                     if outcome.solved() {
                         Ok(true)
                     } else {
@@ -273,13 +428,22 @@ impl DefendedApp {
                         Ok(true)
                     } else {
                         self.human_abandons += 1;
+                        self.metrics.human_abandons.inc();
                         self.defender.friction_losses += self.config.seat_revenue.mul_f64(0.1);
                         Err(ApiOutcome::ChallengeFailed)
                     }
+                };
+                match &result {
+                    Ok(_) => self.metrics.challenges_solved.inc(),
+                    Err(_) => self.metrics.challenges_failed.inc(),
                 }
+                self.telemetry
+                    .record_stage("mitigation.captcha", t.elapsed());
+                result
             }
             Decision::Honeypot => {
                 self.honeypot.divert(req.client, now);
+                self.metrics.honeypot_diversions.inc();
                 Ok(false)
             }
             Decision::RateLimited => Err(ApiOutcome::RateLimited),
@@ -352,6 +516,9 @@ impl App for DefendedApp {
                     Ok(()) => {
                         if let Some(fare) = fare {
                             self.ticket_revenue += fare * u64::from(nip);
+                            self.metrics
+                                .ticket_revenue
+                                .set(self.ticket_revenue.as_f64());
                         }
                         self.log(req, Endpoint::Pay, Method::Post, true, now);
                         ApiOutcome::Ok(())
@@ -374,7 +541,12 @@ impl App for DefendedApp {
         }
     }
 
-    fn send_otp(&mut self, req: &ClientRequest, phone: PhoneNumber, now: SimTime) -> ApiOutcome<()> {
+    fn send_otp(
+        &mut self,
+        req: &ClientRequest,
+        phone: PhoneNumber,
+        now: SimTime,
+    ) -> ApiOutcome<()> {
         match self.gate::<()>(req, Endpoint::SendOtp, None, now) {
             Ok(true) => {
                 let receipt = self.gateway.send(SmsMessage::new(phone, SmsKind::Otp), now);
@@ -411,7 +583,13 @@ impl App for DefendedApp {
                     let receipt = self
                         .gateway
                         .send(SmsMessage::new(phone, SmsKind::BoardingPass(booking)), now);
-                    self.log(req, Endpoint::BoardingPass, Method::Post, receipt.delivered, now);
+                    self.log(
+                        req,
+                        Endpoint::BoardingPass,
+                        Method::Post,
+                        receipt.delivered,
+                        now,
+                    );
                     if receipt.quota_exceeded {
                         ApiOutcome::QuotaExceeded
                     } else {
@@ -463,7 +641,11 @@ mod tests {
         ClientRequest {
             client: ClientId(seed),
             ip: geo
-                .sample_ip(fg_core::ids::CountryCode::new("GB"), IpClass::Residential, &mut rng)
+                .sample_ip(
+                    fg_core::ids::CountryCode::new("GB"),
+                    IpClass::Residential,
+                    &mut rng,
+                )
                 .unwrap(),
             fingerprint: PopulationModel::default_web().sample_human(&mut rng),
             tier,
@@ -478,7 +660,9 @@ mod tests {
     }
 
     fn pax(n: usize) -> Vec<Passenger> {
-        (0..n).map(|i| Passenger::simple(&format!("P{i}"), "TEST")).collect()
+        (0..n)
+            .map(|i| Passenger::simple(&format!("P{i}"), "TEST"))
+            .collect()
     }
 
     #[test]
@@ -486,10 +670,14 @@ mod tests {
         let mut a = app(PolicyConfig::recommended());
         let req = human_req(1, TrustTier::Verified);
         assert!(a.search(&req, SimTime::ZERO).is_ok());
-        let booking = a.hold(&req, FlightId(1), pax(2), SimTime::from_mins(1)).unwrap();
+        let booking = a
+            .hold(&req, FlightId(1), pax(2), SimTime::from_mins(1))
+            .unwrap();
         assert!(a.pay(&req, booking, SimTime::from_mins(5)).is_ok());
         let phone = PhoneNumber::new(fg_core::ids::CountryCode::new("GB"), 7_700_900_001);
-        assert!(a.boarding_pass_sms(&req, booking, phone, SimTime::from_mins(10)).is_ok());
+        assert!(a
+            .boarding_pass_sms(&req, booking, phone, SimTime::from_mins(10))
+            .is_ok());
         assert_eq!(a.gateway().sent_total(), 1);
         assert_eq!(a.logs().len(), 4);
         assert!(a.logs().iter().all(|l| l.ok));
@@ -599,5 +787,89 @@ mod tests {
         a.search(&req, SimTime::ZERO).unwrap();
         let hash = req.fingerprint.identity_hash();
         assert_eq!(a.fingerprint_by_hash(hash), Some(&req.fingerprint));
+    }
+
+    #[test]
+    fn audit_trail_explains_honeypot_routings() {
+        let mut a = app(PolicyConfig::recommended());
+        let mut req = human_req(9, TrustTier::Verified);
+        req.fingerprint.webdriver = true;
+        req.is_bot = true;
+        let _ = a.hold(&req, FlightId(1), pax(1), SimTime::ZERO);
+        // Second request rides the sticky diversion.
+        let _ = a.search(&req, SimTime::from_mins(1));
+
+        let telemetry = a.telemetry().clone();
+        let audit = telemetry.audit();
+        let routings: Vec<_> = audit.with_decision("honeypot").collect();
+        assert_eq!(routings.len(), 2);
+        // The first routing names the signal that triggered it …
+        let first = routings[0];
+        assert_eq!(
+            first.triggering_signal().unwrap().signal,
+            "fingerprint-inconsistent(1.00)"
+        );
+        assert!(
+            first
+                .reasons
+                .iter()
+                .any(|r| r.starts_with("score-block:triggered")),
+            "{:?}",
+            first.reasons
+        );
+        // … the second records the sticky session.
+        assert_eq!(routings[1].reasons, vec!["honeypot:session-diverted"]);
+        assert_eq!(routings[1].endpoint, "/search");
+    }
+
+    #[test]
+    fn gate_metrics_and_stages_accumulate() {
+        let mut a = app(PolicyConfig::recommended());
+        let req = human_req(10, TrustTier::Verified);
+        a.search(&req, SimTime::ZERO).unwrap();
+        let booking = a
+            .hold(&req, FlightId(1), pax(2), SimTime::from_mins(1))
+            .unwrap();
+        a.pay(&req, booking, SimTime::from_mins(5)).unwrap();
+
+        let snap = a.telemetry().snapshot();
+        assert_eq!(
+            snap.metrics
+                .counter_value("fg_requests_total", &[("endpoint", "/search")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.metrics
+                .counter_value("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.metrics
+                .counter_value("fg_decisions_total", &[("decision", "allow")]),
+            Some(3)
+        );
+        // Revenue gauge follows the sale (2 pax × £120).
+        let revenue = snap
+            .metrics
+            .gauge_value("fg_ticket_revenue_units", &[])
+            .unwrap();
+        assert!((revenue - a.ticket_revenue().as_f64()).abs() < 1e-9);
+        // Stage profiles cover detection, policy, and the honeypot check.
+        let stages: Vec<&str> = snap.stages.iter().map(|s| s.stage.as_str()).collect();
+        for expected in [
+            "mitigation.honeypot-check",
+            "detect.assess",
+            "policy.decide",
+        ] {
+            assert!(stages.contains(&expected), "missing stage {expected}");
+        }
+        // Detection-score histogram saw all three requests.
+        let hist = snap
+            .metrics
+            .histograms
+            .iter()
+            .find(|h| h.name.name == "fg_detection_score")
+            .expect("score histogram registered");
+        assert_eq!(hist.count, 3);
     }
 }

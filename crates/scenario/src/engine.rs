@@ -147,14 +147,22 @@ impl Simulation {
             match tick {
                 Tick::Agent(idx) => {
                     let rng = &mut self.agent_rngs[idx];
-                    if let Some(next) = self.agents[idx].borrow_mut().wake(&mut self.app, now, rng) {
+                    if let Some(next) = self.agents[idx].borrow_mut().wake(&mut self.app, now, rng)
+                    {
                         debug_assert!(next > now, "agents must make progress");
-                        self.queue.schedule(next.max(now + SimDuration::from_millis(1)), Tick::Agent(idx));
+                        self.queue.schedule(
+                            next.max(now + SimDuration::from_millis(1)),
+                            Tick::Agent(idx),
+                        );
                     }
                 }
                 Tick::Review => {
                     if let Some((team, interval)) = &mut self.team {
+                        let started = std::time::Instant::now();
                         team.review(&mut self.app, now);
+                        self.app
+                            .telemetry()
+                            .record_stage("team.review", started.elapsed());
                         let interval = *interval;
                         self.queue.schedule(now + interval, Tick::Review);
                     }
@@ -252,7 +260,11 @@ mod tests {
     fn team_reviews_run_periodically() {
         let mut sim = Simulation::new(base_app(PolicyConfig::traditional_antibot()), 7);
         sim.add_agent(legit(2), SimTime::ZERO);
-        sim.with_team(TeamConfig::default(), SimDuration::from_hours(6), SimTime::from_hours(6));
+        sim.with_team(
+            TeamConfig::default(),
+            SimDuration::from_hours(6),
+            SimTime::from_hours(6),
+        );
         // Run with the team installed; verify it reviewed by observing that
         // the run completes and the app is intact (team state is consumed).
         let app = sim.run(SimTime::from_days(2));

@@ -189,7 +189,11 @@ fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Ce
 
     let mut app = DefendedApp::new(AppConfig::airline(posture.policy()), fork.seed("app"));
     let target = FlightId(1);
-    app.add_flight(Flight::new(target, 180, SimTime::from_days(config.days + 3)));
+    app.add_flight(Flight::new(
+        target,
+        180,
+        SimTime::from_days(config.days + 3),
+    ));
     for f in 2..=3 {
         app.add_flight(Flight::new(
             FlightId(f),
@@ -233,7 +237,13 @@ fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Ce
             let mut cfg = SmsPumperConfig::airline_d(target, end);
             cfg.sms_per_hour = 200.0;
             let rates = fg_smsgw::rates::RateTable::default_world();
-            let (h, agent) = share(SmsPumper::new(cfg, ClientId(1), geo.clone(), &rates, &mut attacker_rng));
+            let (h, agent) = share(SmsPumper::new(
+                cfg,
+                ClientId(1),
+                geo.clone(),
+                &rates,
+                &mut attacker_rng,
+            ));
             sim.add_agent(agent, attack_start);
             (None, Some(h))
         }
@@ -268,8 +278,7 @@ fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Ce
 
     let mut defender = app.defender_ledger();
     // Lost sales: bookers denied by stock while the attack held inventory.
-    defender.lost_sales =
-        Money::from_units(120) * (legit_stats.denied_by_stock.min(10_000));
+    defender.lost_sales = Money::from_units(120) * (legit_stats.denied_by_stock.min(10_000));
 
     Cell {
         posture,
@@ -310,7 +319,9 @@ mod tests {
 
         // DoI: hold ratio under the recommended stack is far below the
         // unprotected cell.
-        let open = r.cell(Posture::Unprotected, AttackKind::SeatSpinning).attack_effect;
+        let open = r
+            .cell(Posture::Unprotected, AttackKind::SeatSpinning)
+            .attack_effect;
         let defended = r
             .cell(Posture::RecommendedHoneypot, AttackKind::SeatSpinning)
             .attack_effect;
@@ -321,7 +332,9 @@ mod tests {
         );
 
         // Pumping: delivered SMS collapse under the recommended stack.
-        let open_sms = r.cell(Posture::Unprotected, AttackKind::SmsPumping).attack_effect;
+        let open_sms = r
+            .cell(Posture::Unprotected, AttackKind::SmsPumping)
+            .attack_effect;
         let defended_sms = r
             .cell(Posture::RecommendedHoneypot, AttackKind::SmsPumping)
             .attack_effect;
@@ -334,16 +347,18 @@ mod tests {
     #[test]
     fn pumping_profit_flips_negative_under_defence() {
         let r = report();
-        let open = r.cell(Posture::Unprotected, AttackKind::SmsPumping).attacker_profit;
+        let open = r
+            .cell(Posture::Unprotected, AttackKind::SmsPumping)
+            .attacker_profit;
         let defended = r
             .cell(Posture::RecommendedHoneypot, AttackKind::SmsPumping)
             .attacker_profit;
         assert!(open.is_positive(), "undefended pumping profits: {open}");
+        assert!(defended < open, "defence cuts profit: {defended} vs {open}");
         assert!(
-            defended < open,
-            "defence cuts profit: {defended} vs {open}"
+            defended.is_negative(),
+            "defended pumping loses money: {defended}"
         );
-        assert!(defended.is_negative(), "defended pumping loses money: {defended}");
     }
 
     #[test]
@@ -359,7 +374,9 @@ mod tests {
         }
         // And unprotected has (near) zero friction by construction.
         assert!(
-            r.cell(Posture::Unprotected, AttackKind::SeatSpinning).legit_friction < 0.01
+            r.cell(Posture::Unprotected, AttackKind::SeatSpinning)
+                .legit_friction
+                < 0.01
         );
     }
 

@@ -19,8 +19,10 @@ use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_telemetry::Telemetry;
 use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
 
 /// Case A configuration.
 #[derive(Clone, Debug)]
@@ -70,6 +72,8 @@ pub struct CaseAReport {
     /// Mean fraction of the target flight locked in holds while the attack
     /// ran.
     pub mean_hold_ratio_during_attack: f64,
+    /// Requests the policy engine hard-blocked over the whole run.
+    pub blocked_requests: u64,
 }
 
 impl fmt::Display for CaseAReport {
@@ -100,20 +104,30 @@ impl fmt::Display for CaseAReport {
             f,
             "  mean hold ratio on target flight during attack: {:.1}%",
             self.mean_hold_ratio_during_attack * 100.0
-        )
+        )?;
+        writeln!(f, "  requests hard-blocked: {}", self.blocked_requests)
     }
 }
 
 /// Runs the Case A scenario.
 pub fn run(config: CaseAConfig) -> CaseAReport {
+    run_with_telemetry(config).0
+}
+
+/// Runs the Case A scenario against a fresh [`Telemetry`] sink and returns
+/// it alongside the report, so callers can export metrics, the decision
+/// audit trail, and per-stage latency profiles for the run.
+pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) {
+    let telemetry = Telemetry::shared();
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let departure = SimTime::from_days(config.departure_day);
     let end = departure;
 
-    let mut app = DefendedApp::new(
+    let mut app = DefendedApp::with_telemetry(
         AppConfig::airline(PolicyConfig::traditional_antibot()),
         config.seed,
+        telemetry.clone(),
     );
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
@@ -187,7 +201,7 @@ pub fn run(config: CaseAConfig) -> CaseAReport {
     let mean_hold_ratio_during_attack = mon
         .borrow()
         .mean_hold_ratio_between(SimTime::ZERO, departure - SimDuration::from_days(2));
-    CaseAReport {
+    let report = CaseAReport {
         mean_rule_to_rotation_hours: if deltas.is_empty() {
             None
         } else {
@@ -197,12 +211,14 @@ pub fn run(config: CaseAConfig) -> CaseAReport {
         rules_deployed: app.policy().rules().len(),
         nip_before_cap: 6,
         nip_after_cap: spinner.chosen_nip(),
-        attack_stopped_at_day: stats
-            .stopped_at
-            .map_or(config.departure_day as f64, |t| t.as_millis() as f64 / 86_400_000.0),
+        attack_stopped_at_day: stats.stopped_at.map_or(config.departure_day as f64, |t| {
+            t.as_millis() as f64 / 86_400_000.0
+        }),
         departure_day: config.departure_day as f64,
         mean_hold_ratio_during_attack,
-    }
+        blocked_requests: app.policy().counts().block,
+    };
+    (report, telemetry)
 }
 
 #[cfg(test)]
@@ -218,7 +234,9 @@ mod tests {
         assert!(report.rotations >= 1, "{report}");
 
         // Rule→rotation delay ≈ the configured 5.3 h reaction.
-        let mean = report.mean_rule_to_rotation_hours.expect("rotations happened");
+        let mean = report
+            .mean_rule_to_rotation_hours
+            .expect("rotations happened");
         assert!(
             (4.0..8.0).contains(&mean),
             "mean rule→rotation {mean:.1} h, expected ≈5.3 h"

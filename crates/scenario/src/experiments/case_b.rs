@@ -25,9 +25,11 @@ use fg_detection::names::{gibberish_score, NameAbuseAnalyzer};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_telemetry::Telemetry;
 use serde::Serialize;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Case B configuration.
 #[derive(Clone, Debug)]
@@ -69,7 +71,10 @@ pub struct CaseBReport {
 
 impl fmt::Display for CaseBReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Case B — automated vs manual Seat Spinning (name heuristics)")?;
+        writeln!(
+            f,
+            "Case B — automated vs manual Seat Spinning (name heuristics)"
+        )?;
         writeln!(
             f,
             "  stream verdicts: automated={} manual={}",
@@ -90,11 +95,22 @@ impl fmt::Display for CaseBReport {
 
 /// Runs the Case B scenario.
 pub fn run(config: CaseBConfig) -> CaseBReport {
+    run_with_telemetry(config).0
+}
+
+/// Runs the Case B scenario against a fresh [`Telemetry`] sink and returns
+/// it alongside the report, for metric/audit/latency export.
+pub fn run_with_telemetry(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>) {
+    let telemetry = Telemetry::shared();
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
-    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
+    let mut app = DefendedApp::with_telemetry(
+        AppConfig::airline(PolicyConfig::unprotected()),
+        config.seed,
+        telemetry.clone(),
+    );
     let capacity = (config.arrivals_per_day * config.days as f64 * 3.0) as u32;
     for f in 1..=3 {
         app.add_flight(Flight::new(FlightId(f), capacity, SimTime::from_days(40)));
@@ -147,12 +163,7 @@ pub fn run(config: CaseBConfig) -> CaseBReport {
         .rotating_birthdate_keys
         .iter()
         .map(String::as_str)
-        .chain(
-            report
-                .permuted_sets
-                .iter()
-                .flat_map(|sig| sig.split('|')),
-        )
+        .chain(report.permuted_sets.iter().flat_map(|sig| sig.split('|')))
         .collect();
 
     let mut confusion = ConfusionMatrix::new();
@@ -192,14 +203,15 @@ pub fn run(config: CaseBConfig) -> CaseBReport {
         confusion.record(truth_is_attack, predicted);
     }
 
-    CaseBReport {
+    let report = CaseBReport {
         automated_flagged: report.automated_suspected(),
         manual_flagged: report.manual_suspected(),
         precision: confusion.precision(),
         recall: confusion.recall(),
         confusion,
         bookings_by_source: by_source,
-    }
+    };
+    (report, telemetry)
 }
 
 #[cfg(test)]

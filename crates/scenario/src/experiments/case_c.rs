@@ -108,7 +108,10 @@ pub struct CaseCReport {
 
 impl fmt::Display for CaseCReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Case C — advanced SMS pumping (Airline D), posture comparison")?;
+        writeln!(
+            f,
+            "Case C — advanced SMS pumping (Airline D), posture comparison"
+        )?;
         let rows: Vec<Vec<String>> = self
             .outcomes
             .iter()
@@ -156,8 +159,8 @@ fn run_posture(
     // Real operators calibrate the path limit from observed traffic; we do
     // the same, using the measured baseline from the no-limits run (a small
     // theoretical estimate is used only when none is available yet).
-    let legit_sms_daily = measured_baseline_daily
-        .unwrap_or(config.arrivals_per_day * (0.35 + 0.45 * 0.72));
+    let legit_sms_daily =
+        measured_baseline_daily.unwrap_or(config.arrivals_per_day * (0.35 + 0.45 * 0.72));
     let path_daily = legit_sms_daily * config.path_limit_headroom;
 
     let mut policy = PolicyConfig::unprotected();
@@ -206,9 +209,7 @@ fn run_posture(
         .logs()
         .iter()
         .find(|l| {
-            l.at >= attack_start
-                && l.endpoint == fg_detection::log::Endpoint::BoardingPass
-                && !l.ok
+            l.at >= attack_start && l.endpoint == fg_detection::log::Endpoint::BoardingPass && !l.ok
         })
         .map(|l| (l.at - attack_start).as_hours_f64());
 
@@ -229,10 +230,11 @@ fn run_posture(
         (attack_rate - base_rate) / base_rate * 100.0
     };
 
-    let baseline_sms_daily = app
-        .gateway()
-        .sent_kind_between(fg_smsgw::message::SmsKind::Otp, SimTime::ZERO, attack_start)
-        as f64
+    let baseline_sms_daily = app.gateway().sent_kind_between(
+        fg_smsgw::message::SmsKind::Otp,
+        SimTime::ZERO,
+        attack_start,
+    ) as f64
         / 7.0
         + baseline_bp as f64 / 7.0;
     let pumper_stats = pumper.borrow().stats();
@@ -276,7 +278,10 @@ mod tests {
             panic!("three outcomes expected");
         };
 
-        assert_eq!(none.detection_latency_hours, None, "no limits → never detected");
+        assert_eq!(
+            none.detection_latency_hours, None,
+            "no limits → never detected"
+        );
         let path_h = path
             .detection_latency_hours
             .expect("path limit eventually trips");

@@ -70,7 +70,11 @@ impl fmt::Display for Fig1Report {
             .iter()
             .zip(&self.weeks)
         {
-            write!(f, "{}", crate::report::render_share_bars(label, &week.shares(), 60))?;
+            write!(
+                f,
+                "{}",
+                crate::report::render_share_bars(label, &week.shares(), 60)
+            )?;
         }
         writeln!(
             f,
@@ -109,7 +113,8 @@ pub fn run(config: Fig1Config) -> Fig1Report {
     // Legitimate population across all flights, all three weeks.
     let mut legit_cfg = LegitConfig::default_airline(flights.clone(), end);
     legit_cfg.arrivals_per_day = config.arrivals_per_day;
-    let (_legit_handle, legit_agent) = share(LegitPopulation::new(legit_cfg, geo.clone(), 1_000_000));
+    let (_legit_handle, legit_agent) =
+        share(LegitPopulation::new(legit_cfg, geo.clone(), 1_000_000));
     sim.add_agent(legit_agent, SimTime::ZERO);
 
     // The attacker joins at the start of week 1, targeting one flight. Its
@@ -131,7 +136,8 @@ pub fn run(config: Fig1Config) -> Fig1Report {
     let app = sim.run(end);
 
     let weeks = [
-        app.reservations().nip_histogram(SimTime::ZERO, SimTime::from_weeks(1), 9),
+        app.reservations()
+            .nip_histogram(SimTime::ZERO, SimTime::from_weeks(1), 9),
         app.reservations()
             .nip_histogram(SimTime::from_weeks(1), SimTime::from_weeks(2), 9),
         app.reservations()
@@ -182,7 +188,10 @@ mod tests {
         // Week 2: the cap kills NiP > 4 and lifts NiP 4 (legit splits +
         // attacker adaptation).
         let w2 = &report.weeks[2];
-        assert_eq!(w2.count(5) + w2.count(6) + w2.count(7) + w2.count(8) + w2.count(9), 0);
+        assert_eq!(
+            w2.count(5) + w2.count(6) + w2.count(7) + w2.count(8) + w2.count(9),
+            0
+        );
         assert!(
             w2.share(4) > w0.share(4) * 2.0,
             "capped week NiP-4 share {} vs baseline {}",

@@ -72,7 +72,10 @@ pub struct HoneypotReport {
 
 impl fmt::Display for HoneypotReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Honeypot economics — blocking vs diversion (same attacker)")?;
+        writeln!(
+            f,
+            "Honeypot economics — blocking vs diversion (same attacker)"
+        )?;
         let row = |o: &ArmOutcome| {
             vec![
                 if o.honeypot { "honeypot" } else { "blocking" }.to_owned(),
@@ -115,7 +118,11 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
 
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
     let target = FlightId(1);
-    app.add_flight(Flight::new(target, 180, SimTime::from_days(config.days + 3)));
+    app.add_flight(Flight::new(
+        target,
+        180,
+        SimTime::from_days(config.days + 3),
+    ));
     app.add_flight(Flight::new(
         FlightId(2),
         (config.arrivals_per_day * config.days as f64 * 2.0) as u32,
@@ -154,7 +161,9 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
 
     let spinner = spinner.borrow();
     let ledger = spinner.ledger();
-    let real_hold_ratio = mon.borrow().mean_hold_ratio_between(SimTime::from_hours(12), end);
+    let real_hold_ratio = mon
+        .borrow()
+        .mean_hold_ratio_between(SimTime::from_hours(12), end);
     let legit_denied_by_stock = legit.borrow().stats().denied_by_stock;
     ArmOutcome {
         honeypot,

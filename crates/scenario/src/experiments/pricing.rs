@@ -78,10 +78,18 @@ pub struct PricingReport {
 
 impl fmt::Display for PricingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Price manipulation — dynamic pricing under DoI suppression")?;
+        writeln!(
+            f,
+            "Price manipulation — dynamic pricing under DoI suppression"
+        )?;
         let row = |a: &PricingArm| {
             vec![
-                if a.manipulated { "manipulated" } else { "healthy" }.to_owned(),
+                if a.manipulated {
+                    "manipulated"
+                } else {
+                    "healthy"
+                }
+                .to_owned(),
                 a.fare_at_deadline.to_string(),
                 a.ticket_revenue.to_string(),
                 a.legit_denied.to_string(),
@@ -116,7 +124,11 @@ fn run_arm(config: &PricingConfig, manipulated: bool) -> (PricingArm, Option<Pri
     let mut app = DefendedApp::new(app_config, config.seed);
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
-    app.add_flight(Flight::new(FlightId(2), 10_000, SimTime::from_days(config.departure_day + 20)));
+    app.add_flight(Flight::new(
+        FlightId(2),
+        10_000,
+        SimTime::from_days(config.departure_day + 20),
+    ));
 
     let mut sim = Simulation::new(app, fork.seed("sim"));
 

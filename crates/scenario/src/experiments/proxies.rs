@@ -70,10 +70,18 @@ pub struct ProxiesReport {
 
 impl fmt::Display for ProxiesReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Proxy ablation — the same spinner vs the same IP-blocking defence")?;
+        writeln!(
+            f,
+            "Proxy ablation — the same spinner vs the same IP-blocking defence"
+        )?;
         let row = |a: &ProxyArm| {
             vec![
-                if a.datacenter { "datacenter" } else { "residential" }.to_owned(),
+                if a.datacenter {
+                    "datacenter"
+                } else {
+                    "residential"
+                }
+                .to_owned(),
                 format!("{:.1}%", a.hold_ratio * 100.0),
                 a.holds_placed.to_string(),
                 a.defence_refusals.to_string(),
@@ -103,11 +111,18 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> ProxyArm {
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
     // A long-memory blocklist: confirmed attack exits stay burned for the
     // whole campaign (the realistic posture for manually curated lists).
-    app.detection_mut().replace_reputation(
-        fg_netsim::reputation::ReputationLedger::new(SimDuration::from_days(14), 3.0, 10.0),
-    );
+    app.detection_mut()
+        .replace_reputation(fg_netsim::reputation::ReputationLedger::new(
+            SimDuration::from_days(14),
+            3.0,
+            10.0,
+        ));
     let target = FlightId(1);
-    app.add_flight(Flight::new(target, 400, SimTime::from_days(config.days + 3)));
+    app.add_flight(Flight::new(
+        target,
+        400,
+        SimTime::from_days(config.days + 3),
+    ));
     app.add_flight(Flight::new(
         FlightId(2),
         (config.arrivals_per_day * config.days as f64 * 2.0) as u32,

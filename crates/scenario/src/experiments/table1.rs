@@ -145,7 +145,9 @@ pub fn run(config: Table1Config) -> Table1Report {
         .surge_table(baseline, window)
         .into_iter()
         .map(|(country, pct)| SurgeRow {
-            baseline: app.gateway().sent_to_between(country, baseline.0, baseline.1),
+            baseline: app
+                .gateway()
+                .sent_to_between(country, baseline.0, baseline.1),
             attack: app.gateway().sent_to_between(country, window.0, window.1),
             country: country_name(country),
             increase_pct: pct,
@@ -198,8 +200,15 @@ mod tests {
         // The head rows are premium/high-cost destinations.
         for row in &report.rows[..3] {
             assert!(
-                ["Uzbekistan", "Iran", "Kyrgyzstan", "Jordan", "Nigeria", "Cambodia"]
-                    .contains(&row.country.as_str()),
+                [
+                    "Uzbekistan",
+                    "Iran",
+                    "Kyrgyzstan",
+                    "Jordan",
+                    "Nigeria",
+                    "Cambodia"
+                ]
+                .contains(&row.country.as_str()),
                 "unexpected head country {}",
                 row.country
             );

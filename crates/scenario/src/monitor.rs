@@ -58,7 +58,11 @@ impl HoldMonitor {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|(_, a)| a.hold_ratio()).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|(_, a)| a.hold_ratio())
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Mean hold ratio within a window `[from, to)`.
@@ -107,7 +111,11 @@ mod tests {
 
     #[test]
     fn ratios_over_synthetic_samples() {
-        let mut m = HoldMonitor::new(FlightId(1), SimDuration::from_hours(1), SimTime::from_days(1));
+        let mut m = HoldMonitor::new(
+            FlightId(1),
+            SimDuration::from_hours(1),
+            SimTime::from_days(1),
+        );
         m.samples = vec![
             (
                 SimTime::from_hours(1),
@@ -137,7 +145,11 @@ mod tests {
 
     #[test]
     fn empty_monitor_is_zero() {
-        let m = HoldMonitor::new(FlightId(1), SimDuration::from_hours(1), SimTime::from_days(1));
+        let m = HoldMonitor::new(
+            FlightId(1),
+            SimDuration::from_hours(1),
+            SimTime::from_days(1),
+        );
         assert_eq!(m.mean_hold_ratio(), 0.0);
         assert_eq!(m.peak_hold_ratio(), 0.0);
     }

@@ -1,9 +1,20 @@
 //! Plain-text table rendering and JSON export for experiment reports.
 
+use fg_telemetry::StageSnapshot;
 use serde::Serialize;
 use std::fmt::Write as _;
 
+/// Display width of a cell in characters (formatting widths in Rust pad by
+/// character, so byte length would misalign any non-ASCII cell).
+fn cell_width(s: &str) -> usize {
+    s.chars().count()
+}
+
 /// Renders rows as a fixed-width ASCII table.
+///
+/// Rows shorter than the header are padded with empty cells; rows *longer*
+/// than the header get extra unnamed columns so no cell is ever silently
+/// dropped.
 ///
 /// # Example
 ///
@@ -18,11 +29,16 @@ use std::fmt::Write as _;
 /// assert!(s.contains("| Increase"));
 /// ```
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let cols = headers.len();
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let cols = headers
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = cell_width(h);
+    }
     for row in rows {
-        for (i, cell) in row.iter().enumerate().take(cols) {
-            widths[i] = widths[i].max(cell.len());
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell_width(cell));
         }
     }
     let mut out = String::new();
@@ -33,13 +49,14 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push_str("+\n");
     };
     rule(&mut out);
-    for (i, h) in headers.iter().enumerate() {
-        let _ = write!(out, "| {h:<width$} ", width = widths[i]);
+    for (i, &width) in widths.iter().enumerate() {
+        let h = headers.get(i).copied().unwrap_or("");
+        let _ = write!(out, "| {h:<width$} ");
     }
     out.push_str("|\n");
     rule(&mut out);
     for row in rows {
-        for (i, &width) in widths.iter().enumerate().take(cols) {
+        for (i, &width) in widths.iter().enumerate() {
             let empty = String::new();
             let cell = row.get(i).unwrap_or(&empty);
             let _ = write!(out, "| {cell:<width$} ");
@@ -48,6 +65,32 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     rule(&mut out);
     out
+}
+
+/// Renders per-stage latency profiles (from
+/// [`fg_telemetry::StageProfiler::snapshot`]) as an ASCII table.
+pub fn render_stage_table(stages: &[StageSnapshot]) -> String {
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                s.count.to_string(),
+                format!("{:.2}", s.total_ms),
+                format!("{:.1}", s.mean_us),
+                format!("{:.1}", s.p50_us),
+                format!("{:.1}", s.p95_us),
+                format!("{:.1}", s.p99_us),
+                format!("{:.1}", s.max_us),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Stage", "Calls", "Total ms", "Mean µs", "p50 µs", "p95 µs", "p99 µs", "Max µs",
+        ],
+        &rows,
+    )
 }
 
 /// Formats a percentage with thousands separators, Table-I style
@@ -104,7 +147,67 @@ mod tests {
         assert!(s.contains("| A    | Longer |"));
         assert!(s.contains("| yyyy | 22     |"));
         let widths: Vec<usize> = s.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines equal width");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines equal width"
+        );
+    }
+
+    #[test]
+    fn ragged_rows_keep_every_cell() {
+        // A row wider than the header grows the table instead of silently
+        // dropping its tail; a narrower row is padded with blanks.
+        let s = render_table(
+            &["A", "B"],
+            &[
+                vec!["1".into(), "2".into(), "overflow".into()],
+                vec!["3".into()],
+            ],
+        );
+        assert!(s.contains("overflow"), "{s}");
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn empty_rows_render_a_headers_only_table() {
+        let s = render_table(&["Only", "Headers"], &[]);
+        assert!(s.contains("| Only | Headers |"));
+        assert_eq!(s.lines().count(), 4, "{s}"); // rule, header, rule, rule
+    }
+
+    #[test]
+    fn unicode_cells_align_by_character_count() {
+        let s = render_table(
+            &["Stage", "p95 µs"],
+            &[
+                vec!["détect.assess".into(), "12.5".into()],
+                vec!["policy".into(), "3.0".into()],
+            ],
+        );
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "columns misaligned:\n{s}"
+        );
+    }
+
+    #[test]
+    fn stage_table_renders_latency_columns() {
+        use fg_telemetry::StageProfiler;
+        use std::time::Duration;
+
+        let mut p = StageProfiler::new();
+        let id = p.stage("detect.assess");
+        for us in [10, 20, 30] {
+            p.record(id, Duration::from_micros(us));
+        }
+        let s = render_stage_table(&p.snapshot());
+        assert!(s.contains("detect.assess"), "{s}");
+        assert!(s.contains("| Calls"), "{s}");
+        assert!(s.contains("p95 µs"), "{s}");
+        // All three samples counted.
+        assert!(s.contains("| 3 "), "{s}");
     }
 
     #[test]

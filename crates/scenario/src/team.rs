@@ -150,9 +150,10 @@ impl SecurityTeam {
                 // sizeable share of the genuine population (mimicry bots use
                 // common configurations by design) and would lock real
                 // customers out — the §V usability/security balance.
-                app.policy_mut()
-                    .rules_mut()
-                    .add_rule(fg_mitigation::blocklist::BlockRule::FingerprintIdentity(hash), now);
+                app.policy_mut().rules_mut().add_rule(
+                    fg_mitigation::blocklist::BlockRule::FingerprintIdentity(hash),
+                    now,
+                );
                 self.already_blocked.insert(hash);
                 outcome.fingerprints_blocked += 1;
                 for &ip in ips_used.get(&hash).into_iter().flatten() {
@@ -195,10 +196,7 @@ mod tests {
     }
 
     fn app() -> DefendedApp {
-        let mut a = DefendedApp::new(
-            AppConfig::airline(PolicyConfig::traditional_antibot()),
-            3,
-        );
+        let mut a = DefendedApp::new(AppConfig::airline(PolicyConfig::traditional_antibot()), 3);
         a.add_flight(Flight::new(FlightId(1), 300, SimTime::from_days(30)));
         a
     }
@@ -213,11 +211,14 @@ mod tests {
         let bot = request(1, true);
         // Ten holds, zero payments in the window.
         for i in 0..10u64 {
-            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31)).unwrap();
+            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31))
+                .unwrap();
         }
         // Control: a human who holds once and pays.
         let human = request(2, false);
-        let b = a.hold(&human, FlightId(1), pax(99), SimTime::from_mins(1)).unwrap();
+        let b = a
+            .hold(&human, FlightId(1), pax(99), SimTime::from_mins(1))
+            .unwrap();
         a.pay(&human, b, SimTime::from_mins(3)).unwrap();
 
         let mut team = SecurityTeam::new(TeamConfig::default());
@@ -226,7 +227,9 @@ mod tests {
         assert_eq!(outcome.ips_reported, 1);
 
         // The bot's next request is blocked; the human's is not.
-        assert!(a.hold(&bot, FlightId(1), pax(20), SimTime::from_hours(7)).defence_refused());
+        assert!(a
+            .hold(&bot, FlightId(1), pax(20), SimTime::from_hours(7))
+            .defence_refused());
         assert!(a.search(&human, SimTime::from_hours(7)).is_ok());
     }
 
@@ -235,11 +238,20 @@ mod tests {
         let mut a = app();
         let bot = request(3, true);
         for i in 0..10u64 {
-            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31)).unwrap();
+            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31))
+                .unwrap();
         }
         let mut team = SecurityTeam::new(TeamConfig::default());
-        assert_eq!(team.review(&mut a, SimTime::from_hours(6)).fingerprints_blocked, 1);
-        assert_eq!(team.review(&mut a, SimTime::from_hours(6)).fingerprints_blocked, 0);
+        assert_eq!(
+            team.review(&mut a, SimTime::from_hours(6))
+                .fingerprints_blocked,
+            1
+        );
+        assert_eq!(
+            team.review(&mut a, SimTime::from_hours(6))
+                .fingerprints_blocked,
+            0
+        );
         assert_eq!(team.reviews(), 2);
     }
 
@@ -263,7 +275,8 @@ mod tests {
         let mut a = app();
         let bot = request(5, true);
         for i in 0..10u64 {
-            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31)).unwrap();
+            a.hold(&bot, FlightId(1), pax(i), SimTime::from_mins(i * 31))
+                .unwrap();
         }
         let mut team = SecurityTeam::new(TeamConfig::default());
         // Review two days later: the activity is out of the 6 h window.

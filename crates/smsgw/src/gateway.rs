@@ -56,6 +56,19 @@ pub struct Gateway {
     quota_window_start: SimTime,
     rejected_quota: u64,
     sent_total: u64,
+    metrics: Option<GatewayMetrics>,
+}
+
+/// Pre-registered telemetry handles so per-send updates stay lock-free.
+#[derive(Clone, Debug)]
+struct GatewayMetrics {
+    telemetry: std::sync::Arc<fg_telemetry::Telemetry>,
+    rejected_quota: fg_telemetry::Counter,
+    owner_cost: fg_telemetry::Gauge,
+    attacker_revenue: fg_telemetry::Gauge,
+    /// Lazily registered per-country counters, cached so only the first
+    /// send to a country touches the registry mutex.
+    per_country: HashMap<CountryCode, fg_telemetry::Counter>,
 }
 
 impl Gateway {
@@ -74,13 +87,31 @@ impl Gateway {
             quota_window_start: SimTime::ZERO,
             rejected_quota: 0,
             sent_total: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry hub; sends then maintain
+    /// `fg_sms_sent_total{country=...}` counters and owner-cost /
+    /// attacker-revenue gauges.
+    pub fn attach_telemetry(&mut self, telemetry: std::sync::Arc<fg_telemetry::Telemetry>) {
+        let registry = telemetry.metrics();
+        self.metrics = Some(GatewayMetrics {
+            rejected_quota: registry.counter("fg_sms_rejected_quota_total"),
+            owner_cost: registry.gauge("fg_sms_owner_cost_units"),
+            attacker_revenue: registry.gauge("fg_sms_attacker_revenue_units"),
+            per_country: HashMap::new(),
+            telemetry,
+        });
     }
 
     /// The default world: [`RateTable::default_world`] routed over
     /// [`OperatorNetwork::default_fraud_world`].
     pub fn default_network() -> Self {
-        Gateway::new(RateTable::default_world(), OperatorNetwork::default_fraud_world())
+        Gateway::new(
+            RateTable::default_world(),
+            OperatorNetwork::default_fraud_world(),
+        )
     }
 
     /// Sets a contracted quota: at most `limit` messages per `window`.
@@ -115,6 +146,9 @@ impl Gateway {
             }
             if self.quota_used >= limit {
                 self.rejected_quota += 1;
+                if let Some(m) = &self.metrics {
+                    m.rejected_quota.inc();
+                }
                 return SendReceipt {
                     delivered: false,
                     quota_exceeded: true,
@@ -138,6 +172,19 @@ impl Gateway {
             .or_insert_with(|| TimeSeries::new(SimTime::ZERO, SimDuration::from_days(1)))
             .record(now, 1);
         self.sent_total += 1;
+
+        if let Some(m) = &mut self.metrics {
+            m.per_country
+                .entry(country)
+                .or_insert_with(|| {
+                    m.telemetry
+                        .metrics()
+                        .counter_with("fg_sms_sent_total", &[("country", country.as_str())])
+                })
+                .inc();
+            m.owner_cost.set(self.owner_cost.as_f64());
+            m.attacker_revenue.set(self.attacker_revenue.as_f64());
+        }
 
         SendReceipt {
             delivered: true,
@@ -182,7 +229,11 @@ impl Gateway {
             .iter()
             .filter_map(|(c, ts)| ts.surge_pct(baseline, window).map(|s| (*c, s)))
             .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("surges are finite").then(a.0.cmp(&b.0)));
+        rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("surges are finite")
+                .then(a.0.cmp(&b.0))
+        });
         rows
     }
 
@@ -230,7 +281,10 @@ mod tests {
     fn accounting_accumulates() {
         let mut gw = Gateway::default_network();
         for i in 0..10 {
-            gw.send(SmsMessage::new(number("GB", i), SmsKind::Otp), SimTime::ZERO);
+            gw.send(
+                SmsMessage::new(number("GB", i), SmsKind::Otp),
+                SimTime::ZERO,
+            );
         }
         assert_eq!(gw.sent_total(), 10);
         assert_eq!(gw.sent_to(CountryCode::new("GB")), 10);
@@ -241,10 +295,59 @@ mod tests {
     #[test]
     fn fraudulent_destination_pays_the_attacker() {
         let mut gw = Gateway::default_network();
-        gw.send(SmsMessage::new(number("UZ", 1), SmsKind::Otp), SimTime::ZERO);
+        gw.send(
+            SmsMessage::new(number("UZ", 1), SmsKind::Otp),
+            SimTime::ZERO,
+        );
         // 28¢ × 70% termination × 60% kickback = 11.76¢
         assert_eq!(gw.attacker_revenue(), Money::from_micros(117_600));
         assert!(gw.attacker_revenue() < gw.owner_cost());
+    }
+
+    #[test]
+    fn telemetry_tracks_countries_and_money_flows() {
+        let telemetry = fg_telemetry::Telemetry::shared();
+        let mut gw = Gateway::default_network();
+        gw.attach_telemetry(telemetry.clone());
+        gw.set_quota(3, SimDuration::from_days(1));
+        for i in 0..3 {
+            gw.send(
+                SmsMessage::new(number("UZ", i), SmsKind::Otp),
+                SimTime::ZERO,
+            );
+        }
+        gw.send(
+            SmsMessage::new(number("GB", 9), SmsKind::Otp),
+            SimTime::ZERO,
+        );
+
+        let snap = telemetry.snapshot().metrics;
+        assert_eq!(
+            snap.counter_value("fg_sms_sent_total", &[("country", "UZ")]),
+            Some(3)
+        );
+        // The fourth send tripped the quota before reaching GB.
+        assert_eq!(
+            snap.counter_value("fg_sms_sent_total", &[("country", "GB")]),
+            None
+        );
+        assert_eq!(
+            snap.counter_value("fg_sms_rejected_quota_total", &[]),
+            Some(1)
+        );
+        assert!(
+            (snap.gauge_value("fg_sms_owner_cost_units", &[]).unwrap() - gw.owner_cost().as_f64())
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (snap
+                .gauge_value("fg_sms_attacker_revenue_units", &[])
+                .unwrap()
+                - gw.attacker_revenue().as_f64())
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -252,7 +355,10 @@ mod tests {
         let mut gw = Gateway::default_network();
         gw.set_quota(3, SimDuration::from_days(1));
         for i in 0..5 {
-            let r = gw.send(SmsMessage::new(number("FR", i), SmsKind::Otp), SimTime::from_hours(i));
+            let r = gw.send(
+                SmsMessage::new(number("FR", i), SmsKind::Otp),
+                SimTime::from_hours(i),
+            );
             assert_eq!(r.delivered, i < 3, "send {i}");
         }
         assert_eq!(gw.rejected_by_quota(), 2);
@@ -269,9 +375,15 @@ mod tests {
     fn quota_rollover_skips_idle_windows() {
         let mut gw = Gateway::default_network();
         gw.set_quota(1, SimDuration::from_days(1));
-        gw.send(SmsMessage::new(number("DE", 1), SmsKind::Otp), SimTime::ZERO);
+        gw.send(
+            SmsMessage::new(number("DE", 1), SmsKind::Otp),
+            SimTime::ZERO,
+        );
         // Five days idle; the window must have rolled, not require five sends.
-        let r = gw.send(SmsMessage::new(number("DE", 2), SmsKind::Otp), SimTime::from_days(5));
+        let r = gw.send(
+            SmsMessage::new(number("DE", 2), SmsKind::Otp),
+            SimTime::from_days(5),
+        );
         assert!(r.delivered);
     }
 
@@ -281,8 +393,14 @@ mod tests {
         // Baseline week: 10 SMS each to UZ and GB.
         for d in 0..5 {
             for i in 0..2 {
-                gw.send(SmsMessage::new(number("UZ", i), SmsKind::Otp), SimTime::from_days(d));
-                gw.send(SmsMessage::new(number("GB", i), SmsKind::Otp), SimTime::from_days(d));
+                gw.send(
+                    SmsMessage::new(number("UZ", i), SmsKind::Otp),
+                    SimTime::from_days(d),
+                );
+                gw.send(
+                    SmsMessage::new(number("GB", i), SmsKind::Otp),
+                    SimTime::from_days(d),
+                );
             }
         }
         // Attack week: 500 to UZ, 12 to GB.
@@ -312,13 +430,19 @@ mod tests {
     fn countries_reached_counts_distinct() {
         let mut gw = Gateway::default_network();
         for code in ["UZ", "IR", "KG", "JO"] {
-            gw.send(SmsMessage::new(number(code, 5), SmsKind::Otp), SimTime::from_days(8));
+            gw.send(
+                SmsMessage::new(number(code, 5), SmsKind::Otp),
+                SimTime::from_days(8),
+            );
         }
         assert_eq!(
             gw.countries_reached_between(SimTime::from_weeks(1), SimTime::from_weeks(2)),
             4
         );
-        assert_eq!(gw.countries_reached_between(SimTime::ZERO, SimTime::from_weeks(1)), 0);
+        assert_eq!(
+            gw.countries_reached_between(SimTime::ZERO, SimTime::from_weeks(1)),
+            0
+        );
     }
 
     #[test]
@@ -326,8 +450,14 @@ mod tests {
         let mut gw = Gateway::default_network();
         let bp = SmsKind::BoardingPass(fg_core::ids::BookingRef::from_index(0));
         gw.send(SmsMessage::new(number("TH", 1), bp), SimTime::ZERO);
-        gw.send(SmsMessage::new(number("TH", 1), SmsKind::Otp), SimTime::ZERO);
-        assert_eq!(gw.sent_kind_between(bp, SimTime::ZERO, SimTime::from_days(1)), 1);
+        gw.send(
+            SmsMessage::new(number("TH", 1), SmsKind::Otp),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            gw.sent_kind_between(bp, SimTime::ZERO, SimTime::from_days(1)),
+            1
+        );
         assert_eq!(
             gw.sent_kind_between(SmsKind::Otp, SimTime::ZERO, SimTime::from_days(1)),
             1
@@ -337,10 +467,17 @@ mod tests {
     #[test]
     fn deregistering_carrier_stops_revenue_mid_run() {
         let mut gw = Gateway::default_network();
-        gw.send(SmsMessage::new(number("UZ", 1), SmsKind::Otp), SimTime::ZERO);
+        gw.send(
+            SmsMessage::new(number("UZ", 1), SmsKind::Otp),
+            SimTime::ZERO,
+        );
         let before = gw.attacker_revenue();
-        gw.network_mut().deregister_fraudulent(CountryCode::new("UZ"));
-        gw.send(SmsMessage::new(number("UZ", 1), SmsKind::Otp), SimTime::ZERO);
+        gw.network_mut()
+            .deregister_fraudulent(CountryCode::new("UZ"));
+        gw.send(
+            SmsMessage::new(number("UZ", 1), SmsKind::Otp),
+            SimTime::ZERO,
+        );
         assert_eq!(gw.attacker_revenue(), before);
     }
 }

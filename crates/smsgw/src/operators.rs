@@ -150,7 +150,10 @@ mod tests {
             net.carrier(CountryCode::new("UZ")),
             CarrierKind::Fraudulent { .. }
         ));
-        assert!(matches!(net.carrier(CountryCode::new("GB")), CarrierKind::Legit));
+        assert!(matches!(
+            net.carrier(CountryCode::new("GB")),
+            CarrierKind::Legit
+        ));
         assert_eq!(net.fraudulent_countries().len(), 6);
     }
 
@@ -179,7 +182,9 @@ mod tests {
 
     #[test]
     fn shares_clamped() {
-        let k = CarrierKind::Fraudulent { attacker_share: 2.0 };
+        let k = CarrierKind::Fraudulent {
+            attacker_share: 2.0,
+        };
         assert_eq!(k.attacker_share(), 1.0);
         assert_eq!(CarrierKind::Legit.attacker_share(), 0.0);
     }
@@ -188,7 +193,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(CarrierKind::Legit.to_string(), "legit");
         assert_eq!(
-            CarrierKind::Fraudulent { attacker_share: 0.5 }.to_string(),
+            CarrierKind::Fraudulent {
+                attacker_share: 0.5
+            }
+            .to_string(),
             "fraudulent(50% kickback)"
         );
     }

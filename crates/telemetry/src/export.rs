@@ -1,0 +1,251 @@
+//! Exporters: a JSON artifact (via `serde_json`) and Prometheus text
+//! exposition format. The ASCII table renderer lives in
+//! `fg_scenario::report`, which already owns table layout for the rest of
+//! the reports.
+
+use crate::audit::AuditSnapshot;
+use crate::metrics::{MetricName, MetricsSnapshot};
+use crate::profile::StageSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A complete point-in-time export of a [`crate::Telemetry`] instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Counters, gauges, histograms.
+    pub metrics: MetricsSnapshot,
+    /// Per-stage latency statistics.
+    pub stages: Vec<StageSnapshot>,
+    /// The decision audit trail.
+    pub audit: AuditSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("telemetry snapshots serialize cleanly")
+    }
+
+    /// Renders metrics and stage latencies in Prometheus text exposition
+    /// format. Stage latencies appear as `summary` metrics in seconds under
+    /// `fg_stage_latency_seconds`; the audit trail is JSON-only.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut last_type_header = String::new();
+        let mut type_header = |out: &mut String, name: &str, kind: &str| {
+            if last_type_header != name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type_header = name.to_owned();
+            }
+        };
+
+        for c in &self.metrics.counters {
+            let name = sanitize(&c.name.name);
+            type_header(&mut out, &name, "counter");
+            let _ = writeln!(out, "{}{} {}", name, render_labels(&c.name, &[]), c.value);
+        }
+        for g in &self.metrics.gauges {
+            let name = sanitize(&g.name.name);
+            type_header(&mut out, &name, "gauge");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                name,
+                render_labels(&g.name, &[]),
+                render_f64(g.value)
+            );
+        }
+        for h in &self.metrics.histograms {
+            let name = sanitize(&h.name.name);
+            type_header(&mut out, &name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                cumulative += bucket;
+                let le = match h.bounds.get(i) {
+                    Some(b) => render_f64(*b),
+                    None => "+Inf".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    name,
+                    render_labels(&h.name, &[("le", &le)]),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                name,
+                render_labels(&h.name, &[]),
+                render_f64(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                name,
+                render_labels(&h.name, &[]),
+                h.count
+            );
+        }
+
+        if !self.stages.is_empty() {
+            let name = "fg_stage_latency_seconds";
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for s in &self.stages {
+                for (q, v_us) in [("0.5", s.p50_us), ("0.95", s.p95_us), ("0.99", s.p99_us)] {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{stage=\"{}\",quantile=\"{q}\"}} {}",
+                        escape_label(&s.stage),
+                        render_f64(v_us * 1e-6)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{{stage=\"{}\"}} {}",
+                    escape_label(&s.stage),
+                    render_f64(s.total_ms * 1e-3)
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_count{{stage=\"{}\"}} {}",
+                    escape_label(&s.stage),
+                    s.count
+                );
+            }
+        }
+
+        out
+    }
+}
+
+/// Restricts a metric name to Prometheus' `[a-zA-Z0-9_:]` alphabet.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` combining a metric's own labels with extras
+/// (used for histogram `le`). Empty when there are no labels at all.
+fn render_labels(name: &MetricName, extra: &[(&str, &str)]) -> String {
+    if name.labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts = Vec::with_capacity(name.labels.len() + extra.len());
+    for (k, v) in &name.labels {
+        parts.push(format!("{}=\"{}\"", sanitize(k), escape_label(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Prometheus-friendly float rendering: integral values keep a trailing
+/// `.0`-free form only where unambiguous; non-finite values are spelled out.
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditTrail;
+    use crate::metrics::MetricsRegistry;
+    use crate::profile::StageProfiler;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("fg_sms_sent_total", &[("country", "UZ")])
+            .add(12);
+        registry.gauge("fg_ticket_revenue_units").set(1234.5);
+        let h = registry.histogram("fg_detection_score", &[0.25, 0.5, 0.75, 1.0]);
+        h.record(0.1);
+        h.record(0.6);
+        h.record(0.97);
+        let mut profiler = StageProfiler::new();
+        profiler.record_named("policy.decide", Duration::from_micros(20));
+        TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: profiler.snapshot(),
+            audit: AuditTrail::new(4).snapshot(),
+        }
+    }
+
+    #[test]
+    fn prometheus_renders_counters_gauges_histograms() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fg_sms_sent_total counter"), "{text}");
+        assert!(
+            text.contains("fg_sms_sent_total{country=\"UZ\"} 12"),
+            "{text}"
+        );
+        assert!(text.contains("fg_ticket_revenue_units 1234.5"), "{text}");
+        assert!(
+            text.contains("# TYPE fg_detection_score histogram"),
+            "{text}"
+        );
+        // Buckets are cumulative and end at +Inf.
+        assert!(
+            text.contains("fg_detection_score_bucket{le=\"0.25\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fg_detection_score_bucket{le=\"0.75\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fg_detection_score_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("fg_detection_score_count 3"), "{text}");
+        // Stage latencies render as a summary in seconds.
+        assert!(
+            text.contains("fg_stage_latency_seconds{stage=\"policy.decide\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fg_stage_latency_seconds_count{stage=\"policy.decide\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn names_are_sanitized_and_labels_escaped() {
+        assert_eq!(sanitize("detect.ip-velocity"), "detect_ip_velocity");
+        assert_eq!(escape_label("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+}

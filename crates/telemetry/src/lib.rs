@@ -1,0 +1,191 @@
+//! **fg-telemetry** — metrics, decision audit trail, and pipeline profiling
+//! for the defence stack.
+//!
+//! The paper's case studies (§IV) repeatedly hinge on *post-hoc
+//! explainability*: the airline's security team reasons about which signal
+//! caught which identity, and the defender's economics depend on knowing
+//! where requests were stopped. This crate gives the simulated defence the
+//! same observability a production stack would have, in three layers:
+//!
+//! 1. **Metrics** ([`metrics`]) — pre-registered counters, gauges and
+//!    fixed-bucket histograms whose hot-path cost is a single relaxed
+//!    atomic write.
+//! 2. **Audit trail** ([`audit`]) — a bounded ring buffer recording, for
+//!    every request through the defended app, the detection signals that
+//!    fired and the policy engine's machine-readable reason chain, so a
+//!    run can be queried after the fact ("show me every honeypot routing
+//!    and which signal triggered it").
+//! 3. **Profiling** ([`profile`]) — wall-clock timers around each
+//!    detection signal and mitigation stage, aggregated into exact
+//!    p50/p95/p99 via `fg_core::stats::Summary`.
+//!
+//! [`export::TelemetrySnapshot`] serialises all three as a JSON artifact or
+//! Prometheus text exposition; `fg_scenario::report` renders the ASCII
+//! tables.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_telemetry::Telemetry;
+//! use std::time::Duration;
+//!
+//! let telemetry = Telemetry::shared();
+//! let requests = telemetry.metrics().counter("fg_requests_total");
+//! requests.inc(); // hot path: one atomic add
+//! telemetry.record_stage("policy.decide", Duration::from_micros(12));
+//!
+//! let snapshot = telemetry.snapshot();
+//! assert_eq!(snapshot.metrics.counter_value("fg_requests_total", &[]), Some(1));
+//! assert!(snapshot.to_prometheus().contains("fg_requests_total 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod export;
+pub mod metrics;
+pub mod profile;
+
+pub use audit::{AuditRecord, AuditSnapshot, AuditTrail, SignalScore};
+pub use export::TelemetrySnapshot;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{StageProfiler, StageSnapshot};
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Default audit-trail capacity: generous enough that a two-week case-study
+/// run keeps every decision, bounded so memory stays predictable.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 65_536;
+
+/// The facade instrumented components share (typically as
+/// `Arc<Telemetry>`): a metrics registry, the audit trail, and the stage
+/// profiler.
+#[derive(Debug)]
+pub struct Telemetry {
+    metrics: MetricsRegistry,
+    audit: Mutex<AuditTrail>,
+    profiler: Mutex<StageProfiler>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::with_audit_capacity(DEFAULT_AUDIT_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// Creates a telemetry hub with the default audit capacity.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Creates a telemetry hub retaining at most `capacity` audit records.
+    pub fn with_audit_capacity(capacity: usize) -> Self {
+        Telemetry {
+            metrics: MetricsRegistry::new(),
+            audit: Mutex::new(AuditTrail::new(capacity)),
+            profiler: Mutex::new(StageProfiler::new()),
+        }
+    }
+
+    /// Convenience constructor for the common `Arc`-shared form.
+    pub fn shared() -> Arc<Telemetry> {
+        Arc::new(Telemetry::new())
+    }
+
+    /// The metrics registry (register handles once, increment lock-free).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Locks and returns the audit trail for querying.
+    pub fn audit(&self) -> MutexGuard<'_, AuditTrail> {
+        self.audit.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one record to the audit trail.
+    pub fn record_audit(&self, record: AuditRecord) {
+        self.audit().push(record);
+    }
+
+    /// Locks and returns the stage profiler.
+    pub fn profiler(&self) -> MutexGuard<'_, StageProfiler> {
+        self.profiler.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one latency sample against a named stage.
+    pub fn record_stage(&self, stage: &str, elapsed: Duration) {
+        self.profiler().record_named(stage, elapsed);
+    }
+
+    /// Starts a timer that records into `stage` when dropped.
+    pub fn time(&self, stage: &'static str) -> StageTimer<'_> {
+        StageTimer {
+            telemetry: self,
+            stage,
+            start: Instant::now(),
+        }
+    }
+
+    /// Captures metrics, stage latencies, and the audit trail at once.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: self.metrics.snapshot(),
+            stages: self.profiler().snapshot(),
+            audit: self.audit().snapshot(),
+        }
+    }
+}
+
+/// RAII stage timer returned by [`Telemetry::time`]; records the elapsed
+/// wall-clock time into the profiler on drop.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    telemetry: &'a Telemetry,
+    stage: &'static str,
+    start: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.telemetry
+            .record_stage(self.stage, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_wires_all_three_layers() {
+        let t = Telemetry::with_audit_capacity(4);
+        t.metrics().counter("fg_requests_total").inc();
+        {
+            let _timer = t.time("gate.total");
+        }
+        t.record_audit(AuditRecord {
+            at: fg_core::time::SimTime::from_secs(1),
+            endpoint: "/search".to_owned(),
+            client: 9,
+            fingerprint: 0xF00D,
+            ip: "10.1.2.3".to_owned(),
+            score: 0.0,
+            signals: Vec::new(),
+            decision: "allow".to_owned(),
+            reasons: vec!["clean".to_owned()],
+        });
+
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.metrics.counter_value("fg_requests_total", &[]),
+            Some(1)
+        );
+        assert_eq!(snap.stages.len(), 1);
+        assert_eq!(snap.stages[0].stage, "gate.total");
+        assert_eq!(snap.audit.recorded, 1);
+        assert_eq!(snap.audit.decision_total("allow"), 1);
+    }
+}

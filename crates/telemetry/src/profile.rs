@@ -1,0 +1,155 @@
+//! Per-stage wall-clock profiling of the defence pipeline.
+//!
+//! Each named stage (a detection signal, a policy decision, a team review
+//! pass) accumulates its latencies into an `fg_core::stats::Summary`, which
+//! retains samples for exact nearest-rank percentiles — the p50/p95/p99
+//! reported per stage.
+
+use fg_core::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Handle to a registered stage; indexes the profiler's stage table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageId(usize);
+
+#[derive(Clone, Debug)]
+struct StageStats {
+    name: String,
+    nanos: Summary,
+}
+
+/// Accumulates wall-clock latencies per named pipeline stage.
+#[derive(Clone, Debug, Default)]
+pub struct StageProfiler {
+    stages: Vec<StageStats>,
+    index: HashMap<String, usize>,
+}
+
+impl StageProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        StageProfiler::default()
+    }
+
+    /// Registers (or fetches) a stage by name.
+    pub fn stage(&mut self, name: &str) -> StageId {
+        if let Some(&i) = self.index.get(name) {
+            return StageId(i);
+        }
+        let i = self.stages.len();
+        self.stages.push(StageStats {
+            name: name.to_owned(),
+            nanos: Summary::new(),
+        });
+        self.index.insert(name.to_owned(), i);
+        StageId(i)
+    }
+
+    /// Records one latency sample for a pre-registered stage.
+    pub fn record(&mut self, id: StageId, elapsed: Duration) {
+        self.stages[id.0].nanos.record(elapsed.as_nanos() as f64);
+    }
+
+    /// Records one latency sample, registering the stage if needed.
+    pub fn record_named(&mut self, name: &str, elapsed: Duration) {
+        let id = self.stage(name);
+        self.record(id, elapsed);
+    }
+
+    /// Number of registered stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if no stage is registered.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Per-stage latency statistics, in registration order. Stages that
+    /// never recorded a sample are skipped.
+    pub fn snapshot(&self) -> Vec<StageSnapshot> {
+        self.stages
+            .iter()
+            .filter(|s| !s.nanos.is_empty())
+            .map(|s| {
+                let us = 1e-3;
+                StageSnapshot {
+                    stage: s.name.clone(),
+                    count: s.nanos.count() as u64,
+                    total_ms: s.nanos.sum() * 1e-6,
+                    mean_us: s.nanos.mean() * us,
+                    p50_us: s.nanos.percentile(50.0).unwrap_or(0.0) * us,
+                    p95_us: s.nanos.percentile(95.0).unwrap_or(0.0) * us,
+                    p99_us: s.nanos.percentile(99.0).unwrap_or(0.0) * us,
+                    max_us: s.nanos.max().unwrap_or(0.0) * us,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One stage's latency statistics, in microseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name, e.g. `detect.ip-velocity`.
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Total time spent in the stage, milliseconds.
+    pub total_ms: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst-case latency, microseconds.
+    pub max_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_register_idempotently() {
+        let mut p = StageProfiler::new();
+        let a = p.stage("detect.assess");
+        let b = p.stage("detect.assess");
+        assert_eq!(a, b);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn percentiles_come_from_recorded_samples() {
+        let mut p = StageProfiler::new();
+        let id = p.stage("policy.decide");
+        for us in 1..=100u64 {
+            p.record(id, Duration::from_micros(us));
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 1);
+        let s = &snap[0];
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 50.0).abs() < 1e-6, "p50 {}", s.p50_us);
+        assert!((s.p95_us - 95.0).abs() < 1e-6, "p95 {}", s.p95_us);
+        assert!((s.p99_us - 99.0).abs() < 1e-6, "p99 {}", s.p99_us);
+        assert!((s.max_us - 100.0).abs() < 1e-6, "max {}", s.max_us);
+        assert!((s.total_ms - 5.05).abs() < 1e-6, "total {}", s.total_ms);
+    }
+
+    #[test]
+    fn empty_stages_are_omitted_from_snapshots() {
+        let mut p = StageProfiler::new();
+        let _never_recorded = p.stage("gate.captcha");
+        p.record_named("detect.assess", Duration::from_micros(3));
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].stage, "detect.assess");
+    }
+}

@@ -38,10 +38,8 @@ fn main() {
         SimTime::from_hours(2),
     );
 
-    let legit_cfg = LegitConfig::default_airline(
-        vec![FlightId(1), FlightId(2)],
-        SimTime::from_days(3),
-    );
+    let legit_cfg =
+        LegitConfig::default_airline(vec![FlightId(1), FlightId(2)], SimTime::from_days(3));
     let (legit, legit_agent) = share(LegitPopulation::new(legit_cfg, geo.clone(), 1_000_000));
     sim.add_agent(legit_agent, SimTime::ZERO);
 

@@ -2,7 +2,7 @@
 //! flowing into policy decisions, the security-team loop, the honeypot, and
 //! the attacker's adaptation, all through public APIs.
 
-use fg_behavior::api::{App, ApiOutcome, ClientRequest};
+use fg_behavior::api::{ApiOutcome, App, ClientRequest};
 use fg_behavior::{SeatSpinner, SeatSpinnerConfig};
 use fg_core::ids::{ClientId, CountryCode, FlightId};
 use fg_core::time::{SimDuration, SimTime};
@@ -35,10 +35,7 @@ fn human_request(seed: u64) -> ClientRequest {
 fn naive_bot_is_stopped_at_the_first_request() {
     // A bot with a leaking webdriver flag never gets one hold through the
     // traditional posture.
-    let mut app = DefendedApp::new(
-        AppConfig::airline(PolicyConfig::traditional_antibot()),
-        1,
-    );
+    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::traditional_antibot()), 1);
     app.add_flight(Flight::new(FlightId(1), 180, SimTime::from_days(30)));
 
     let mut req = human_request(1);
@@ -58,10 +55,7 @@ fn naive_bot_is_stopped_at_the_first_request() {
 #[test]
 fn team_and_rotation_arms_race_runs_multiple_rounds() {
     let geo = GeoDatabase::default_world();
-    let mut app = DefendedApp::new(
-        AppConfig::airline(PolicyConfig::traditional_antibot()),
-        2,
-    );
+    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::traditional_antibot()), 2);
     app.add_flight(Flight::new(FlightId(1), 180, SimTime::from_days(20)));
 
     let mut sim = Simulation::new(app, 2);
@@ -83,7 +77,11 @@ fn team_and_rotation_arms_race_runs_multiple_rounds() {
 
     // Multiple block rules were deployed and multiple rotations answered
     // them — the §IV-A cycle, several rounds deep.
-    assert!(app.policy().rules().len() >= 3, "rules {}", app.policy().rules().len());
+    assert!(
+        app.policy().rules().len() >= 3,
+        "rules {}",
+        app.policy().rules().len()
+    );
     assert!(
         bot.borrow().rotation_times().len() >= 3,
         "rotations {}",
@@ -129,12 +127,13 @@ fn honeypot_keeps_attacker_spending_without_real_harm() {
 
     // After the team flags the bot, it lives in the decoy: fake holds pile
     // up, real inventory recovers, and the bot keeps "succeeding".
-    assert!(app.honeypot().stats().holds_absorbed > 20, "{:?}", app.honeypot().stats());
-    let avail = app.reservations().availability(FlightId(1)).unwrap();
     assert!(
-        avail.held < 90,
-        "real holds bounded once diverted: {avail}"
+        app.honeypot().stats().holds_absorbed > 20,
+        "{:?}",
+        app.honeypot().stats()
     );
+    let avail = app.reservations().availability(FlightId(1)).unwrap();
+    assert!(avail.held < 90, "real holds bounded once diverted: {avail}");
     // The bot's view: most recent holds succeeded (it has no reason to
     // rotate aggressively).
     assert!(bot.borrow().stats().holds_placed > 50);
@@ -142,10 +141,7 @@ fn honeypot_keeps_attacker_spending_without_real_harm() {
 
 #[test]
 fn security_team_review_is_side_effect_free_for_humans() {
-    let mut app = DefendedApp::new(
-        AppConfig::airline(PolicyConfig::traditional_antibot()),
-        4,
-    );
+    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::traditional_antibot()), 4);
     app.add_flight(Flight::new(FlightId(1), 1_000, SimTime::from_days(30)));
 
     // Twenty distinct humans book and pay normally.

@@ -29,7 +29,11 @@ fn build_world(policy: PolicyConfig, seed: u64, days: u64) -> World {
     let end = SimTime::from_days(days);
     let mut app = DefendedApp::new(AppConfig::airline(policy), seed);
     app.add_flight(Flight::new(FlightId(1), 180, SimTime::from_days(days + 3)));
-    app.add_flight(Flight::new(FlightId(2), 50_000, SimTime::from_days(days + 30)));
+    app.add_flight(Flight::new(
+        FlightId(2),
+        50_000,
+        SimTime::from_days(days + 30),
+    ));
 
     let mut sim = Simulation::new(app, seed);
     let (legit, legit_agent) = share(LegitPopulation::new(
@@ -75,9 +79,7 @@ fn undefended_spinner_denies_inventory_and_never_buys() {
     let paid_by_bot = app
         .reservations()
         .bookings()
-        .filter(|b| {
-            b.status() == BookingStatus::Paid || b.status() == BookingStatus::Ticketed
-        })
+        .filter(|b| b.status() == BookingStatus::Paid || b.status() == BookingStatus::Ticketed)
         .count() as u64;
     let legit_paid = legit.borrow().stats().paid;
     assert!(paid_by_bot <= legit_paid, "only legit bookings convert");

@@ -23,7 +23,11 @@ fn pumping_world(
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(days);
     let mut app = DefendedApp::new(AppConfig::airline(policy), seed);
-    app.add_flight(Flight::new(FlightId(1), 50_000, SimTime::from_days(days + 30)));
+    app.add_flight(Flight::new(
+        FlightId(1),
+        50_000,
+        SimTime::from_days(days + 30),
+    ));
 
     let mut sim = Simulation::new(app, seed);
     let (_legit, legit_agent) = share(LegitPopulation::new(

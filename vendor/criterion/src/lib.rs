@@ -1,0 +1,327 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, and `Bencher::iter`
+//! — backed by a deliberately small measurement loop: a warm-up pass, then
+//! a timed pass, reporting mean time per iteration. Pass `--test` (as
+//! `cargo test --benches` does) to run each benchmark body once and skip
+//! measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_benchmark(name, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Benchmarks a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &label,
+            self.effective_sample_size(),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input under `group/name`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the string label benchmarks report under.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing handle handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to produce a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.ran = true;
+        if self.iterations <= 1 {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations = self.iterations.max(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    // Test mode: execute the body once so assertions run, skip measurement.
+    if test_mode {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+            ran: false,
+        };
+        f(&mut b);
+        println!("{label}: ok (test mode)");
+        return;
+    }
+
+    // Calibration: run single iterations until ~10ms elapses to pick an
+    // iteration count that keeps the whole benchmark bounded.
+    let mut probe = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+        ran: false,
+    };
+    let calibration_start = Instant::now();
+    let mut probes = 0u64;
+    while calibration_start.elapsed() < Duration::from_millis(10) && probes < 1_000 {
+        f(&mut probe);
+        probes += 1;
+    }
+    if !probe.ran {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let per_iter = probe.elapsed.as_secs_f64() / probe.iterations.max(1) as f64;
+    // Budget ~200ms of measurement across the requested samples.
+    let budget = 0.2_f64;
+    let total_iters = (budget / per_iter.max(1e-9)).clamp(1.0, 5e7) as u64;
+    let iters_per_sample = (total_iters / sample_size as u64).max(1);
+
+    let mut elapsed = Duration::ZERO;
+    let mut iterations = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iterations: iters_per_sample,
+            elapsed: Duration::ZERO,
+            ran: false,
+        };
+        f(&mut b);
+        elapsed += b.elapsed;
+        iterations += b.iterations;
+    }
+    let mean = Duration::from_secs_f64(elapsed.as_secs_f64() / iterations.max(1) as f64);
+    println!(
+        "{label}: {} per iteration ({iterations} iterations)",
+        format_duration(mean)
+    );
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_render_labels() {
+        assert_eq!(
+            BenchmarkId::new("keyed_limiter", 100).into_benchmark_id(),
+            "keyed_limiter/100"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iterations: 25,
+            elapsed: Duration::ZERO,
+            ran: false,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 25);
+        assert!(b.ran);
+    }
+
+    #[test]
+    fn harness_runs_everything_in_test_mode() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("a", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("b", 3), &3, |b, &x| {
+            b.iter(|| ran += x);
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn durations_format_human_readably() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

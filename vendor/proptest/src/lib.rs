@@ -1,0 +1,410 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Supports the strategy surface this workspace uses — numeric `Range`s,
+//! tuples of strategies, `any::<bool>()`, and `collection::vec` — driven by
+//! a deterministic runner that executes a fixed number of cases per
+//! property. There is no shrinking: a failing case reports its inputs via
+//! the panic message instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = rng.below_u128(span);
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )+};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            v.min(self.end - (self.end - self.start) * f64::EPSILON)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let wide = Range {
+                start: f64::from(self.start),
+                end: f64::from(self.end),
+            };
+            wide.generate(rng) as f32
+        }
+    }
+
+    /// Strategy generating uniformly random `bool`s (`any::<bool>()`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+    );
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait behind `any::<T>()`.
+
+    use crate::strategy::{AnyBool, Strategy};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+/// The canonical strategy for a type: `any::<bool>()` etc.
+pub fn any<A: arbitrary::Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A length specification for collection strategies: either an exact
+    /// `usize` or a half-open `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for `Vec`s with `size` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u128;
+            let len = self.size.start + rng.below_u128(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner and its error type.
+
+    use std::fmt;
+
+    /// Number of cases executed per property (matches upstream's default).
+    pub const CASES: u64 = 256;
+
+    /// A failed or rejected test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic RNG feeding the strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniformly random value in `[0, bound)`; `bound` must fit the
+        /// strategies' span arithmetic (`bound <= u64::MAX + 1`).
+        pub fn below_u128(&mut self, bound: u128) -> u64 {
+            assert!(bound > 0 && bound <= (u64::MAX as u128) + 1);
+            // Widening-multiply range reduction; the bias is far below
+            // anything a 256-case property test could observe.
+            ((u128::from(self.next_u64()) * bound) >> 64) as u64
+        }
+
+        /// A uniformly random `f64` in `[0, 1)` with 53 random bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for b in text.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Runs `body` for [`CASES`] deterministic cases, panicking on the first
+    /// failure with the case number (re-runnable: seeding depends only on
+    /// the property name and case index).
+    pub fn run(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let base = fnv1a(name);
+        for case in 0..CASES {
+            let mut rng = TestRng::new(base ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+            if let Err(e) = body(&mut rng) {
+                panic!("property `{name}` failed at case {case}/{CASES}: {e}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test module needs in scope.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(stringify!($name), |prop_rng| {
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(
+                    &($($strat,)+),
+                    prop_rng,
+                );
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the current case (rather
+/// than panicking) so the runner can report which case failed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..10_000 {
+            let v = (5u8..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let s = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&s));
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_reachable() {
+        let mut rng = TestRng::new(2);
+        let mut high = false;
+        for _ in 0..1_000 {
+            let v = (0u64..u64::MAX).generate(&mut rng);
+            high |= v > u64::MAX / 2;
+        }
+        assert!(high, "upper half of u64 range never sampled");
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1_000 {
+            let exact = crate::collection::vec(0u8..10, 7).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = crate::collection::vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first = Vec::new();
+        crate::test_runner::run("det", |rng| {
+            first.push((0u32..1_000).generate(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run("det", |rng| {
+            second.push((0u32..1_000).generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), crate::test_runner::CASES as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_the_property_name() {
+        crate::test_runner::run("always_fails", |_| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+
+    proptest! {
+        /// The macro itself: patterns (incl. `mut`), tuples, vec, any.
+        #[test]
+        fn macro_surface(
+            mut xs in crate::collection::vec((0u8..4, any::<bool>()), 1..20),
+            scale in 1u64..5,
+        ) {
+            xs.push((0, true));
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(scale < 5, true);
+        }
+    }
+}

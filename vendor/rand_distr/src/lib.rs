@@ -1,0 +1,94 @@
+//! Offline API-compatible subset of `rand_distr`: the distributions the
+//! workspace actually samples (currently the exponential distribution used
+//! for legitimate-traffic inter-arrival times).
+
+#![forbid(unsafe_code)]
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate parameter λ was not a positive finite number.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exponential rate must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)`, sampled by inversion.
+///
+/// # Example
+///
+/// ```
+/// use rand_distr::{Distribution, Exp};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let exp = Exp::new(0.5).unwrap();
+/// let v = exp.sample(&mut StdRng::seed_from_u64(1));
+/// assert!(v >= 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    pub fn new(lambda: f64) -> Result<Exp, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = rng.gen();
+        // unit is in [0, 1), so 1 - unit is in (0, 1] and ln() is finite.
+        -(1.0 - unit).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mean_approximates_reciprocal_rate() {
+        let exp = Exp::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let exp = Exp::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let v = exp.sample(&mut rng);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

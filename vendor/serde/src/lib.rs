@@ -1,0 +1,640 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! The build environment has no crates registry, so the workspace vendors a
+//! compact serialization framework under the same crate name. Instead of the
+//! upstream visitor-based architecture, everything routes through one
+//! in-memory tree, [`value::Value`]:
+//!
+//! * [`Serialize`] converts a type **to** a [`value::Value`];
+//! * [`Deserialize`] reconstructs a type **from** a [`value::Value`];
+//! * the derive macros (re-exported from `serde_derive`) generate both for
+//!   structs and enums, mirroring upstream's externally-tagged enum format;
+//! * the `serde_json` vendor crate renders and parses `Value` as JSON text.
+//!
+//! The surface is exactly what this workspace uses; it is not a general
+//! replacement for serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The in-memory data model shared by `Serialize` and `Deserialize`.
+
+    use std::fmt;
+
+    /// A serialized value tree (the JSON data model plus distinct signed /
+    /// unsigned integers so `u64` and `i64` round-trip losslessly).
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// Null / unit.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        Int(i64),
+        /// Unsigned integer (used when the value exceeds `i64::MAX`).
+        UInt(u64),
+        /// Floating point.
+        Float(f64),
+        /// String.
+        String(String),
+        /// Ordered sequence.
+        Array(Vec<Value>),
+        /// Ordered key/value map (declaration order for derived structs).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A signed-integer view accepting both integer variants.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        /// An unsigned-integer view accepting both integer variants.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) => u64::try_from(*i).ok(),
+                Value::UInt(u) => Some(*u),
+                _ => None,
+            }
+        }
+
+        /// A float view accepting every numeric variant.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// Looks up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()
+                .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// A short human-readable name of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "float",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+
+    /// Deserialization error.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct DeError {
+        message: String,
+    }
+
+    impl DeError {
+        /// Creates an error with the given message.
+        pub fn custom(message: impl Into<String>) -> Self {
+            DeError {
+                message: message.into(),
+            }
+        }
+
+        /// A "found the wrong shape" error.
+        pub fn mismatch(expected: &str, found: &Value) -> Self {
+            DeError::custom(format!("expected {expected}, found {}", found.kind()))
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Looks up a required struct field in a decoded object (helper used by
+    /// the `Deserialize` derive).
+    pub fn get_field<'a>(pairs: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+    }
+}
+
+use value::{DeError, Value};
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::mismatch(stringify!($t), v))
+            }
+        }
+    )+};
+}
+impl_serde_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = u64::from(*self);
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::mismatch(stringify!($t), v))
+            }
+        }
+    )+};
+}
+impl_serde_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_u64()
+            .and_then(|u| usize::try_from(u).ok())
+            .ok_or_else(|| DeError::mismatch("usize", v))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_i64()
+            .and_then(|i| isize::try_from(i).ok())
+            .ok_or_else(|| DeError::mismatch("isize", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::mismatch("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::mismatch("f32", v))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::mismatch("single-character string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::mismatch("string", v))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::mismatch("null", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {found}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::mismatch("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+fn key_to_string(key: Value) -> String {
+    match key {
+        Value::String(s) => s,
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    // Try the string itself first, then numeric reinterpretations — enough
+    // to round-trip every key type the workspace uses.
+    if let Ok(k) = K::from_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Float(f)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::custom(format!(
+        "cannot rebuild map key from `{key}`"
+    )))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+            .collect();
+        // Hash iteration order is arbitrary; sort for stable artifacts.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::mismatch("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::mismatch("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        // Hash iteration order is arbitrary; sort the rendered values for
+        // stable artifacts.
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(items)
+    }
+}
+
+impl<T> Deserialize for std::collections::HashSet<T>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+    }
+
+    #[test]
+    fn u64_beyond_i64_uses_uint() {
+        let big = u64::MAX;
+        assert_eq!(big.to_value(), Value::UInt(big));
+        assert_eq!(u64::from_value(&Value::UInt(big)), Ok(big));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(Some(3u32).to_value(), Value::Int(3));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Int(3)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn vec_and_array_round_trip() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()), Ok(xs));
+        let arr = [9u8, 8, 7];
+        assert_eq!(<[u8; 3]>::from_value(&arr.to_value()), Ok(arr));
+        assert!(<[u8; 4]>::from_value(&arr.to_value()).is_err());
+    }
+
+    #[test]
+    fn maps_serialize_with_sorted_string_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(2u32, "b".to_owned());
+        m.insert(1u32, "a".to_owned());
+        let v = m.to_value();
+        let pairs = v.as_object().unwrap();
+        assert_eq!(pairs[0].0, "1");
+        assert_eq!(pairs[1].0, "2");
+        let back = std::collections::HashMap::<u32, String>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u8, -2i64, 0.5f64);
+        assert_eq!(<(u8, i64, f64)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let e = u64::from_value(&Value::String("x".into())).unwrap_err();
+        assert!(e.to_string().contains("expected u64"));
+        let missing = value::get_field(&[], "absent").unwrap_err();
+        assert!(missing.to_string().contains("absent"));
+    }
+}

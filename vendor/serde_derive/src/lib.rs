@@ -1,0 +1,595 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Upstream `serde_derive` rests on `syn`/`quote`; neither is available in
+//! this registry-less environment, so the item is parsed directly from its
+//! `proc_macro` token stream. Supported shapes — the ones this workspace
+//! declares — are structs (named, tuple, unit, optionally generic) and
+//! enums whose variants are unit, tuple, or struct-like. Enums use the
+//! upstream externally-tagged representation: `"Variant"` for unit
+//! variants, `{"Variant": ...}` otherwise.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+struct GenericParam {
+    /// Bare parameter name as used in the type position (`T`, `N`, `'a`).
+    name: String,
+    /// Full declaration including original bounds (`T: Clone`, `const N: usize`).
+    decl: String,
+    /// Whether a `::serde` trait bound may be attached (type params only).
+    is_type: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            // Outer attribute body: `[...]`.
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.next();
+                }
+                _ => panic!("serde derive: malformed attribute"),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Parses `<...>` generics if present.
+    fn parse_generics(&mut self) -> Vec<GenericParam> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+            _ => return Vec::new(),
+        }
+        self.next(); // consume '<'
+        let mut depth = 1usize;
+        let mut segments: Vec<Vec<TokenTree>> = vec![Vec::new()];
+        while depth > 0 {
+            let tok = self.next().expect("serde derive: unclosed generics");
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        segments.push(Vec::new());
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            segments.last_mut().expect("segment exists").push(tok);
+        }
+        segments
+            .into_iter()
+            .filter(|seg| !seg.is_empty())
+            .map(|seg| {
+                let decl = render_tokens(&seg);
+                let first = seg.first().expect("non-empty segment");
+                match first {
+                    TokenTree::Punct(p) if p.as_char() == '\'' => {
+                        let name = render_tokens(&seg[..2.min(seg.len())]);
+                        GenericParam {
+                            name,
+                            decl,
+                            is_type: false,
+                        }
+                    }
+                    TokenTree::Ident(id) if id.to_string() == "const" => {
+                        let name = match seg.get(1) {
+                            Some(TokenTree::Ident(n)) => n.to_string(),
+                            other => panic!("serde derive: malformed const param {other:?}"),
+                        };
+                        GenericParam {
+                            name,
+                            decl,
+                            is_type: false,
+                        }
+                    }
+                    TokenTree::Ident(id) => GenericParam {
+                        name: id.to_string(),
+                        decl,
+                        is_type: true,
+                    },
+                    other => panic!("serde derive: unsupported generic param {other:?}"),
+                }
+            })
+            .collect()
+    }
+}
+
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        let _ = write!(out, "{t} ");
+    }
+    out.trim().to_owned()
+}
+
+/// Splits a token list on top-level commas, treating `<...>` as nesting
+/// (parens/brackets/braces are already nested inside `Group` tokens).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("segment exists").push(t.clone());
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        cursor.skip_visibility();
+        fields.push(cursor.expect_ident());
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type, angle-aware, up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match cursor.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    cursor.next();
+                    match c {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth = angle_depth.saturating_sub(1),
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => {
+                    cursor.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = cursor.expect_ident();
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                cursor.next();
+                VariantKind::Tuple(split_top_level_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        loop {
+            match cursor.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident();
+    let name = cursor.expect_ident();
+    let generics = cursor.parse_generics();
+    match keyword.as_str() {
+        "struct" => {
+            // A `where` clause would sit between generics and the body; the
+            // workspace has none, so reject loudly rather than mis-parse.
+            match cursor.peek() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                    panic!("serde derive: `where` clauses are not supported")
+                }
+                _ => {}
+            }
+            match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                    name,
+                    generics,
+                    kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Item {
+                        name,
+                        generics,
+                        kind: Kind::TupleStruct(split_top_level_commas(&inner).len()),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                    name,
+                    generics,
+                    kind: Kind::UnitStruct,
+                },
+                other => panic!("serde derive: unsupported struct body {other:?}"),
+            }
+        }
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                generics,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde derive: malformed enum body {other:?}"),
+        },
+        other => panic!("serde derive: only structs and enums are supported, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decls: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.is_type {
+                if p.decl.contains(':') {
+                    format!("{} + {trait_bound}", p.decl)
+                } else {
+                    format!("{}: {trait_bound}", p.decl)
+                }
+            } else {
+                p.decl.clone()
+            }
+        })
+        .collect();
+    let names: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", decls.join(", ")),
+        format!("<{}>", names.join(", ")),
+    )
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(String::from(\"{key}\"), {value_expr})")
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (impl_gen, ty_gen) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!(
+                "::serde::value::Value::Object(vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::value::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::String(String::from(\"{vname}\"))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::value::Value::Array(vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Object(vec![{}])",
+                                binds.join(", "),
+                                obj_entry(vname, &inner)
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            let inner = format!(
+                                "::serde::value::Value::Object(vec![{}])",
+                                entries.join(", ")
+                            );
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(vec![{}])",
+                                fields.join(", "),
+                                obj_entry(vname, &inner)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_gen} ::serde::Serialize for {name}{ty_gen} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (impl_gen, ty_gen) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value::get_field(fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = v.as_object().ok_or_else(|| ::serde::value::DeError::mismatch(\"object\", v))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::value::DeError::mismatch(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::value::DeError::custom(format!(\"expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::value::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::value::DeError::mismatch(\"null\", other)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!("\"{vname}\" => Ok({name}::{vname})"),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| ::serde::value::DeError::mismatch(\"array\", inner))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return Err(::serde::value::DeError::custom(format!(\"expected {n} elements, found {{}}\", items.len())));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::value::get_field(fields, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let fields = inner.as_object().ok_or_else(|| ::serde::value::DeError::mismatch(\"object\", inner))?;\n\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(::serde::value::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {payload}\n\
+                             other => Err(::serde::value::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::value::DeError::mismatch(\"enum representation\", other)),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                payload = if payload_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", payload_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_gen} ::serde::Deserialize for {name}{ty_gen} {{\n\
+             fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::value::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,485 @@
+//! Offline API-compatible subset of `serde_json`.
+//!
+//! Renders and parses JSON text over the vendored `serde` crate's
+//! [`Value`] data model. The compact and pretty writers match upstream
+//! formatting (`,`/`:` separators compact, two-space indent and `"key": v`
+//! pretty), so artifacts written by this crate look identical to ones
+//! written by the real serde_json.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error produced while converting, rendering, or parsing JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::value::DeError> for Error {
+    fn from(e: serde::value::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes to compact JSON (no whitespace).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (two-space indent, as upstream).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_sep(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, depth + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_sep(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_sep(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; upstream errors, which would force every
+        // caller to handle an impossible case — emit null instead.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        // Keep the fractional point so the value re-parses as a float.
+        let _ = fmt::Write::write_fmt(out, format_args!("{f:.1}"));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{f}"));
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                }
+                _ => {
+                    // Advance one UTF-8 code point (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input is UTF-8");
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let first = self.parse_hex4()?;
+        // Surrogate pair: a high surrogate must be followed by `\u` + low.
+        if (0xD800..=0xDBFF).contains(&first) {
+            if !self.eat_literal("\\u") {
+                return Err(self.error("unpaired high surrogate"));
+            }
+            let second = self.parse_hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"));
+        }
+        if (0xDC00..=0xDFFF).contains(&first) {
+            return Err(self.error("unpaired low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("truncated \\u escape"));
+            };
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_format_matches_upstream() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Int(7)),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Int(1), Value::Int(2)]),
+            ),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"x\": 7,\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn compact_format_has_no_whitespace() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("b".into(), Value::Null),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":true,\"b\":null}");
+    }
+
+    #[test]
+    fn integral_floats_keep_the_point() {
+        assert_eq!(to_string(&7.0f64).unwrap(), "7.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&-3.0f64).unwrap(), "-3.0");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line\nbreak \"quoted\" back\\slash tab\t✓";
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let back: String = from_str("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, "Aé😀");
+    }
+
+    #[test]
+    fn numbers_pick_the_right_variant() {
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::Int(42));
+        assert_eq!(from_str::<Value>("-9").unwrap(), Value::Int(-9));
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(from_str::<Value>("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str::<Value>("2e3").unwrap(), Value::Float(2000.0));
+    }
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Object(vec![(
+            "nested".into(),
+            Value::Array(vec![
+                Value::Object(vec![("k".into(), Value::String("v".into()))]),
+                Value::Float(0.5),
+                Value::Null,
+            ]),
+        )]);
+        for render in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str::<Value>(&render).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"open").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}
