@@ -1,24 +1,34 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper — in parallel, over any
+//! number of replicate seeds.
 //!
 //! ```text
-//! cargo run --release -p fg-bench --bin experiments              # everything
-//! cargo run --release -p fg-bench --bin experiments fig1        # one artifact
+//! cargo run --release -p fg-bench --bin experiments                # everything, 1 seed
+//! cargo run --release -p fg-bench --bin experiments fig1          # one artifact
+//! cargo run --release -p fg-bench --bin experiments --seeds 4 --jobs 4
 //! cargo run --release -p fg-bench --bin experiments case_a --telemetry
+//! cargo run --release -p fg-bench --bin experiments --smoke --seeds 2 --jobs 2  # CI
 //! ```
 //!
-//! Artifacts: the human-readable report on stdout, plus a JSON file per
-//! experiment under `results/`. With `--telemetry`, experiments that expose a
-//! telemetry sink (`case_a`, `case_b`) additionally write
-//! `results/<name>.telemetry.json` (full metrics + audit-trail snapshot) and
-//! `results/<name>.prom` (Prometheus text exposition), and print the
-//! per-stage latency table.
+//! Artifacts under `results/`:
+//!
+//! * `<name>.s<seed>.json` — one report per (experiment × seed) cell. Cell
+//!   content is a pure function of the seed, so these are byte-identical
+//!   whatever `--jobs` is, and `--seeds 1 --seed-offset K` regenerates
+//!   exactly cell `K` of a larger sweep.
+//! * `<name>.json` — the replicate-0 report (the experiment's historical
+//!   default seed), kept for compatibility with single-run artifacts.
+//! * `<name>.agg.json` — cross-seed mean/stddev/min–max per scalar metric
+//!   (written when more than one seed ran).
+//! * `<name>.telemetry.json` / `<name>.prom` — with `--telemetry`, the
+//!   replicate-merged telemetry snapshot for experiments that expose a sink
+//!   (`case_a`, `case_b`).
 
-use fg_scenario::experiments::*;
-use fg_scenario::report::{render_stage_table, to_json};
-use fg_telemetry::Telemetry;
+use fg_scenario::experiments::all_specs;
+use fg_scenario::harness::{run_matrix, ExperimentRun, ExperimentSpec, HarnessConfig};
+use fg_scenario::report::render_stage_table;
 use std::fs;
 use std::path::Path;
-use std::sync::Arc;
+use std::process::ExitCode;
 
 fn write_file(path: &Path, contents: String) {
     match fs::write(path, contents) {
@@ -27,147 +37,170 @@ fn write_file(path: &Path, contents: String) {
     }
 }
 
-fn write_artifact(name: &str, json: String) {
+/// Writes every artifact for one experiment's sweep.
+fn write_artifacts(run: &ExperimentRun, telemetry: bool) {
     let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_ok() {
-        write_file(&dir.join(format!("{name}.json")), json);
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("[artifact] cannot create {}", dir.display());
+        return;
     }
-}
-
-/// Dumps the telemetry artifacts for one experiment run: the JSON snapshot,
-/// the Prometheus exposition, and the stage-latency table on stdout.
-fn dump_telemetry(name: &str, telemetry: &Arc<Telemetry>) {
-    let snapshot = telemetry.snapshot();
-    println!("{}", render_stage_table(&snapshot.stages));
-    let audit = telemetry.audit();
-    println!(
-        "audit trail: {} decisions recorded ({} evicted); totals {:?}",
-        audit.recorded(),
-        audit.evicted(),
-        audit.decision_totals()
-    );
-    drop(audit);
-    let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_ok() {
+    for cell in &run.cells {
         write_file(
-            &dir.join(format!("{name}.telemetry.json")),
-            snapshot.to_json(),
+            &dir.join(format!("{}.s{}.json", run.name, cell.seed)),
+            cell.json.clone(),
         );
-        write_file(&dir.join(format!("{name}.prom")), snapshot.to_prometheus());
+        if cell.replicate == 0 {
+            write_file(&dir.join(format!("{}.json", run.name)), cell.json.clone());
+        }
+    }
+    if run.cells.len() > 1 {
+        write_file(
+            &dir.join(format!("{}.agg.json", run.name)),
+            run.aggregate_json(),
+        );
+    }
+    if telemetry {
+        if let Some(snapshot) = &run.merged_telemetry {
+            write_file(
+                &dir.join(format!("{}.telemetry.json", run.name)),
+                snapshot.to_json(),
+            );
+            write_file(
+                &dir.join(format!("{}.prom", run.name)),
+                snapshot.to_prometheus(),
+            );
+        }
     }
 }
 
-fn run_one(name: &str, telemetry: bool) -> bool {
-    if telemetry && !TELEMETRY_CAPABLE.contains(&name) {
-        eprintln!("[telemetry] {name} does not expose a telemetry sink; running plain");
+fn print_run(run: &ExperimentRun) {
+    println!("\n================ {} ================", run.name);
+    for cell in &run.cells {
+        if run.cells.len() > 1 {
+            println!(
+                "\n---- replicate {} (seed {:#x}) ----\n",
+                cell.replicate, cell.seed
+            );
+        } else {
+            println!();
+        }
+        println!("{}", cell.display);
     }
-    match name {
-        "fig1" => {
-            let r = fig1::run(fig1::Fig1Config::default());
-            println!("{r}");
-            write_artifact("fig1", to_json(&r));
-        }
-        "table1" => {
-            let r = table1::run(table1::Table1Config::default());
-            println!("{r}");
-            write_artifact("table1", to_json(&r));
-        }
-        "case_a" if telemetry => {
-            let (r, t) = case_a::run_with_telemetry(case_a::CaseAConfig::default());
-            println!("{r}");
-            write_artifact("case_a", to_json(&r));
-            dump_telemetry("case_a", &t);
-        }
-        "case_a" => {
-            let r = case_a::run(case_a::CaseAConfig::default());
-            println!("{r}");
-            write_artifact("case_a", to_json(&r));
-        }
-        "case_b" if telemetry => {
-            let (r, t) = case_b::run_with_telemetry(case_b::CaseBConfig::default());
-            println!("{r}");
-            write_artifact("case_b", to_json(&r));
-            dump_telemetry("case_b", &t);
-        }
-        "case_b" => {
-            let r = case_b::run(case_b::CaseBConfig::default());
-            println!("{r}");
-            write_artifact("case_b", to_json(&r));
-        }
-        "case_c" => {
-            let r = case_c::run(case_c::CaseCConfig::default());
-            println!("{r}");
-            write_artifact("case_c", to_json(&r));
-        }
-        "ablation" => {
-            let r = ablation::run(ablation::AblationConfig::default());
-            println!("{r}");
-            write_artifact("ablation", to_json(&r));
-        }
-        "honeypot" => {
-            let r = honeypot_econ::run(honeypot_econ::HoneypotConfig::default());
-            println!("{r}");
-            write_artifact("honeypot", to_json(&r));
-        }
-        "detectors" => {
-            let r = detectors::run(detectors::DetectorsConfig::default());
-            println!("{r}");
-            write_artifact("detectors", to_json(&r));
-        }
-        "pricing" => {
-            let r = pricing::run(pricing::PricingConfig::default());
-            println!("{r}");
-            write_artifact("pricing", to_json(&r));
-        }
-        "proxies" => {
-            let r = proxies::run(proxies::ProxiesConfig::default());
-            println!("{r}");
-            write_artifact("proxies", to_json(&r));
-        }
-        other => {
-            eprintln!("unknown experiment {other:?}");
-            return false;
-        }
+    if run.cells.len() > 1 {
+        println!("---- aggregate over {} seeds ----\n", run.cells.len());
+        println!("{}", run.render_aggregate());
     }
-    true
+    if let Some(snapshot) = &run.merged_telemetry {
+        println!("{}", render_stage_table(&snapshot.stages));
+        println!(
+            "audit trail: {} decisions recorded ({} evicted); totals {:?}",
+            snapshot.audit.recorded, snapshot.audit.evicted, snapshot.audit.decision_totals
+        );
+    }
 }
 
-const ALL: [&str; 10] = [
-    "fig1",
-    "table1",
-    "case_a",
-    "case_b",
-    "case_c",
-    "ablation",
-    "honeypot",
-    "detectors",
-    "pricing",
-    "proxies",
-];
+struct Cli {
+    names: Vec<String>,
+    config: HarnessConfig,
+}
 
-/// Experiments that expose a telemetry sink via `run_with_telemetry`.
-const TELEMETRY_CAPABLE: [&str; 2] = ["case_a", "case_b"];
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let telemetry = args.iter().any(|a| a == "--telemetry");
-    let names: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let selected: Vec<&str> = if names.is_empty() {
-        ALL.to_vec()
-    } else {
-        names
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        names: Vec::new(),
+        config: HarnessConfig {
+            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            ..HarnessConfig::default()
+        },
     };
-    let mut ok = true;
-    for name in selected {
-        println!("\n================ {name} ================\n");
-        ok &= run_one(name, telemetry);
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                cli.config.seeds = value_of("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--jobs" => {
+                cli.config.jobs = value_of("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seed-offset" => {
+                cli.config.seed_offset = value_of("--seed-offset")?
+                    .parse()
+                    .map_err(|e| format!("--seed-offset: {e}"))?;
+            }
+            "--smoke" => cli.config.smoke = true,
+            "--telemetry" => cli.config.telemetry = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => cli.names.push(name.to_owned()),
+        }
     }
-    if !ok {
-        eprintln!("\navailable experiments: {ALL:?} (flags: --telemetry)");
-        std::process::exit(2);
+    Ok(cli)
+}
+
+/// Resolves requested names against the registry, preserving request order.
+fn select_specs(names: &[String]) -> Result<Vec<ExperimentSpec>, String> {
+    let registry = all_specs();
+    if names.is_empty() {
+        return Ok(registry);
     }
+    names
+        .iter()
+        .map(|name| {
+            registry
+                .iter()
+                .find(|s| s.name == name)
+                .copied()
+                .ok_or_else(|| format!("unknown experiment {name:?}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let available: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
+    let usage = format!(
+        "available experiments: {available:?}\n\
+         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry"
+    );
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs = match select_specs(&cli.names) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.config.telemetry {
+        for spec in specs.iter().filter(|s| !s.telemetry_capable) {
+            eprintln!(
+                "[telemetry] {} does not expose a telemetry sink; running plain",
+                spec.name
+            );
+        }
+    }
+    println!(
+        "running {} experiment(s) × {} seed(s) on {} thread(s)",
+        specs.len(),
+        cli.config.seeds.max(1),
+        cli.config.jobs.max(1)
+    );
+    let runs = run_matrix(&specs, &cli.config);
+    for run in &runs {
+        print_run(run);
+        write_artifacts(run, cli.config.telemetry);
+    }
+    ExitCode::SUCCESS
 }

@@ -151,6 +151,25 @@ impl Default for EngineConfig {
     }
 }
 
+/// Key-population counts of the engine's three velocity maps (see
+/// [`DetectionEngine::tracked_keys`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackedKeys {
+    /// Keys in the per-IP velocity map.
+    pub ip: usize,
+    /// Keys in the per-fingerprint velocity map.
+    pub fingerprint: usize,
+    /// Keys in the per-booking SMS velocity map.
+    pub booking_sms: usize,
+}
+
+impl TrackedKeys {
+    /// Total keys across all three maps.
+    pub fn total(&self) -> usize {
+        self.ip + self.fingerprint + self.booking_sms
+    }
+}
+
 /// The stateful per-request scoring engine.
 ///
 /// # Example
@@ -213,6 +232,28 @@ impl DetectionEngine {
     /// Creates an engine with [`EngineConfig::default`].
     pub fn with_defaults() -> Self {
         DetectionEngine::new(EngineConfig::default())
+    }
+
+    /// Drops every velocity key whose events all fell out of the window by
+    /// `now`. Counts are window-scoped, so compaction never changes a
+    /// verdict — it only stops the per-IP/per-fingerprint/per-booking maps
+    /// from growing with every identity ever seen, which is exactly the
+    /// leak an identity-rotating attacker (new fingerprint every ~5.3 h,
+    /// fresh residential exits) would otherwise force on the defender.
+    pub fn compact(&mut self, now: SimTime) {
+        self.ip_velocity.compact(now);
+        self.fp_velocity.compact(now);
+        self.booking_sms_velocity.compact(now);
+    }
+
+    /// Keys currently tracked per velocity map, for `fg_tracked_keys`
+    /// gauges and bounded-state assertions.
+    pub fn tracked_keys(&self) -> TrackedKeys {
+        TrackedKeys {
+            ip: self.ip_velocity.tracked_keys(),
+            fingerprint: self.fp_velocity.tracked_keys(),
+            booking_sms: self.booking_sms_velocity.tracked_keys(),
+        }
     }
 
     /// The active configuration.
@@ -465,6 +506,37 @@ mod tests {
         ] {
             assert!(stages.iter().any(|s| s == expected), "missing {expected}");
         }
+    }
+
+    #[test]
+    fn compact_drops_expired_identities_without_changing_verdicts() {
+        let mut e = DetectionEngine::with_defaults();
+        // 40 one-shot identities, one request each, spread over 40 minutes.
+        for i in 0..40u64 {
+            e.assess(
+                SimTime::from_mins(i),
+                ip(i as u8),
+                &human_fp(i),
+                Endpoint::Search,
+                None,
+            );
+        }
+        assert_eq!(e.tracked_keys().ip, 40);
+        assert_eq!(e.tracked_keys().fingerprint, 40);
+        // Two hours later everything is outside the 1 h window.
+        e.compact(SimTime::from_hours(2));
+        assert_eq!(e.tracked_keys().total(), 0);
+        // A returning identity scores exactly like a fresh engine would.
+        let fp = human_fp(3);
+        let v = e.assess(SimTime::from_hours(2), ip(3), &fp, Endpoint::Search, None);
+        let v_fresh = DetectionEngine::with_defaults().assess(
+            SimTime::from_hours(2),
+            ip(3),
+            &fp,
+            Endpoint::Search,
+            None,
+        );
+        assert_eq!(v, v_fresh);
     }
 
     #[test]

@@ -418,6 +418,32 @@ impl PolicyEngine {
         &self.rules
     }
 
+    /// Evicts idle (fully refilled) buckets from every keyed limiter — the
+    /// housekeeping hook that keeps limiter state bounded by the live key
+    /// population under identity-rotating workloads. Lossless: see
+    /// [`KeyedLimiter::evict_idle`].
+    pub fn evict_idle(&mut self, now: SimTime) {
+        if let Some(l) = &mut self.booking_sms_limiter {
+            l.evict_idle(now);
+        }
+        if let Some(l) = &mut self.client_hold_limiter {
+            l.evict_idle(now);
+        }
+    }
+
+    /// Keys currently materialized in the (booking-SMS, client-hold) keyed
+    /// limiters, for `fg_tracked_keys` gauges and bounded-state assertions.
+    pub fn limiter_tracked_keys(&self) -> (usize, usize) {
+        (
+            self.booking_sms_limiter
+                .as_ref()
+                .map_or(0, KeyedLimiter::tracked_keys),
+            self.client_hold_limiter
+                .as_ref()
+                .map_or(0, KeyedLimiter::tracked_keys),
+        )
+    }
+
     /// Decision counters so far.
     pub fn counts(&self) -> DecisionCounts {
         self.counters.snapshot()
@@ -816,6 +842,53 @@ mod tests {
         assert_eq!(
             snap.counter_value("fg_decisions_total", &[("decision", "block")]),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn evict_idle_bounds_limiter_state_without_changing_outcomes() {
+        let mut e = PolicyEngine::new(PolicyConfig::recommended());
+        let f = fp();
+        let clean = Verdict::clean();
+        // 50 distinct bookings each trigger one SMS: 50 buckets materialize.
+        for i in 0..50 {
+            let d = e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::SendOtp,
+                Some(BookingRef::from_index(i)),
+                SimTime::from_mins(i),
+            ));
+            assert_eq!(d, Decision::Allow);
+        }
+        assert_eq!(e.limiter_tracked_keys().0, 50);
+        // A day later every bucket has refilled; housekeeping drops them all.
+        e.evict_idle(SimTime::from_days(2));
+        assert_eq!(e.limiter_tracked_keys(), (0, 0));
+        // Outcomes for a returning booking match a fresh limiter's.
+        use fg_core::time::SimDuration;
+        let booking = BookingRef::from_index(7);
+        for i in 0..3 {
+            assert_eq!(
+                e.decide(&ctx(
+                    &f,
+                    &clean,
+                    Endpoint::SendOtp,
+                    Some(booking),
+                    SimTime::from_days(2) + SimDuration::from_mins(i),
+                )),
+                Decision::Allow
+            );
+        }
+        assert_eq!(
+            e.decide(&ctx(
+                &f,
+                &clean,
+                Endpoint::SendOtp,
+                Some(booking),
+                SimTime::from_days(2) + SimDuration::from_mins(5),
+            )),
+            Decision::RateLimited
         );
     }
 

@@ -125,6 +125,20 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
         granted
     }
 
+    /// Drops every bucket that has refilled to capacity by `now`.
+    ///
+    /// A full bucket is indistinguishable from the fresh bucket
+    /// [`KeyedLimiter::try_acquire`] would materialize on the key's next
+    /// request (fresh buckets start full *at* that request), so eviction is
+    /// lossless: grant/deny outcomes are identical with or without it. Under
+    /// identity-rotating workloads (fingerprints retired every few hours,
+    /// per-request proxy exits) this is what keeps the key map bounded by the
+    /// *live* population instead of growing with every identity ever seen.
+    pub fn evict_idle(&mut self, now: SimTime) {
+        let capacity = self.capacity;
+        self.buckets.retain(|_, b| b.available(now) < capacity);
+    }
+
     /// Total granted acquisitions.
     pub fn grants(&self) -> u64 {
         self.grants
@@ -210,6 +224,44 @@ mod tests {
         TokenBucket::new(0.0, 1.0);
     }
 
+    #[test]
+    fn evict_idle_drops_refilled_buckets_only() {
+        let mut l: KeyedLimiter<&str> = KeyedLimiter::new(2.0, 0.5);
+        assert!(l.try_acquire("idle", SimTime::ZERO));
+        assert!(l.try_acquire("busy", SimTime::from_secs(10)));
+        assert_eq!(l.tracked_keys(), 2);
+        // At t=11s "idle" refilled long ago; "busy" (1.5 tokens) has not.
+        l.evict_idle(SimTime::from_secs(11));
+        assert_eq!(l.tracked_keys(), 1);
+        // At t=12s "busy" is full again and evictable too.
+        l.evict_idle(SimTime::from_secs(12));
+        assert_eq!(l.tracked_keys(), 0);
+    }
+
+    #[test]
+    fn eviction_is_lossless_for_outcomes() {
+        // The same acquisition sequence against an evicting and a
+        // non-evicting limiter grants identically.
+        let mut evicting: KeyedLimiter<u32> = KeyedLimiter::new(3.0, 0.5);
+        let mut reference: KeyedLimiter<u32> = KeyedLimiter::new(3.0, 0.5);
+        let mut now = SimTime::ZERO;
+        for step in 0..200u32 {
+            now += SimDuration::from_secs(u64::from(step % 7) as i64);
+            let key = step % 4;
+            assert_eq!(
+                evicting.try_acquire(key, now),
+                reference.try_acquire(key, now),
+                "diverged at step {step}"
+            );
+            if step % 5 == 0 {
+                evicting.evict_idle(now);
+            }
+        }
+        assert_eq!(evicting.grants(), reference.grants());
+        assert_eq!(evicting.rejections(), reference.rejections());
+        assert!(evicting.tracked_keys() <= reference.tracked_keys());
+    }
+
     proptest! {
         /// Within any single instant, grants never exceed burst capacity.
         #[test]
@@ -217,6 +269,31 @@ mod tests {
             let mut tb = TokenBucket::new(capacity, 0.0);
             let granted = (0..attempts).filter(|_| tb.try_acquire(SimTime::ZERO)).count();
             prop_assert!(granted as f64 <= capacity + 1e-9);
+        }
+
+        /// Idle-bucket eviction never changes any grant/deny outcome, no
+        /// matter where eviction ticks land in the request stream.
+        #[test]
+        fn prop_eviction_preserves_outcomes(
+            capacity in 1.0f64..5.0,
+            rate in 0.0f64..2.0,
+            ops in proptest::collection::vec((0u8..6, 0u64..5_000, any::<bool>()), 1..200),
+        ) {
+            let mut evicting: KeyedLimiter<u8> = KeyedLimiter::new(capacity, rate);
+            let mut reference: KeyedLimiter<u8> = KeyedLimiter::new(capacity, rate);
+            let mut now = SimTime::ZERO;
+            for (key, dt, evict) in ops {
+                now += SimDuration::from_secs(dt as i64);
+                if evict {
+                    evicting.evict_idle(now);
+                }
+                prop_assert_eq!(
+                    evicting.try_acquire(key, now),
+                    reference.try_acquire(key, now)
+                );
+            }
+            prop_assert_eq!(evicting.grants(), reference.grants());
+            prop_assert_eq!(evicting.rejections(), reference.rejections());
         }
 
         /// Over a long horizon, grants never exceed burst + rate × time.

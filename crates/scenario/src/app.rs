@@ -111,7 +111,20 @@ struct AppMetrics {
     detection_score: Histogram,
     ticket_revenue: Gauge,
     solver_spend: Gauge,
+    /// One gauge per defence-state map, in [`TRACKED_MAPS`] order: current
+    /// key population after housekeeping.
+    tracked_keys: Vec<Gauge>,
 }
+
+/// The per-key defence-state maps whose populations are exported as
+/// `fg_tracked_keys{map="..."}` and bounded by the housekeeping tick.
+pub const TRACKED_MAPS: [&str; 5] = [
+    "ip-velocity",
+    "fp-velocity",
+    "booking-sms-velocity",
+    "booking-sms-limiter",
+    "client-hold-limiter",
+];
 
 impl AppMetrics {
     fn register(registry: &MetricsRegistry) -> Self {
@@ -139,6 +152,10 @@ impl AppMetrics {
             ),
             ticket_revenue: registry.gauge("fg_ticket_revenue_units"),
             solver_spend: registry.gauge("fg_solver_spend_units"),
+            tracked_keys: TRACKED_MAPS
+                .iter()
+                .map(|map| registry.gauge_with("fg_tracked_keys", &[("map", map)]))
+                .collect(),
         }
     }
 
@@ -237,6 +254,11 @@ impl DefendedApp {
         &self.policy
     }
 
+    /// The detection engine (read access — velocity key populations, …).
+    pub fn detection(&self) -> &DetectionEngine {
+        &self.detection
+    }
+
     /// The detection engine (mutable, e.g. to feed reputation).
     pub fn detection_mut(&mut self) -> &mut DetectionEngine {
         &mut self.detection
@@ -298,9 +320,27 @@ impl DefendedApp {
         d
     }
 
-    /// Advances application housekeeping (hold expiry) to `now`.
+    /// Advances application housekeeping to `now`: hold expiry, velocity-map
+    /// compaction, and idle-limiter eviction. The latter two are what keep
+    /// defence state bounded by the *live* identity population under the
+    /// paper's rotating-fingerprint/proxy workloads — without them every
+    /// identity ever seen would leave a map entry behind forever. The
+    /// resulting key populations are exported as `fg_tracked_keys` gauges.
     pub fn tick(&mut self, now: SimTime) {
         self.reservations.expire_due(now);
+        self.detection.compact(now);
+        self.policy.evict_idle(now);
+        let velocity = self.detection.tracked_keys();
+        let (booking_sms, client_hold) = self.policy.limiter_tracked_keys();
+        for (gauge, keys) in self.metrics.tracked_keys.iter().zip([
+            velocity.ip,
+            velocity.fingerprint,
+            velocity.booking_sms,
+            booking_sms,
+            client_hold,
+        ]) {
+            gauge.set(keys as f64);
+        }
     }
 
     fn log(
@@ -820,6 +860,30 @@ mod tests {
         // … the second records the sticky session.
         assert_eq!(routings[1].reasons, vec!["honeypot:session-diverted"]);
         assert_eq!(routings[1].endpoint, "/search");
+    }
+
+    #[test]
+    fn tick_compacts_defence_state_and_exports_gauges() {
+        let mut a = app(PolicyConfig::recommended());
+        // 30 distinct one-shot identities touch the app within one hour.
+        for i in 0..30u64 {
+            let req = human_req(500 + i, TrustTier::Verified);
+            let _ = a.search(&req, SimTime::from_mins(i));
+        }
+        a.tick(SimTime::from_hours(1));
+        assert!(a.detection().tracked_keys().total() > 0);
+        // Three hours later all events are outside the velocity window.
+        a.tick(SimTime::from_hours(3));
+        assert_eq!(a.detection().tracked_keys().total(), 0);
+        assert_eq!(a.policy().limiter_tracked_keys(), (0, 0));
+        let snap = a.telemetry().snapshot();
+        for map in TRACKED_MAPS {
+            assert_eq!(
+                snap.metrics.gauge_value("fg_tracked_keys", &[("map", map)]),
+                Some(0.0),
+                "gauge for {map}"
+            );
+        }
     }
 
     #[test]

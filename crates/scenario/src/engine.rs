@@ -76,13 +76,22 @@ pub struct Simulation {
     queue: EventQueue<Tick>,
     seeds: SeedFork,
     housekeeping: SimDuration,
+    /// Agents returning `next <= now` are clamped forward by 1 ms; counted
+    /// here (exported as `fg_agent_wake_clamped_total`) so misbehaving
+    /// agents are visible without debug/release divergence.
+    wake_clamps: fg_telemetry::Counter,
 }
 
 impl Simulation {
     /// Creates a simulation over `app` with the given master seed.
     pub fn new(app: DefendedApp, seed: u64) -> Self {
+        let wake_clamps = app
+            .telemetry()
+            .metrics()
+            .counter("fg_agent_wake_clamped_total");
         Simulation {
             app,
+            wake_clamps,
             agents: Vec::new(),
             agent_rngs: Vec::new(),
             interventions: Vec::new(),
@@ -149,11 +158,16 @@ impl Simulation {
                     let rng = &mut self.agent_rngs[idx];
                     if let Some(next) = self.agents[idx].borrow_mut().wake(&mut self.app, now, rng)
                     {
-                        debug_assert!(next > now, "agents must make progress");
-                        self.queue.schedule(
-                            next.max(now + SimDuration::from_millis(1)),
-                            Tick::Agent(idx),
-                        );
+                        // Clamp identically in debug and release: an agent
+                        // returning `next <= now` is rescheduled 1 ms ahead
+                        // and counted, never panicked on.
+                        let next = if next <= now {
+                            self.wake_clamps.inc();
+                            now + SimDuration::from_millis(1)
+                        } else {
+                            next
+                        };
+                        self.queue.schedule(next, Tick::Agent(idx));
                     }
                 }
                 Tick::Review => {

@@ -110,6 +110,33 @@ impl Default for AblationConfig {
     }
 }
 
+/// A CI-sized config: the full posture × attack grid in seconds.
+pub fn smoke_config() -> AblationConfig {
+    AblationConfig {
+        days: 2,
+        arrivals_per_day: 40.0,
+        ..AblationConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "ablation",
+        default_seed: AblationConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                AblationConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// One grid cell's outcome.
 #[derive(Clone, Debug, Serialize)]
 pub struct Cell {

@@ -51,6 +51,39 @@ impl Default for CaseAConfig {
     }
 }
 
+/// A CI-sized config: a shorter booking window, lighter traffic.
+pub fn smoke_config() -> CaseAConfig {
+    CaseAConfig {
+        departure_day: 6,
+        cap_day: 2,
+        arrivals_per_day: 60.0,
+        ..CaseAConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "case_a",
+        default_seed: CaseAConfig::default().seed,
+        telemetry_capable: true,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                CaseAConfig::default()
+            };
+            config.seed = p.seed;
+            if p.telemetry {
+                let (report, telemetry) = run_with_telemetry(config);
+                crate::harness::CellOutput::of(&report).with_telemetry(telemetry.snapshot())
+            } else {
+                crate::harness::CellOutput::of(&run(config))
+            }
+        },
+    }
+}
+
 /// The Case A report.
 #[derive(Clone, Debug, Serialize)]
 pub struct CaseAReport {

@@ -52,6 +52,38 @@ impl Default for CaseBConfig {
     }
 }
 
+/// A CI-sized config: two days, lighter traffic.
+pub fn smoke_config() -> CaseBConfig {
+    CaseBConfig {
+        days: 2,
+        arrivals_per_day: 60.0,
+        ..CaseBConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "case_b",
+        default_seed: CaseBConfig::default().seed,
+        telemetry_capable: true,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                CaseBConfig::default()
+            };
+            config.seed = p.seed;
+            if p.telemetry {
+                let (report, telemetry) = run_with_telemetry(config);
+                crate::harness::CellOutput::of(&report).with_telemetry(telemetry.snapshot())
+            } else {
+                crate::harness::CellOutput::of(&run(config))
+            }
+        },
+    }
+}
+
 /// The Case B report.
 #[derive(Clone, Debug, Serialize)]
 pub struct CaseBReport {

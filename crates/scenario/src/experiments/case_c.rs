@@ -77,6 +77,33 @@ impl Default for CaseCConfig {
     }
 }
 
+/// A CI-sized config: two weeks, lighter traffic.
+pub fn smoke_config() -> CaseCConfig {
+    CaseCConfig {
+        weeks: 2,
+        arrivals_per_day: 60.0,
+        ..CaseCConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "case_c",
+        default_seed: CaseCConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                CaseCConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// Per-posture outcome.
 #[derive(Clone, Debug, Serialize)]
 pub struct PostureOutcome {

@@ -52,6 +52,33 @@ impl Default for DetectorsConfig {
     }
 }
 
+/// A CI-sized config: two days, lighter traffic.
+pub fn smoke_config() -> DetectorsConfig {
+    DetectorsConfig {
+        days: 2,
+        arrivals_per_day: 80.0,
+        ..DetectorsConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "detectors",
+        default_seed: DetectorsConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                DetectorsConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// One rule's evaluation.
 #[derive(Clone, Debug, Serialize)]
 pub struct RuleOutcome {

@@ -48,6 +48,33 @@ impl Default for Fig1Config {
     }
 }
 
+/// A CI-sized config: fewer flights, lighter traffic.
+pub fn smoke_config() -> Fig1Config {
+    Fig1Config {
+        flights: 4,
+        arrivals_per_day: 80.0,
+        ..Fig1Config::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "fig1",
+        default_seed: Fig1Config::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                Fig1Config::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// The Fig. 1 report: one NiP histogram per week.
 #[derive(Clone, Debug, Serialize)]
 pub struct Fig1Report {

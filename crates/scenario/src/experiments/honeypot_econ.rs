@@ -44,6 +44,33 @@ impl Default for HoneypotConfig {
     }
 }
 
+/// A CI-sized config: two days, lighter traffic.
+pub fn smoke_config() -> HoneypotConfig {
+    HoneypotConfig {
+        days: 2,
+        arrivals_per_day: 50.0,
+        ..HoneypotConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "honeypot",
+        default_seed: HoneypotConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                HoneypotConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// Outcome of one arm (blocking or honeypot).
 #[derive(Clone, Debug, Serialize)]
 pub struct ArmOutcome {

@@ -28,3 +28,38 @@ pub mod honeypot_econ;
 pub mod pricing;
 pub mod proxies;
 pub mod table1;
+
+use crate::harness::ExperimentSpec;
+
+/// Every experiment's harness registry entry, in the paper's artifact order
+/// (the order the `experiments` binary runs them in).
+pub fn all_specs() -> Vec<ExperimentSpec> {
+    vec![
+        fig1::spec(),
+        table1::spec(),
+        case_a::spec(),
+        case_b::spec(),
+        case_c::spec(),
+        ablation::spec(),
+        honeypot_econ::spec(),
+        detectors::spec(),
+        pricing::spec(),
+        proxies::spec(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 10);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "duplicate experiment name in registry");
+        assert!(specs.iter().filter(|s| s.telemetry_capable).count() == 2);
+    }
+}

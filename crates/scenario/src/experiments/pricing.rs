@@ -48,6 +48,32 @@ impl Default for PricingConfig {
     }
 }
 
+/// A CI-sized config: a shorter booking window.
+pub fn smoke_config() -> PricingConfig {
+    PricingConfig {
+        departure_day: 10,
+        ..PricingConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "pricing",
+        default_seed: PricingConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                PricingConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// One arm's outcome.
 #[derive(Clone, Debug, Serialize)]
 pub struct PricingArm {

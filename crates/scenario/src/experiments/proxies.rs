@@ -44,6 +44,33 @@ impl Default for ProxiesConfig {
     }
 }
 
+/// A CI-sized config: two days, lighter traffic.
+pub fn smoke_config() -> ProxiesConfig {
+    ProxiesConfig {
+        days: 2,
+        arrivals_per_day: 40.0,
+        ..ProxiesConfig::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "proxies",
+        default_seed: ProxiesConfig::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                ProxiesConfig::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// One arm's outcome.
 #[derive(Clone, Debug, Serialize)]
 pub struct ProxyArm {
@@ -131,8 +158,13 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> ProxyArm {
 
     let mut sim = Simulation::new(app, fork.seed("sim"));
     // IP-only incident response: the dimension under test is the exit pool.
+    // Name heuristics are off — in `report_ips_only` mode they feed nothing
+    // but informational counters this report never reads, and their pairwise
+    // misspelling clustering is quadratic in the window's passenger count
+    // (the spinner's churning holds would dominate every review's cost).
     let team_cfg = TeamConfig {
         report_ips_only: true,
+        use_name_heuristics: false,
         ..TeamConfig::default()
     };
     sim.with_team(team_cfg, SimDuration::from_mins(30), SimTime::from_mins(30));

@@ -45,6 +45,33 @@ impl Default for Table1Config {
     }
 }
 
+/// A CI-sized config: lighter traffic, smaller pump.
+pub fn smoke_config() -> Table1Config {
+    Table1Config {
+        arrivals_per_day: 200.0,
+        pump_per_hour: 60.0,
+        ..Table1Config::default()
+    }
+}
+
+/// Registry entry for the multi-seed harness.
+pub fn spec() -> crate::harness::ExperimentSpec {
+    crate::harness::ExperimentSpec {
+        name: "table1",
+        default_seed: Table1Config::default().seed,
+        telemetry_capable: false,
+        run: |p| {
+            let mut config = if p.smoke {
+                smoke_config()
+            } else {
+                Table1Config::default()
+            };
+            config.seed = p.seed;
+            crate::harness::CellOutput::of(&run(config))
+        },
+    }
+}
+
 /// One row of the surge table.
 #[derive(Clone, Debug, Serialize)]
 pub struct SurgeRow {

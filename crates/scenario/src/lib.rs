@@ -15,6 +15,9 @@
 //! * [`experiments`] — one runner per paper artifact (Fig. 1, Table I, the
 //!   §IV case studies, and the §V mitigation/honeypot ablations), each
 //!   returning a typed, printable report.
+//! * [`harness`] — the parallel multi-seed harness: fans (experiment ×
+//!   seed) cells across worker threads and aggregates replicates into
+//!   mean ± stddev tables and merged telemetry.
 //! * [`report`] — plain-text table rendering and JSON export.
 //!
 //! # Example
@@ -32,10 +35,12 @@
 pub mod app;
 pub mod engine;
 pub mod experiments;
+pub mod harness;
 pub mod monitor;
 pub mod report;
 pub mod team;
 
 pub use app::{AppConfig, DefendedApp};
 pub use engine::{share, Simulation};
+pub use harness::{run_matrix, ExperimentRun, ExperimentSpec, HarnessConfig};
 pub use team::SecurityTeam;

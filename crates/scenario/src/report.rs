@@ -93,6 +93,52 @@ pub fn render_stage_table(stages: &[StageSnapshot]) -> String {
     )
 }
 
+/// One scalar metric's cross-seed aggregate, as produced by the multi-seed
+/// harness and rendered by [`render_aggregate_table`].
+#[derive(Clone, Debug, PartialEq, Serialize, serde::Deserialize)]
+pub struct AggregateRow {
+    /// Metric key, e.g. `recommended.pumping.attack_effect`.
+    pub metric: String,
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Population standard deviation across seeds.
+    pub std_dev: f64,
+    /// Smallest per-seed value.
+    pub min: f64,
+    /// Largest per-seed value.
+    pub max: f64,
+    /// Number of seeds aggregated.
+    pub n: usize,
+}
+
+/// Renders cross-seed aggregates as a `mean ± stddev [min, max]` table.
+pub fn render_aggregate_table(rows: &[AggregateRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.metric.clone(),
+                format!("{} ± {}", format_metric(r.mean), format_metric(r.std_dev)),
+                format_metric(r.min),
+                format_metric(r.max),
+                r.n.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&["Metric", "Mean ± σ", "Min", "Max", "Seeds"], &body)
+}
+
+/// Compact numeric cell: integers lose the decimal point, everything else
+/// keeps four decimals (enough to tell seeds apart without drowning the
+/// table).
+fn format_metric(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
 /// Formats a percentage with thousands separators, Table-I style
 /// (`160209.3` → `"160,209%"`).
 pub fn format_pct(pct: f64) -> String {
@@ -208,6 +254,33 @@ mod tests {
         assert!(s.contains("p95 µs"), "{s}");
         // All three samples counted.
         assert!(s.contains("| 3 "), "{s}");
+    }
+
+    #[test]
+    fn aggregate_table_renders_mean_plus_minus_sigma() {
+        let rows = vec![
+            AggregateRow {
+                metric: "bookings".into(),
+                mean: 1234.0,
+                std_dev: 12.5,
+                min: 1220.0,
+                max: 1250.0,
+                n: 4,
+            },
+            AggregateRow {
+                metric: "sms_cost".into(),
+                mean: 0.52,
+                std_dev: 0.0,
+                min: 0.52,
+                max: 0.52,
+                n: 4,
+            },
+        ];
+        let s = render_aggregate_table(&rows);
+        assert!(s.contains("Mean ± σ"), "{s}");
+        assert!(s.contains("1234 ± 12.5000"), "{s}");
+        assert!(s.contains("0.5200 ± 0"), "{s}");
+        assert!(s.contains("| 4 "), "{s}");
     }
 
     #[test]

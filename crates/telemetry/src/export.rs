@@ -26,6 +26,119 @@ impl TelemetrySnapshot {
         serde_json::to_string_pretty(self).expect("telemetry snapshots serialize cleanly")
     }
 
+    /// Folds `other` into `self`, combining per-replicate snapshots from a
+    /// multi-seed experiment run into one fleet-wide view.
+    ///
+    /// Semantics per section:
+    ///
+    /// - **Counters and gauges** sum by metric identity (name + labels).
+    ///   Summing gauges is the useful reading for the gauges this codebase
+    ///   exports (tracked-key map sizes): the merged value is the total
+    ///   defence state held across all replicates.
+    /// - **Histograms** with identical bounds sum bucket-wise (plus `count`
+    ///   and `sum`); a histogram whose bounds differ from an already-merged
+    ///   namesake is kept as a separate entry rather than silently mangled.
+    /// - **Stages** combine by name: `count` and `total_ms` add, the mean is
+    ///   recomputed, `max_us` takes the maximum, and p50/p95/p99 take the
+    ///   count-weighted average — an approximation (true percentiles are not
+    ///   mergeable from summaries), adequate for the ±noise use here.
+    /// - **Audit** totals (`recorded`, `evicted`, per-decision counts) add;
+    ///   retained records concatenate and re-sort by simulation time so the
+    ///   merged trail reads chronologically.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        merge_samples(
+            &mut self.metrics.counters,
+            &other.metrics.counters,
+            |c| c.name.clone(),
+            |into, from| into.value += from.value,
+        );
+        merge_samples(
+            &mut self.metrics.gauges,
+            &other.metrics.gauges,
+            |g| g.name.clone(),
+            |into, from| into.value += from.value,
+        );
+        for h in &other.metrics.histograms {
+            match self
+                .metrics
+                .histograms
+                .iter_mut()
+                .find(|mine| mine.name == h.name && mine.bounds == h.bounds)
+            {
+                Some(mine) => {
+                    for (b, add) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *b += add;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                }
+                None => self.metrics.histograms.push(h.clone()),
+            }
+        }
+        self.metrics.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+        for s in &other.stages {
+            match self.stages.iter_mut().find(|mine| mine.stage == s.stage) {
+                Some(mine) => {
+                    let (n0, n1) = (mine.count as f64, s.count as f64);
+                    let total = n0 + n1;
+                    if total > 0.0 {
+                        for (q0, q1) in [
+                            (&mut mine.p50_us, s.p50_us),
+                            (&mut mine.p95_us, s.p95_us),
+                            (&mut mine.p99_us, s.p99_us),
+                        ] {
+                            *q0 = (*q0 * n0 + q1 * n1) / total;
+                        }
+                    }
+                    mine.count += s.count;
+                    mine.total_ms += s.total_ms;
+                    mine.mean_us = if mine.count == 0 {
+                        0.0
+                    } else {
+                        mine.total_ms * 1e3 / mine.count as f64
+                    };
+                    mine.max_us = mine.max_us.max(s.max_us);
+                }
+                None => self.stages.push(s.clone()),
+            }
+        }
+        self.stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+
+        self.audit.recorded += other.audit.recorded;
+        self.audit.evicted += other.audit.evicted;
+        for (decision, n) in &other.audit.decision_totals {
+            match self
+                .audit
+                .decision_totals
+                .iter_mut()
+                .find(|(d, _)| d == decision)
+            {
+                Some((_, mine)) => *mine += n,
+                None => self.audit.decision_totals.push((decision.clone(), *n)),
+            }
+        }
+        self.audit.decision_totals.sort();
+        self.audit
+            .records
+            .extend(other.audit.records.iter().cloned());
+        self.audit.records.sort_by_key(|r| r.at);
+    }
+
+    /// Merges every snapshot in `snaps` into one (see
+    /// [`TelemetrySnapshot::merge`]); `None` when the iterator is empty.
+    pub fn merged<I>(snaps: I) -> Option<TelemetrySnapshot>
+    where
+        I: IntoIterator<Item = TelemetrySnapshot>,
+    {
+        let mut iter = snaps.into_iter();
+        let mut first = iter.next()?;
+        for snap in iter {
+            first.merge(&snap);
+        }
+        Some(first)
+    }
+
     /// Renders metrics and stage latencies in Prometheus text exposition
     /// format. Stage latencies appear as `summary` metrics in seconds under
     /// `fg_stage_latency_seconds`; the audit trail is JSON-only.
@@ -119,6 +232,24 @@ impl TelemetrySnapshot {
 
         out
     }
+}
+
+/// Folds `from` into `into` by metric identity: matching entries combine via
+/// `combine`, novel ones append; the result is re-sorted by identity so
+/// merge order never shows in the output.
+fn merge_samples<T: Clone>(
+    into: &mut Vec<T>,
+    from: &[T],
+    key: impl Fn(&T) -> MetricName,
+    combine: impl Fn(&mut T, &T),
+) {
+    for sample in from {
+        match into.iter_mut().find(|mine| key(mine) == key(sample)) {
+            Some(mine) => combine(mine, sample),
+            None => into.push(sample.clone()),
+        }
+    }
+    into.sort_by_key(&key);
 }
 
 /// Restricts a metric name to Prometheus' `[a-zA-Z0-9_:]` alphabet.
@@ -241,6 +372,70 @@ mod tests {
         let json = snap.to_json();
         let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_sums_metrics_and_combines_stages() {
+        let mut a = sample_snapshot();
+        let b = sample_snapshot();
+        a.merge(&b);
+        assert_eq!(
+            a.metrics
+                .counter_value("fg_sms_sent_total", &[("country", "UZ")]),
+            Some(24)
+        );
+        assert_eq!(
+            a.metrics.gauge_value("fg_ticket_revenue_units", &[]),
+            Some(2469.0)
+        );
+        let h = &a.metrics.histograms[0];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 6);
+        assert!((h.sum - 2.0 * (0.1 + 0.6 + 0.97)).abs() < 1e-9);
+        let s = &a.stages[0];
+        assert_eq!(s.stage, "policy.decide");
+        assert_eq!(s.count, 2);
+        assert!((s.mean_us - 20.0).abs() < 1e-9);
+        assert!((s.max_us - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_keeps_disjoint_entries_and_sorts() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zz_total").add(1);
+        let mut a = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        let registry = MetricsRegistry::new();
+        registry.counter("aa_total").add(2);
+        let b = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        a.merge(&b);
+        let names: Vec<&str> = a
+            .metrics
+            .counters
+            .iter()
+            .map(|c| c.name.name.as_str())
+            .collect();
+        assert_eq!(names, ["aa_total", "zz_total"], "re-sorted by identity");
+    }
+
+    #[test]
+    fn merged_folds_an_iterator_of_snapshots() {
+        assert_eq!(TelemetrySnapshot::merged(std::iter::empty()), None);
+        let out =
+            TelemetrySnapshot::merged([sample_snapshot(), sample_snapshot(), sample_snapshot()])
+                .unwrap();
+        assert_eq!(
+            out.metrics
+                .counter_value("fg_sms_sent_total", &[("country", "UZ")]),
+            Some(36)
+        );
     }
 
     #[test]
