@@ -3,7 +3,7 @@
 //! Workload models for the FeatureGuard simulation: the legitimate traffic
 //! the attacks hide inside, and the attackers themselves.
 //!
-//! * [`api`] — the [`App`](api::App) trait every agent drives, and the
+//! * [`api`] — the [`api::App`] trait every agent drives, and the
 //!   outcome type agents adapt to. The real application façade lives in
 //!   `fg-scenario`; agents only see this trait.
 //! * [`namegen`] — passenger-detail generators: realistic names for

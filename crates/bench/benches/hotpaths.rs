@@ -1,0 +1,25 @@
+//! Criterion view of the hot-path suite: every `fg_bench::perf` case,
+//! grouped exactly as in `BENCH_baseline.json`, so interactive
+//! `cargo bench -p fg-bench --bench hotpaths` numbers line up with the
+//! headless `fg-bench` harness and the CI gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hotpaths(c: &mut Criterion) {
+    // Cases arrive ordered by group, so one pass builds each group once.
+    let mut cases = fg_bench::perf::cases();
+    let mut idx = 0;
+    while idx < cases.len() {
+        let group_name = cases[idx].group;
+        let mut group = c.benchmark_group(group_name);
+        while idx < cases.len() && cases[idx].group == group_name {
+            let case = &mut cases[idx];
+            group.bench_function(case.name, |b| b.iter(|| case.run_once()));
+            idx += 1;
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hotpaths);
+criterion_main!(benches);

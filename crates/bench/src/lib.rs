@@ -15,7 +15,16 @@
 //!   experiments [name]`) — regenerates every table and figure, printing the
 //!   human-readable report and writing a JSON artifact next to it.
 //!
+//! A third surface, the [`perf`] module plus the `fg-bench` binary
+//! (`cargo run -p fg-bench --release --bin fg-bench -- --bench-json …`),
+//! measures the per-event hot paths headlessly, emits the machine-readable
+//! `BENCH_baseline.json`, and diffs fresh runs against it — the CI
+//! regression gate. The `hotpaths` Criterion bench exposes the same case
+//! registry interactively.
+//!
 //! [`components`]: ../benches/components.rs
+
+pub mod perf;
 
 /// Reduced-size experiment configurations used by the Criterion benches so a
 /// full `cargo bench` finishes in minutes. The `experiments` binary uses the

@@ -1,0 +1,170 @@
+//! Fast, deterministic hashing for the per-event keyed maps.
+//!
+//! The defence stack's hot paths hash small integer keys (IPs, fingerprint
+//! identity hashes, booking indices) on every request — velocity counters,
+//! keyed rate limiters, reputation ledgers. `std`'s default SipHash is
+//! DoS-hardened but costs tens of nanoseconds per small key; [`FxHasher`]
+//! (the Firefox/rustc multiply-xor scheme) hashes a `u64` in a couple of
+//! instructions.
+//!
+//! Simulation-side keys are either attacker-chosen *already-hashed* values
+//! (`Fingerprint::identity_hash`) or bounded enumerations (IPs, endpoints),
+//! so hash-flooding resistance buys nothing here; determinism across runs
+//! and processes is what the reproducibility harness actually wants.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_core::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+//! m.insert(42, 1);
+//! assert_eq!(m[&42], 1);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The 64-bit Fx multiply-xor hasher (as used by rustc): each word is
+/// folded in with a rotate, xor, and multiply by a mixing constant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `π`-derived odd mixing constant (the 64-bit Fx constant).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.add_word(n as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.add_word(n as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add_word(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add_word(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"booking-X"), hash_of(&"booking-X"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 1000, "small integers must not collide");
+    }
+
+    #[test]
+    fn byte_strings_fold_in_length() {
+        assert_ne!(
+            hash_of(&[b'a', b'b'].as_slice()),
+            hash_of(&[b'a', b'b', 0].as_slice())
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("k", 7);
+        assert_eq!(m.get("k"), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

@@ -22,6 +22,8 @@
 //!   economics models.
 //! * [`stats`] — streaming statistics: histograms, categorical distributions,
 //!   time-bucketed series, summary accumulators.
+//! * [`hash`] — fast deterministic hashing ([`hash::FxHashMap`]) for the
+//!   per-event keyed maps on the request path.
 //! * [`error`] — the shared error type hierarchy.
 //!
 //! # Example
@@ -44,6 +46,7 @@
 
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod money;
 pub mod rng;

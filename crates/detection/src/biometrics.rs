@@ -1,7 +1,7 @@
 //! Behavioural biometrics — mouse-trajectory analysis.
 //!
 //! §III-A and §V point to biometric signals ("mouse movement trajectories",
-//! refs [41]–[44]) as the promising future direction for functional-abuse
+//! refs \[41\]–\[44\]) as the promising future direction for functional-abuse
 //! detection, precisely because they survive fingerprint rotation: rotating
 //! `navigator` properties is cheap, faking human motor control is not. This
 //! module implements that direction end to end: a synthetic trajectory

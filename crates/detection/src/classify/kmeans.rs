@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// A fitted k-means model.
 ///
-/// Unsupervised bot detection (paper refs [31], [32], [38]) clusters sessions
+/// Unsupervised bot detection (paper refs \[31\], \[32\], \[38\]) clusters sessions
 /// and inspects cluster composition. [`KMeans::fit`] uses k-means++ style
 /// seeding from a caller-provided RNG, so runs are reproducible.
 ///

@@ -4,7 +4,7 @@
 //! paper surveys (§III-A): a supervised linear model
 //! ([`LogisticRegression`]), a generative model ([`GaussianNaiveBayes`]), and
 //! an unsupervised clusterer ([`KMeans`] — the unsupervised-learning approach
-//! of refs [31], [32], [38]). [`metrics`] computes the precision/recall/F1
+//! of refs \[31\], \[32\], \[38\]). [`metrics`] computes the precision/recall/F1
 //! the experiments report.
 
 pub mod kmeans;

@@ -1,6 +1,6 @@
 //! Per-session behavioural features.
 //!
-//! The literature features (§III-A refs [29]–[34]): request volume, method
+//! The literature features (§III-A refs \[29\]–\[34\]): request volume, method
 //! mix, inter-request timing, URL depth, trap-file hits. Plus the
 //! domain-specific features that *do* move under functional abuse: the
 //! hold/pay funnel ratio and SMS-request concentration. The experiments use
@@ -50,51 +50,76 @@ impl SessionFeatures {
         let records = session.records();
         let n = records.len() as f64;
 
-        let gets = records.iter().filter(|r| r.method == Method::Get).count() as f64;
-        let posts = n - gets;
-
-        let mut gaps: Vec<f64> = Vec::with_capacity(records.len().saturating_sub(1));
-        for pair in records.windows(2) {
-            gaps.push((pair[1].at - pair[0].at).as_secs_f64());
-        }
-        let mean_gap = if gaps.is_empty() {
-            0.0
-        } else {
-            gaps.iter().sum::<f64>() / gaps.len() as f64
-        };
-        let gap_cv = if gaps.len() < 2 || mean_gap == 0.0 {
-            0.0
-        } else {
-            let var = gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
-            var.sqrt() / mean_gap
-        };
-
-        let mut seen = std::collections::HashSet::new();
+        // One pass accumulates every per-record counter; distinct endpoints
+        // become a bitmask (Endpoint has < 16 variants).
+        let mut gets = 0u32;
+        let mut searches = 0u32;
+        let mut trap_hits = 0u32;
+        let mut holds = 0u32;
+        let mut pays = 0u32;
+        let mut sms_requests = 0u32;
+        let mut errors = 0u32;
+        let mut depth_sum = 0u32;
+        let mut endpoint_mask = 0u16;
         for r in records {
-            seen.insert(r.endpoint);
+            if r.method == Method::Get {
+                gets += 1;
+            }
+            if !r.ok {
+                errors += 1;
+            }
+            depth_sum += r.endpoint.typical_depth();
+            endpoint_mask |= 1 << (r.endpoint as u16);
+            match r.endpoint {
+                Endpoint::Search => searches += 1,
+                Endpoint::TrapFile => trap_hits += 1,
+                Endpoint::Hold => holds += 1,
+                Endpoint::Pay => pays += 1,
+                Endpoint::SendOtp | Endpoint::BoardingPass => sms_requests += 1,
+                _ => {}
+            }
         }
 
-        let count = |e: Endpoint| records.iter().filter(|r| r.endpoint == e).count() as f64;
+        // Inter-request gaps: two windowed passes (mean, then centred
+        // variance) with no gap buffer. Centring keeps the metronomic-bot
+        // case at exactly cv = 0.
+        let gap_count = records.len().saturating_sub(1);
+        let mut mean_gap = 0.0;
+        let mut gap_cv = 0.0;
+        if gap_count > 0 {
+            let sum: f64 = records
+                .windows(2)
+                .map(|p| (p[1].at - p[0].at).as_secs_f64())
+                .sum();
+            mean_gap = sum / gap_count as f64;
+            if gap_count >= 2 && mean_gap != 0.0 {
+                let var = records
+                    .windows(2)
+                    .map(|p| {
+                        let g = (p[1].at - p[0].at).as_secs_f64();
+                        (g - mean_gap).powi(2)
+                    })
+                    .sum::<f64>()
+                    / gap_count as f64;
+                gap_cv = var.sqrt() / mean_gap;
+            }
+        }
 
         SessionFeatures {
             volume: n,
-            gets,
-            posts,
+            gets: f64::from(gets),
+            posts: n - f64::from(gets),
             duration_secs: session.duration().as_secs_f64(),
             mean_gap_secs: mean_gap,
             gap_cv,
-            distinct_endpoints: seen.len() as f64,
-            mean_depth: records
-                .iter()
-                .map(|r| f64::from(r.endpoint.typical_depth()))
-                .sum::<f64>()
-                / n,
-            searches: count(Endpoint::Search),
-            trap_hits: count(Endpoint::TrapFile),
-            holds: count(Endpoint::Hold),
-            pays: count(Endpoint::Pay),
-            sms_requests: count(Endpoint::SendOtp) + count(Endpoint::BoardingPass),
-            error_rate: records.iter().filter(|r| !r.ok).count() as f64 / n,
+            distinct_endpoints: f64::from(endpoint_mask.count_ones()),
+            mean_depth: f64::from(depth_sum) / n,
+            searches: f64::from(searches),
+            trap_hits: f64::from(trap_hits),
+            holds: f64::from(holds),
+            pays: f64::from(pays),
+            sms_requests: f64::from(sms_requests),
+            error_rate: f64::from(errors) / n,
         }
     }
 

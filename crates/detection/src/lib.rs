@@ -28,7 +28,7 @@
 //! * [`velocity`] — sliding-window velocity counters keyed by arbitrary
 //!   dimensions (IP, fingerprint, booking reference, path).
 //! * [`biometrics`] — the future-work direction §III-A/§V call for: mouse
-//!   trajectory synthesis and kinematic bot scoring (refs [41]–[44]).
+//!   trajectory synthesis and kinematic bot scoring (refs \[41\]–\[44\]).
 //! * [`engine`] — the combined [`DetectionEngine`] producing a scored
 //!   [`Verdict`] per request from every signal above.
 //!

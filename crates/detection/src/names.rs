@@ -33,8 +33,23 @@ const COMMON_BIGRAMS: &[&str] = &[
     "sk", "nm", "rs", "ns", "hn", "aj", "fi", "ub", "oi", "uk", "yu", "iy",
 ];
 
-fn is_vowel(c: char) -> bool {
-    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y')
+/// `COMMON_BIGRAMS` as a 26×26 adjacency bitmask: bit `j` of `BIGRAM_BITS[i]`
+/// is set when the bigram (letter `i`, letter `j`) is common. Built at
+/// compile time so the per-bigram test is one shift-and-mask instead of a
+/// linear scan over 170 strings.
+const BIGRAM_BITS: [u32; 26] = {
+    let mut bits = [0u32; 26];
+    let mut k = 0;
+    while k < COMMON_BIGRAMS.len() {
+        let bg = COMMON_BIGRAMS[k].as_bytes();
+        bits[(bg[0] - b'a') as usize] |= 1 << (bg[1] - b'a');
+        k += 1;
+    }
+    bits
+};
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'a' | b'e' | b'i' | b'o' | b'u' | b'y')
 }
 
 /// Scores how gibberish-like a single name is, in `0.0..=1.0`.
@@ -53,44 +68,49 @@ fn is_vowel(c: char) -> bool {
 /// assert!(gibberish_score("Martinez") < 0.5);
 /// ```
 pub fn gibberish_score(name: &str) -> f64 {
-    let letters: Vec<char> = name
-        .chars()
-        .filter(|c| c.is_ascii_alphabetic())
-        .map(|c| c.to_ascii_lowercase())
-        .collect();
-    if letters.len() < 4 {
-        return 0.3; // too short to judge
-    }
-
-    // Rare-bigram fraction.
+    // One allocation-free pass over the bytes. Multi-byte UTF-8 sequences
+    // contain no ASCII-alphabetic bytes, so byte filtering matches the
+    // char-level definition exactly.
+    let mut len = 0usize;
+    let mut vowels = 0usize;
     let mut rare = 0usize;
     let mut total = 0usize;
-    for pair in letters.windows(2) {
-        let bg: String = pair.iter().collect();
-        total += 1;
-        if !COMMON_BIGRAMS.contains(&bg.as_str()) {
-            rare += 1;
-        }
-    }
-    let rare_frac = rare as f64 / total as f64;
-
-    // Longest consonant run. 'h' is neutral: it rides inside common
-    // digraphs (ch/sh/th/schm-) without making a name unpronounceable.
-    let mut max_run = 0usize;
+    let mut prev: Option<u8> = None;
     let mut run = 0usize;
-    for &c in &letters {
+    let mut max_run = 0usize;
+    for &b in name.as_bytes() {
+        if !b.is_ascii_alphabetic() {
+            continue;
+        }
+        let c = b | 0x20; // ASCII lowercase
+        len += 1;
+
+        // Rare-bigram count via the compile-time adjacency mask.
+        if let Some(p) = prev {
+            total += 1;
+            if BIGRAM_BITS[(p - b'a') as usize] >> (c - b'a') & 1 == 0 {
+                rare += 1;
+            }
+        }
+        prev = Some(c);
+
+        // Longest consonant run. 'h' is neutral: it rides inside common
+        // digraphs (ch/sh/th/schm-) without making a name unpronounceable.
         if is_vowel(c) {
+            vowels += 1;
             run = 0;
-        } else if c != 'h' {
+        } else if c != b'h' {
             run += 1;
             max_run = max_run.max(run);
         }
     }
-    let run_penalty = ((max_run as f64 - 2.0) / 3.0).clamp(0.0, 1.0);
+    if len < 4 {
+        return 0.3; // too short to judge
+    }
 
-    // Vowel-ratio deviation.
-    let vowels = letters.iter().filter(|&&c| is_vowel(c)).count() as f64;
-    let vowel_penalty = ((vowels / letters.len() as f64 - 0.4).abs() / 0.4).clamp(0.0, 1.0);
+    let rare_frac = rare as f64 / total as f64;
+    let run_penalty = ((max_run as f64 - 2.0) / 3.0).clamp(0.0, 1.0);
+    let vowel_penalty = ((vowels as f64 / len as f64 - 0.4).abs() / 0.4).clamp(0.0, 1.0);
 
     (0.45 * rare_frac + 0.35 * run_penalty + 0.2 * vowel_penalty).clamp(0.0, 1.0)
 }
@@ -106,37 +126,81 @@ pub fn gibberish_score(name: &str) -> f64 {
 /// assert_eq!(levenshtein("", "ABC"), 3);
 /// ```
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return levenshtein_units(a.as_bytes(), b.as_bytes());
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_units(&a, &b)
+}
+
+/// Single-row DP over comparable units (bytes for ASCII, chars otherwise),
+/// after trimming the common prefix and suffix. Distances stay small for
+/// name-length inputs, so the row lives in a stack buffer.
+fn levenshtein_units<'s, T: PartialEq + Copy>(mut a: &'s [T], mut b: &'s [T]) -> usize {
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    a = &a[prefix..];
+    b = &b[prefix..];
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    a = &a[..a.len() - suffix];
+    b = &b[..b.len() - suffix];
     if a.is_empty() {
         return b.len();
     }
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
-        }
-        std::mem::swap(&mut prev, &mut cur);
+    // The distance is symmetric; keep the DP row on the shorter side.
+    if b.len() > a.len() {
+        std::mem::swap(&mut a, &mut b);
     }
-    prev[b.len()]
+
+    const STACK_ROW: usize = 48;
+    let mut stack = [0u32; STACK_ROW];
+    let mut heap;
+    let row: &mut [u32] = if b.len() < STACK_ROW {
+        &mut stack[..=b.len()]
+    } else {
+        heap = vec![0u32; b.len() + 1];
+        &mut heap
+    };
+    for (j, cell) in row.iter_mut().enumerate() {
+        *cell = j as u32;
+    }
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let above = row[j + 1];
+            let cost = u32::from(ca != cb);
+            row[j + 1] = (above + 1).min(row[j] + 1).min(diag + cost);
+            diag = above;
+        }
+    }
+    row[b.len()] as usize
 }
 
 /// Groups `names` into clusters of strings within `max_dist` edits of the
 /// cluster's first member (greedy single-link). Returns only clusters with at
 /// least two *distinct* spellings — the manual-misspelling signature.
 pub fn misspelling_clusters(names: &[&str], max_dist: usize) -> Vec<Vec<String>> {
+    // Hash-dedupe preserving first-appearance order (the old linear scan
+    // made dedup itself quadratic on repetition-heavy booking streams).
+    let mut seen: HashSet<&str> = HashSet::with_capacity(names.len());
     let mut distinct: Vec<&str> = Vec::new();
     for &n in names {
-        if !distinct.contains(&n) {
+        if seen.insert(n) {
             distinct.push(n);
         }
     }
+    // Length pruning: edit distance is at least the length difference, so
+    // most pairs skip the DP entirely.
+    let lens: Vec<usize> = distinct.iter().map(|s| s.chars().count()).collect();
     let mut assigned = vec![false; distinct.len()];
     let mut clusters = Vec::new();
     for i in 0..distinct.len() {
@@ -146,7 +210,10 @@ pub fn misspelling_clusters(names: &[&str], max_dist: usize) -> Vec<Vec<String>>
         let mut cluster = vec![distinct[i].to_owned()];
         assigned[i] = true;
         for j in (i + 1)..distinct.len() {
-            if !assigned[j] && levenshtein(distinct[i], distinct[j]) <= max_dist {
+            if !assigned[j]
+                && lens[i].abs_diff(lens[j]) <= max_dist
+                && levenshtein(distinct[i], distinct[j]) <= max_dist
+            {
                 cluster.push(distinct[j].to_owned());
                 assigned[j] = true;
             }

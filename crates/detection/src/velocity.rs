@@ -8,8 +8,9 @@
 //! machinery serves per-path, per-IP, per-fingerprint, and per-booking
 //! velocity signals.
 
+use fg_core::hash::FxHashMap;
 use fg_core::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// Counts events per key over a sliding time window.
@@ -30,7 +31,9 @@ use std::hash::Hash;
 #[derive(Clone, Debug)]
 pub struct VelocityCounter<K> {
     window: SimDuration,
-    events: HashMap<K, VecDeque<SimTime>>,
+    // Fx-hashed: keys are already-mixed integers (identity hashes, IPs), and
+    // per-event hashing cost dominates at production rates.
+    events: FxHashMap<K, VecDeque<SimTime>>,
 }
 
 impl<K: Eq + Hash + Clone> VelocityCounter<K> {
@@ -43,7 +46,7 @@ impl<K: Eq + Hash + Clone> VelocityCounter<K> {
         assert!(window.as_millis() > 0, "velocity window must be positive");
         VelocityCounter {
             window,
-            events: HashMap::new(),
+            events: FxHashMap::default(),
         }
     }
 
@@ -75,10 +78,13 @@ impl<K: Eq + Hash + Clone> VelocityCounter<K> {
         }
     }
 
-    /// Records and returns the new in-window count in one step.
+    /// Records and returns the new in-window count in one step — a single
+    /// map lookup, no key clone.
     pub fn record_and_count(&mut self, key: K, now: SimTime) -> u64 {
-        self.record(key.clone(), now);
-        self.count(&key, now)
+        let q = self.events.entry(key).or_default();
+        q.push_back(now);
+        Self::evict(q, now, self.window);
+        q.len() as u64
     }
 
     /// Number of keys with any retained events (may include stale keys until

@@ -3,7 +3,7 @@
 //! When a bot rotates attributes independently (rather than sampling whole
 //! consistent device profiles), the resulting tuple contains contradictions a
 //! genuine browser cannot produce. This module codifies the checks referenced
-//! in the paper's §III-B (ref [51]): platform/OS mismatch, touch support on
+//! in the paper's §III-B (ref \[51\]): platform/OS mismatch, touch support on
 //! the wrong device class, implausible rendering hashes, instrumentation
 //! artifacts, and impossible hardware values.
 

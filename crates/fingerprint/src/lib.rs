@@ -19,7 +19,7 @@
 //!   from it; naive bots sample attributes independently and become
 //!   detectably inconsistent.
 //! * [`rotation`] — bot rotation strategies and schedules.
-//! * [`similarity`] — attribute-weighted similarity and the linking score a
+//! * [`mod@similarity`] — attribute-weighted similarity and the linking score a
 //!   defender can use to connect rotated identities.
 //! * [`inconsistency`] — fp-inconsistent-style integrity checks that catch
 //!   naive rotation.

@@ -5,7 +5,7 @@
 //! and a Safari-class canvas hash. Humans sampled from [`PopulationModel`]
 //! respect that structure; the *naive* bot sampler draws attributes
 //! independently and therefore violates it with high probability — the exact
-//! weakness the fp-inconsistent line of work (paper ref [51]) exploits, and
+//! weakness the fp-inconsistent line of work (paper ref \[51\]) exploits, and
 //! the reason sophisticated attackers mimic the population instead.
 
 use crate::attributes::{BrowserFamily, Fingerprint, OsFamily, ScreenResolution};

@@ -5,7 +5,7 @@
 //! hold items in a false environment while legitimate users remain
 //! unaffected. By keeping attackers engaged with a controlled replica, their
 //! need to rotate fingerprints or adjust tactics diminishes" (building on the
-//! scraping honeypots of ref [53]).
+//! scraping honeypots of ref \[53\]).
 //!
 //! [`Honeypot`] accepts any hold/request and always "succeeds", while
 //! recording the attacker effort absorbed. Nothing it does touches real

@@ -1,7 +1,7 @@
 //! Token-bucket rate limiting.
 
+use fg_core::hash::FxHashMap;
 use fg_core::time::SimTime;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A classic token bucket: capacity `burst`, refilled at `rate_per_sec`.
@@ -83,7 +83,8 @@ impl TokenBucket {
 pub struct KeyedLimiter<K> {
     capacity: f64,
     rate_per_sec: f64,
-    buckets: HashMap<K, TokenBucket>,
+    // Fx-hashed: keyed by integer client/booking keys on the request path.
+    buckets: FxHashMap<K, TokenBucket>,
     rejections: u64,
     grants: u64,
 }
@@ -101,7 +102,7 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
         KeyedLimiter {
             capacity,
             rate_per_sec,
-            buckets: HashMap::new(),
+            buckets: FxHashMap::default(),
             rejections: 0,
             grants: 0,
         }

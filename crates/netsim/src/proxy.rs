@@ -1,7 +1,7 @@
 //! Residential proxy pools.
 //!
 //! Commercial residential proxy services rent out exit IPs harvested from
-//! consumer devices (paper refs [5], [23]). For the attacker they provide
+//! consumer devices (paper refs \[5\], \[23\]). For the attacker they provide
 //! (1) country targeting — §IV-C's pumpers matched exit country to the SMS
 //! destination country — and (2) rotation. For the defender they are painful
 //! because blocking a residential /24 risks blocking real customers.

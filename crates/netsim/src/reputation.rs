@@ -9,8 +9,8 @@
 //! handful of times, then churned — is precisely what the experiments show.
 
 use crate::ip::IpAddress;
+use fg_core::hash::FxHashMap;
 use fg_core::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Per-address abuse evidence with exponential decay.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,11 +37,12 @@ struct Evidence {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReputationLedger {
-    evidence: HashMap<IpAddress, Evidence>,
+    // Fx-hashed: consulted once per request on the detection path.
+    evidence: FxHashMap<IpAddress, Evidence>,
     // Exact per-/24 aggregates: exponential decay is linear, so maintaining
     // the sum with the same decay-then-add update yields exactly
     // Σ decayed(individual) at O(1) per query instead of a full scan.
-    subnet_evidence: HashMap<IpAddress, Evidence>,
+    subnet_evidence: FxHashMap<IpAddress, Evidence>,
     half_life: SimDuration,
     ip_threshold: f64,
     subnet_threshold: f64,
@@ -65,8 +66,8 @@ impl ReputationLedger {
             "thresholds must be positive"
         );
         ReputationLedger {
-            evidence: HashMap::new(),
-            subnet_evidence: HashMap::new(),
+            evidence: FxHashMap::default(),
+            subnet_evidence: FxHashMap::default(),
             half_life,
             ip_threshold,
             subnet_threshold,
@@ -82,7 +83,7 @@ impl ReputationLedger {
     /// Records `weight` units of abuse evidence against `ip` at `now`.
     pub fn report(&mut self, ip: IpAddress, weight: f64, now: SimTime) {
         let half_life = self.half_life.as_millis() as f64;
-        let bump = |map: &mut HashMap<IpAddress, Evidence>, key: IpAddress| {
+        let bump = |map: &mut FxHashMap<IpAddress, Evidence>, key: IpAddress| {
             let entry = map.entry(key).or_insert(Evidence {
                 score: 0.0,
                 updated: now,

@@ -2,7 +2,7 @@
 //! pools.
 //!
 //! "Many bot operators leverage residential proxies … to add more legitimacy
-//! to their fingerprints" (and, per ref [23], as DoI vectors). The same
+//! to their fingerprints" (and, per ref \[23\], as DoI vectors). The same
 //! seat spinner attacks the same IP-blocking defence twice — once from cheap
 //! datacenter exits (a handful of /24s the reputation ledger's subnet
 //! aggregation burns wholesale), once from residential exits scattered

@@ -1,7 +1,7 @@
 //! Per-country SMS termination pricing.
 //!
 //! Termination pricing varies wildly by destination: ordinary A2P routes cost
-//! cents while "high-cost destinations or premium numbers" (§II-B, ref [14])
+//! cents while "high-cost destinations or premium numbers" (§II-B, ref \[14\])
 //! cost an order of magnitude more — and that margin is the pump's fuel. The
 //! default table assigns the paper's Table I top-10 countries high rates
 //! and/or high attacker number-availability, so that economically rational
