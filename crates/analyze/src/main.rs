@@ -1,0 +1,103 @@
+//! The `fg-analyze` binary: run both analysis passes and gate on severity.
+//!
+//! ```text
+//! fg-analyze [--json] [--filter SUBSTR] [--deny info|warn|deny] [--root PATH]
+//! ```
+//!
+//! * `--json` — emit the diagnostics as a JSON array (CI artifact) instead
+//!   of the pretty report.
+//! * `--filter SUBSTR` — keep only diagnostics whose lint id or source
+//!   contains `SUBSTR`.
+//! * `--deny LEVEL` — exit non-zero if any unwaived diagnostic is at or
+//!   above `LEVEL` (default `deny`).
+//! * `--root PATH` — workspace root for the source pass (defaults to the
+//!   workspace this binary was built from).
+//!
+//! Exit codes: `0` clean, `1` gate failed, `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use fg_analyze::{full_report, render_json, render_pretty, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    filter: Option<String>,
+    deny: Severity,
+    root: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: fg-analyze [--json] [--filter SUBSTR] [--deny info|warn|deny] [--root PATH]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        filter: None,
+        deny: Severity::Deny,
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--filter" => {
+                args.filter = Some(it.next().ok_or("--filter needs a value")?);
+            }
+            "--deny" => {
+                let level = it.next().ok_or("--deny needs a value")?;
+                args.deny =
+                    Severity::parse(&level).ok_or_else(|| format!("unknown severity {level:?}"))?;
+            }
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags = match full_report(&args.root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("error: cannot scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(filter) = &args.filter {
+        diags.retain(|d| d.lint.contains(filter.as_str()) || d.source.contains(filter.as_str()));
+    }
+
+    if args.json {
+        println!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_pretty(&diags));
+    }
+
+    let gating = diags.iter().filter(|d| d.gates_at(args.deny)).count();
+    if gating > 0 {
+        eprintln!(
+            "fg-analyze: {gating} diagnostic(s) at or above --deny {}",
+            args.deny
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,405 @@
+//! Pass 2 — the workspace source invariant checker.
+//!
+//! A lightweight line scanner (no parser, no new dependencies) enforcing the
+//! contracts the simulation's reproducibility rests on:
+//!
+//! * **No wall clocks or entropy in determinism-critical crates.** The
+//!   multi-seed harness promises byte-identical artifacts per seed; one
+//!   `Instant::now()` or `thread_rng()` on a sim path silently breaks that.
+//!   Profiling sites that feed telemetry (and never influence sim state) are
+//!   acknowledged inline with `// fg-analyze: allow(wall-clock): <why>`.
+//! * **`#![forbid(unsafe_code)]` in every crate root**, workspace and vendor
+//!   alike.
+//! * **No SipHash maps in hot-path crates.** `fg_core::hash` (Fx) is
+//!   mandated where map operations dominate the per-request budget
+//!   (detection, mitigation).
+//!
+//! The scanner strips comments and string literals before matching, so prose
+//! mentioning `Instant::now` never trips it; the allow-marker is read from
+//! the comment part of the same line.
+
+use crate::diag::{Diagnostic, Severity};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Stable lint ids for pass 2.
+pub mod lints {
+    /// `Instant::now` / `SystemTime` in a determinism-critical crate.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// Entropy-seeded randomness in a determinism-critical crate.
+    pub const ENTROPY_RNG: &str = "entropy-rng";
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+    /// `std::collections::HashMap`/`HashSet` in a hot-path crate where
+    /// `fg_core::hash` is mandated.
+    pub const STD_HASH_COLLECTIONS: &str = "std-hash-collections";
+}
+
+/// Crates whose behaviour must be a pure function of the seed.
+pub const DETERMINISM_CRITICAL: &[&str] = &[
+    "behavior",
+    "core",
+    "detection",
+    "fingerprint",
+    "inventory",
+    "mitigation",
+    "netsim",
+    "scenario",
+    "smsgw",
+];
+
+/// Crates where `fg_core::hash` is mandated for map-heavy request paths.
+pub const HOT_PATH: &[&str] = &["detection", "mitigation"];
+
+/// Workspace crates exempt from the determinism and hashing lints: telemetry
+/// and benchmarking measure wall-clock by design, and the analyzer itself
+/// names the forbidden patterns. (`#![forbid(unsafe_code)]` still applies.)
+pub const EXEMPT: &[&str] = &["analyze", "bench", "telemetry"];
+
+const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
+const STD_HASH_PATTERNS: &[&str] = &[
+    "HashMap::new(",
+    "HashSet::new(",
+    "HashMap::with_capacity(",
+    "HashSet::with_capacity(",
+    "collections::HashMap",
+    "collections::HashSet",
+];
+
+/// Scans every workspace crate under `root` (both `crates/` and `vendor/`)
+/// and returns the findings. Paths in diagnostics are root-relative.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for tree in ["crates", "vendor"] {
+        let dir = root.join(tree);
+        let mut crates: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for crate_dir in crates {
+            let crate_name = crate_dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            let src = crate_dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&src, &mut files)?;
+            files.sort();
+            for file in files {
+                let content = fs::read_to_string(&file)?;
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                // Vendored subsets are third-party idiom kept API-compatible;
+                // only the unsafe-code contract applies to them.
+                let name_for_rules = if tree == "vendor" {
+                    "vendor"
+                } else {
+                    &crate_name
+                };
+                diags.extend(scan_file(name_for_rules, &rel, &content));
+            }
+        }
+    }
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file's content under the rules for `crate_name`. `path` is used
+/// only for diagnostic spans, so fixtures can pass any label.
+pub fn scan_file(crate_name: &str, path: &str, content: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    if path.ends_with("src/lib.rs") && !content.contains("#![forbid(unsafe_code)]") {
+        diags.push(Diagnostic::new(
+            lints::MISSING_FORBID_UNSAFE,
+            Severity::Deny,
+            path,
+            "crate root does not `#![forbid(unsafe_code)]`",
+        ));
+    }
+
+    let critical = DETERMINISM_CRITICAL.contains(&crate_name);
+    let hot = HOT_PATH.contains(&crate_name);
+    if !critical && !hot {
+        return diags;
+    }
+
+    let mut in_block_comment = 0usize;
+    for (idx, raw_line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_code_comment(raw_line, &mut in_block_comment);
+        let allow = |lint: &str| comment.contains(&format!("fg-analyze: allow({lint})"));
+
+        if critical {
+            for pat in WALL_CLOCK_PATTERNS {
+                if code.contains(pat) && !allow(lints::WALL_CLOCK) {
+                    diags.push(
+                        Diagnostic::new(
+                            lints::WALL_CLOCK,
+                            Severity::Deny,
+                            format!("{path}:{line_no}"),
+                            format!(
+                                "`{pat}` in determinism-critical crate `{crate_name}`: \
+                                 wall-clock reads break byte-identical multi-seed runs"
+                            ),
+                        )
+                        .note("pattern", pat)
+                        .note("crate", crate_name),
+                    );
+                    break;
+                }
+            }
+            for pat in ENTROPY_PATTERNS {
+                if code.contains(pat) && !allow(lints::ENTROPY_RNG) {
+                    diags.push(
+                        Diagnostic::new(
+                            lints::ENTROPY_RNG,
+                            Severity::Deny,
+                            format!("{path}:{line_no}"),
+                            format!(
+                                "`{pat}` in determinism-critical crate `{crate_name}`: \
+                                 all randomness must derive from the run seed"
+                            ),
+                        )
+                        .note("pattern", pat)
+                        .note("crate", crate_name),
+                    );
+                    break;
+                }
+            }
+        }
+        if hot {
+            for pat in STD_HASH_PATTERNS {
+                if code.contains(pat) && !allow(lints::STD_HASH_COLLECTIONS) {
+                    diags.push(
+                        Diagnostic::new(
+                            lints::STD_HASH_COLLECTIONS,
+                            Severity::Warn,
+                            format!("{path}:{line_no}"),
+                            format!(
+                                "std SipHash collections in hot-path crate \
+                                 `{crate_name}`: use `fg_core::hash::FxHashMap`/`FxHashSet`"
+                            ),
+                        )
+                        .note("pattern", pat)
+                        .note("crate", crate_name),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Splits one line into (code, comment) with string-literal contents blanked
+/// out of the code part. Tracks nested `/* */` depth across lines via
+/// `block_depth`. A heuristic, not a parser — good enough for the small,
+/// conventional pattern set above.
+fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
+    let chars: Vec<char> = line.chars().collect();
+    let starts = |i: usize, pat: &str| {
+        pat.chars()
+            .enumerate()
+            .all(|(k, c)| chars.get(i + k) == Some(&c))
+    };
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    let mut in_str = false;
+    let mut in_char = false;
+    while i < chars.len() {
+        if *block_depth > 0 {
+            if starts(i, "*/") {
+                *block_depth -= 1;
+                i += 2;
+            } else if starts(i, "/*") {
+                *block_depth += 1;
+                i += 2;
+            } else {
+                comment.push(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if in_str {
+            if chars[i] == '\\' {
+                i += 2; // skip the escaped character
+            } else {
+                if chars[i] == '"' {
+                    in_str = false;
+                    code.push('"');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if in_char {
+            if chars[i] == '\\' {
+                i += 2;
+            } else {
+                if chars[i] == '\'' {
+                    in_char = false;
+                    code.push('\'');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if starts(i, "//") {
+            comment.extend(&chars[i..]);
+            break;
+        }
+        if starts(i, "/*") {
+            *block_depth += 1;
+            i += 2;
+            continue;
+        }
+        if chars[i] == '"' {
+            in_str = true;
+            code.push('"');
+            i += 1;
+            continue;
+        }
+        // A lifetime (`'a`) is not a char literal; only treat `'` as one when
+        // it closes within a few characters.
+        if chars[i] == '\'' && (starts(i + 1, "\\") || starts(i + 2, "'")) {
+            in_char = true;
+            code.push('\'');
+            i += 1;
+            continue;
+        }
+        code.push(chars[i]);
+        i += 1;
+    }
+    (code, comment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.lint.as_str()).collect()
+    }
+
+    #[test]
+    fn wall_clock_fires_in_critical_crates_only() {
+        let code = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            lints_of(&scan_file("detection", "x.rs", code)),
+            vec![lints::WALL_CLOCK]
+        );
+        assert!(scan_file("telemetry", "x.rs", code).is_empty());
+        assert!(scan_file("vendor", "x.rs", code).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_its_line_only() {
+        let code = "let t = Instant::now(); // fg-analyze: allow(wall-clock): profiling\n\
+                    let u = Instant::now();\n";
+        let diags = scan_file("scenario", "x.rs", code);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].source.ends_with(":2"));
+    }
+
+    #[test]
+    fn entropy_rng_fires() {
+        for pat in ["rand::thread_rng()", "StdRng::from_entropy()", "OsRng"] {
+            let code = format!("let r = {pat};\n");
+            assert_eq!(
+                lints_of(&scan_file("behavior", "x.rs", &code)),
+                vec![lints::ENTROPY_RNG],
+                "{pat}"
+            );
+        }
+        // Seeded RNG is the contract, not a violation.
+        assert!(scan_file("behavior", "x.rs", "StdRng::seed_from_u64(7)\n").is_empty());
+    }
+
+    #[test]
+    fn std_hash_collections_fire_only_in_hot_path_crates() {
+        let code = "let m: HashMap<u32, u32> = HashMap::new();\n";
+        assert_eq!(
+            lints_of(&scan_file("mitigation", "x.rs", code)),
+            vec![lints::STD_HASH_COLLECTIONS]
+        );
+        // behavior is determinism-critical but not hash-mandated.
+        assert!(scan_file("behavior", "x.rs", code).is_empty());
+        let import = "use std::collections::HashMap;\n";
+        assert_eq!(
+            lints_of(&scan_file("detection", "x.rs", import)),
+            vec![lints::STD_HASH_COLLECTIONS]
+        );
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_deny_for_lib_roots() {
+        let diags = scan_file("newcrate", "crates/newcrate/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(lints_of(&diags), vec![lints::MISSING_FORBID_UNSAFE]);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        // Non-root files are not required to repeat it.
+        assert!(scan_file("newcrate", "crates/newcrate/src/other.rs", "fn f() {}\n").is_empty());
+        // A compliant root passes.
+        assert!(scan_file(
+            "newcrate",
+            "crates/newcrate/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_patterns() {
+        let code = "// Instant::now is forbidden here\n\
+                    /* SystemTime too,\n\
+                       across lines */\n\
+                    let s = \"thread_rng\";\n\
+                    let ok = 1;\n";
+        assert!(
+            scan_file("detection", "x.rs", code).is_empty(),
+            "prose is not code"
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_scanner() {
+        let code = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let t = Instant::now(); q }\n";
+        assert_eq!(
+            lints_of(&scan_file("detection", "x.rs", code)),
+            vec![lints::WALL_CLOCK]
+        );
+    }
+
+    #[test]
+    fn workspace_is_clean_under_the_allowlist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = scan_workspace(&root).expect("workspace scan reads all sources");
+        assert!(
+            diags.is_empty(),
+            "source invariants violated:\n{}",
+            crate::diag::render_pretty(&diags)
+        );
+    }
+}

@@ -24,6 +24,8 @@
 //!
 //! [`components`]: ../benches/components.rs
 
+#![forbid(unsafe_code)]
+
 pub mod perf;
 
 /// Reduced-size experiment configurations used by the Criterion benches so a

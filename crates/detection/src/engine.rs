@@ -283,7 +283,7 @@ impl DetectionEngine {
     ) -> Verdict {
         let mut signals = Vec::new();
 
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let report = consistency_report(fingerprint);
         if !report.is_clean() {
             signals.push(Signal::FingerprintInconsistent {
@@ -292,20 +292,20 @@ impl DetectionEngine {
         }
         self.note_stage("detect.fingerprint-consistency", t);
 
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         if self.reputation.is_denied(ip, now) {
             signals.push(Signal::IpReputation);
         }
         self.note_stage("detect.ip-reputation", t);
 
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let ip_count = self.ip_velocity.record_and_count(ip.as_u32(), now);
         if ip_count > self.config.ip_velocity_threshold {
             signals.push(Signal::IpVelocity { count: ip_count });
         }
         self.note_stage("detect.ip-velocity", t);
 
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let fp_count = self
             .fp_velocity
             .record_and_count(fingerprint.identity_hash(), now);
@@ -314,7 +314,7 @@ impl DetectionEngine {
         }
         self.note_stage("detect.fp-velocity", t);
 
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let sms_endpoint = matches!(endpoint, Endpoint::SendOtp | Endpoint::BoardingPass);
         if sms_endpoint {
             if let Some(reference) = booking {

@@ -14,9 +14,9 @@
 //! [`NameAbuseAnalyzer`] runs all of them over a booking stream and issues a
 //! combined report distinguishing automated from manual abuse.
 
+use fg_core::hash::{FxHashMap, FxHashSet};
 use fg_inventory::passenger::Passenger;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Common English/name letter bigrams used by the gibberish detector.
 const COMMON_BIGRAMS: &[&str] = &[
@@ -191,7 +191,8 @@ fn levenshtein_units<'s, T: PartialEq + Copy>(mut a: &'s [T], mut b: &'s [T]) ->
 pub fn misspelling_clusters(names: &[&str], max_dist: usize) -> Vec<Vec<String>> {
     // Hash-dedupe preserving first-appearance order (the old linear scan
     // made dedup itself quadratic on repetition-heavy booking streams).
-    let mut seen: HashSet<&str> = HashSet::with_capacity(names.len());
+    let mut seen: FxHashSet<&str> =
+        FxHashSet::with_capacity_and_hasher(names.len(), Default::default());
     let mut distinct: Vec<&str> = Vec::new();
     for &n in names {
         if seen.insert(n) {
@@ -228,7 +229,7 @@ pub fn misspelling_clusters(names: &[&str], max_dist: usize) -> Vec<Vec<String>>
 /// Tracks how often each `"FIRST SURNAME"` key recurs across bookings.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RepetitionTracker {
-    counts: HashMap<String, u32>,
+    counts: FxHashMap<String, u32>,
 }
 
 impl RepetitionTracker {
@@ -271,7 +272,7 @@ impl RepetitionTracker {
 /// birthdates across bookings.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct BirthdateRotationDetector {
-    birthdates: HashMap<String, HashSet<String>>,
+    birthdates: FxHashMap<String, FxHashSet<String>>,
 }
 
 impl BirthdateRotationDetector {
@@ -294,7 +295,7 @@ impl BirthdateRotationDetector {
 
     /// Distinct birthdates seen for `key`.
     pub fn distinct_birthdates(&self, key: &str) -> usize {
-        self.birthdates.get(key).map_or(0, HashSet::len)
+        self.birthdates.get(key).map_or(0, FxHashSet::len)
     }
 
     /// Keys whose distinct-birthdate count reaches `threshold`, sorted.
@@ -316,7 +317,7 @@ impl BirthdateRotationDetector {
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PermutationSetDetector {
     // signature (sorted names joined) -> (bookings seen, distinct orderings)
-    signatures: HashMap<String, (u32, HashSet<String>)>,
+    signatures: FxHashMap<String, (u32, FxHashSet<String>)>,
 }
 
 impl PermutationSetDetector {
@@ -338,7 +339,7 @@ impl PermutationSetDetector {
         let entry = self
             .signatures
             .entry(signature)
-            .or_insert((0, HashSet::new()));
+            .or_insert((0, FxHashSet::default()));
         entry.0 += 1;
         entry.1.insert(order);
     }

@@ -5,9 +5,9 @@
 //! observe — and cut a session after a configurable inactivity gap.
 
 use crate::log::LogRecord;
+use fg_core::hash::FxHashMap;
 use fg_core::ids::SessionId;
 use fg_core::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// A reconstructed user session.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,7 +90,7 @@ impl Session {
 /// ```
 pub fn sessionize(mut records: Vec<LogRecord>, gap: SimDuration) -> Vec<Session> {
     records.sort_by_key(|r| r.at);
-    let mut open: HashMap<(u32, u64), Vec<LogRecord>> = HashMap::new();
+    let mut open: FxHashMap<(u32, u64), Vec<LogRecord>> = FxHashMap::default();
     let mut closed: Vec<Vec<LogRecord>> = Vec::new();
 
     for rec in records {

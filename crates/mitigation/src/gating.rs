@@ -4,9 +4,9 @@
 //! for long periods of time) to trusted users, such as verified loyalty
 //! program members."
 
+use fg_core::hash::FxHashMap;
 use fg_detection::log::Endpoint;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A client's trust standing with the platform.
@@ -47,7 +47,7 @@ impl fmt::Display for TrustTier {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FeatureGate {
-    requirements: HashMap<Endpoint, TrustTier>,
+    requirements: FxHashMap<Endpoint, TrustTier>,
     denials: u64,
 }
 

@@ -11,11 +11,19 @@
 //! recording the attacker effort absorbed. Nothing it does touches real
 //! inventory.
 
+use fg_core::hash::FxHashMap;
 use fg_core::ids::{BookingRef, ClientId};
 use fg_core::money::Money;
 use fg_core::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// First index of the decoy booking-reference range.
+///
+/// Real references are allocated sequentially from index 0; decoys count up
+/// from the middle of the `u64` index space, so the two ranges cannot collide
+/// in any report (`fg-analyze` lint `decoy-overlap` checks this invariant
+/// against each scenario's expected real-booking volume).
+pub const DECOY_REF_BASE: u64 = u64::MAX / 2;
 
 /// Statistics about what the decoy absorbed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +56,7 @@ pub struct HoneypotStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Honeypot {
-    diverted: HashMap<ClientId, SimTime>,
+    diverted: FxHashMap<ClientId, SimTime>,
     stats: HoneypotStats,
     fake_ref_counter: u64,
     attacker_cost_absorbed: Money,
@@ -81,7 +89,7 @@ impl Honeypot {
         // Decoy references come from a distinct, deterministic index range so
         // they can never collide with real references in reports.
         self.fake_ref_counter += 1;
-        BookingRef::from_index(u64::MAX / 2 + self.fake_ref_counter)
+        BookingRef::from_index(DECOY_REF_BASE + self.fake_ref_counter)
     }
 
     /// Accepts a fake SMS request (nothing is sent, nothing is paid).

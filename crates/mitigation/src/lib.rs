@@ -20,6 +20,8 @@
 //!   limiter state to `Allow / Challenge / RateLimit / Honeypot / Block`.
 //! * [`economics`] — the two-sided ledger proving (or disproving) that a
 //!   mitigation made the attack economically unviable.
+//! * [`profile`] — declarative deployment profiles (config + scenario facts
+//!   + waivers) consumed by the `fg-analyze` semantic linter.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod economics;
 pub mod gating;
 pub mod honeypot;
 pub mod policy;
+pub mod profile;
 pub mod rate_limit;
 
 pub use blocklist::{BlockRule, BlockRuleEngine};
@@ -52,4 +55,5 @@ pub use economics::{AttackerLedger, DefenderLedger};
 pub use gating::{FeatureGate, TrustTier};
 pub use honeypot::Honeypot;
 pub use policy::{Decision, PolicyConfig, PolicyEngine};
+pub use profile::{ChannelTraffic, DefenceProfile, ScenarioContext, Waiver};
 pub use rate_limit::{KeyedLimiter, TokenBucket};

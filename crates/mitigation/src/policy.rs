@@ -118,6 +118,66 @@ impl PolicyConfig {
             gate: FeatureGate::recommended(),
         }
     }
+
+    /// Checks the hard well-formedness invariants every deployable config
+    /// must satisfy, returning every violation found.
+    ///
+    /// These are the *constructive* rules — a config failing any of them is
+    /// broken, not merely questionable (`fg-analyze` layers softer semantic
+    /// lints, e.g. dead stages or limits that can never fire, on top of this):
+    ///
+    /// * thresholds are not NaN and not negative (`+∞` is legal: it encodes
+    ///   "stage disabled", as in [`PolicyConfig::unprotected`]);
+    /// * `challenge_threshold <= block_threshold` — a challenge bar *above*
+    ///   the block bar would invert the escalation ladder;
+    /// * every `(burst, per_day)` limit has a finite positive burst and a
+    ///   finite non-negative daily allowance (what
+    ///   [`TokenBucket::new`] asserts at construction).
+    ///
+    /// [`PolicyEngine::new`] runs this in debug builds and panics on
+    /// violations, so a malformed config fails fast in tests instead of
+    /// silently mis-deciding in a week-long simulation.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        for (name, t) in [
+            ("challenge_threshold", self.challenge_threshold),
+            ("block_threshold", self.block_threshold),
+        ] {
+            if t.is_nan() {
+                errors.push(format!("{name} is NaN"));
+            } else if t < 0.0 {
+                errors.push(format!("{name} is negative ({t})"));
+            }
+        }
+        if self.challenge_threshold > self.block_threshold {
+            errors.push(format!(
+                "challenge_threshold ({}) exceeds block_threshold ({}): the escalation \
+                 ladder is inverted and Block fires before Challenge",
+                self.challenge_threshold, self.block_threshold
+            ));
+        }
+        for (name, limit) in [
+            ("booking_sms_limit", self.booking_sms_limit),
+            ("path_sms_limit", self.path_sms_limit),
+            ("client_hold_limit", self.client_hold_limit),
+        ] {
+            if let Some((burst, per_day)) = limit {
+                if !burst.is_finite() || burst <= 0.0 {
+                    errors.push(format!("{name} burst must be finite and > 0, got {burst}"));
+                }
+                if !per_day.is_finite() || per_day < 0.0 {
+                    errors.push(format!(
+                        "{name} per_day must be finite and >= 0, got {per_day}"
+                    ));
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
 }
 
 /// Per-request context handed to the policy.
@@ -386,7 +446,17 @@ const SECS_PER_DAY: f64 = 86_400.0;
 
 impl PolicyEngine {
     /// Creates an engine from a config.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when `config` fails
+    /// [`PolicyConfig::validate`] — a malformed config should die at
+    /// construction, not steer a long simulation.
     pub fn new(config: PolicyConfig) -> Self {
+        #[cfg(debug_assertions)]
+        if let Err(errors) = config.validate() {
+            panic!("invalid PolicyConfig: {}", errors.join("; "));
+        }
         fn mk_keyed<K: Eq + std::hash::Hash>(spec: Option<(f64, f64)>) -> Option<KeyedLimiter<K>> {
             spec.map(|(burst, per_day)| KeyedLimiter::new(burst, per_day / SECS_PER_DAY))
         }
@@ -903,6 +973,120 @@ mod tests {
             Decision::TierDenied,
         ] {
             assert!(!d.reaches_application());
+        }
+    }
+
+    #[test]
+    fn builtin_presets_validate() {
+        for cfg in [
+            PolicyConfig::unprotected(),
+            PolicyConfig::traditional_antibot(),
+            PolicyConfig::recommended(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_configs() {
+        let mut inverted = PolicyConfig::recommended();
+        inverted.challenge_threshold = 0.9;
+        inverted.block_threshold = 0.4;
+        let errors = inverted.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("escalation")),
+            "{errors:?}"
+        );
+
+        let mut nan = PolicyConfig::unprotected();
+        nan.challenge_threshold = f64::NAN;
+        assert!(nan.validate().is_err());
+
+        let mut bad_limit = PolicyConfig::unprotected();
+        bad_limit.booking_sms_limit = Some((0.0, 3.0));
+        assert!(bad_limit.validate().is_err());
+
+        let mut negative_refill = PolicyConfig::unprotected();
+        negative_refill.path_sms_limit = Some((5.0, -1.0));
+        assert!(negative_refill.validate().is_err());
+    }
+
+    #[test]
+    fn equal_thresholds_are_valid_but_linted_elsewhere() {
+        // challenge == block is *well-formed* (Challenge is merely dead);
+        // fg-analyze's `unreachable-challenge` lint covers the semantic smell.
+        let mut cfg = PolicyConfig::recommended();
+        cfg.challenge_threshold = cfg.block_threshold;
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid PolicyConfig")]
+    fn debug_engine_construction_rejects_invalid_config() {
+        let mut cfg = PolicyConfig::recommended();
+        cfg.challenge_threshold = 0.95; // above block_threshold 0.85
+        let _ = PolicyEngine::new(cfg);
+    }
+
+    mod validate_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Decodes a raw draw into a deployable threshold: a score bar in
+        /// `[0, 1]`, or `+∞` ("stage disabled") for draws above 1.
+        fn threshold(raw: f64) -> f64 {
+            if raw > 1.0 {
+                f64::INFINITY
+            } else {
+                raw
+            }
+        }
+
+        /// Decodes a raw draw into an optional `(burst, per_day)` limit.
+        fn limit(sel: u8, burst: f64, per_day: f64) -> Option<(f64, f64)> {
+            (sel > 0).then_some((burst, per_day))
+        }
+
+        proptest! {
+            /// Every config built the intended way round (challenge bar at or
+            /// below block bar) validates, constructs an engine without
+            /// panicking, and keeps `challenge_threshold <= block_threshold`.
+            #[test]
+            fn valid_configs_keep_challenge_below_block(
+                a in 0.0f64..1.3,
+                b in 0.0f64..1.3,
+                booking in (0u8..3, 0.1f64..1_000.0, 0.0f64..100_000.0),
+                path in (0u8..3, 0.1f64..1_000.0, 0.0f64..100_000.0),
+                hold in (0u8..3, 0.1f64..1_000.0, 0.0f64..100_000.0),
+            ) {
+                let (a, b) = (threshold(a), threshold(b));
+                let cfg = PolicyConfig {
+                    challenge_threshold: a.min(b),
+                    block_threshold: a.max(b),
+                    honeypot_instead_of_block: false,
+                    booking_sms_limit: limit(booking.0, booking.1, booking.2),
+                    path_sms_limit: limit(path.0, path.1, path.2),
+                    client_hold_limit: limit(hold.0, hold.1, hold.2),
+                    gate: FeatureGate::permissive(),
+                };
+                prop_assert_eq!(cfg.validate(), Ok(()));
+                prop_assert!(cfg.challenge_threshold <= cfg.block_threshold);
+                let engine = PolicyEngine::new(cfg.clone());
+                prop_assert_eq!(engine.config(), &cfg);
+            }
+
+            /// Inverted ladders never validate.
+            #[test]
+            fn inverted_thresholds_never_validate(
+                block in 0.0f64..0.9,
+                gap in 0.01f64..0.5,
+            ) {
+                let mut cfg = PolicyConfig::unprotected();
+                cfg.challenge_threshold = block + gap;
+                cfg.block_threshold = block;
+                prop_assert!(cfg.validate().is_err());
+            }
         }
     }
 }

@@ -1,0 +1,262 @@
+//! Declarative defence-deployment profiles.
+//!
+//! A [`DefenceProfile`] describes one *deployment* of the defence stack: the
+//! [`PolicyConfig`] in force plus the scenario facts needed to judge whether
+//! that config is coherent — modeled traffic, booking-hold TTLs, legitimate
+//! group-size distributions, expected inventory volume. The paper's core
+//! lesson is that functional abuse slips through defences that are
+//! *misconfigured for the feature* (a NiP cap that doesn't match real group
+//! sizes, a rate limit that can never fire against low-and-slow abuse), and
+//! those mismatches are only visible when config and scenario are examined
+//! together. `fg-analyze` consumes these profiles for exactly that purpose.
+//!
+//! Profiles that deliberately reproduce a paper misconfiguration (e.g. the
+//! §IV-C era path limit sized for volumetric attacks) attach [`Waiver`]s
+//! naming the lint they expect to trip and why — the finding is reported but
+//! does not fail the CI gate.
+
+use crate::policy::PolicyConfig;
+use fg_core::time::SimDuration;
+
+/// The Fig. 1 airline group-size (names-in-PNR) distribution as
+/// `(party_size, weight)` pairs.
+///
+/// This mirrors `LegitConfig::default_airline` in `fg-behavior` (which cannot
+/// be imported here without a dependency cycle); a test on the scenario side
+/// asserts the two stay identical.
+pub const AIRLINE_NIP_WEIGHTS: [(u32, f64); 9] = [
+    (1, 52.0),
+    (2, 30.0),
+    (3, 7.0),
+    (4, 5.0),
+    (5, 2.5),
+    (6, 1.5),
+    (7, 1.0),
+    (8, 0.6),
+    (9, 0.4),
+];
+
+/// An acknowledged, intentional lint finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// The lint id being waived (e.g. `"limiter-never-fires"`).
+    pub lint: &'static str,
+    /// Why the finding is accepted rather than fixed.
+    pub reason: &'static str,
+}
+
+/// Modeled steady-state demand on one abusable channel, in events per day.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelTraffic {
+    /// Legitimate demand across the whole population.
+    pub legit_per_day: f64,
+    /// Attack demand concentrated on the *hottest single key* (one booking
+    /// ref, one client) — the worst case a keyed limiter must catch.
+    pub attack_per_day: f64,
+}
+
+impl ChannelTraffic {
+    /// Total path-wide demand.
+    pub fn total_per_day(&self) -> f64 {
+        self.legit_per_day + self.attack_per_day
+    }
+}
+
+/// Scenario facts a policy config must be judged against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioContext {
+    /// How long the deployment runs.
+    pub horizon: SimDuration,
+    /// Booking-hold time-to-live.
+    pub hold_ttl: SimDuration,
+    /// The names-in-PNR cap enforced by the application.
+    pub max_nip: u32,
+    /// Legitimate group-size distribution as `(party_size, weight)` pairs.
+    pub nip_weights: Vec<(u32, f64)>,
+    /// SMS-path demand, when the scenario models SMS abuse.
+    pub sms: Option<ChannelTraffic>,
+    /// Hold-path demand, when the scenario models hold abuse.
+    pub holds: Option<ChannelTraffic>,
+    /// Real bookings the scenario may create over the horizon (bounds the
+    /// real booking-reference index range, for decoy-overlap checks).
+    pub expected_bookings: u64,
+    /// First index of the honeypot decoy booking-reference range (defaults
+    /// to [`crate::honeypot::DECOY_REF_BASE`]).
+    pub decoy_ref_base: u64,
+    /// Idle-state eviction TTL for keyed limiters, if the deployment evicts
+    /// by age. `None` means refill-based (lossless) eviction — the committed
+    /// implementation — which cannot lose limiter state by construction.
+    pub limiter_eviction_ttl: Option<SimDuration>,
+}
+
+impl Default for ScenarioContext {
+    /// The Fig. 1 "average week" airline: 400 arrivals/day over three weeks,
+    /// 30-minute holds, NiP capped at the largest legitimate party.
+    fn default() -> Self {
+        ScenarioContext {
+            horizon: SimDuration::from_days(21),
+            hold_ttl: SimDuration::from_mins(30),
+            max_nip: 9,
+            nip_weights: AIRLINE_NIP_WEIGHTS.to_vec(),
+            sms: None,
+            holds: None,
+            expected_bookings: 400 * 21,
+            decoy_ref_base: crate::honeypot::DECOY_REF_BASE,
+            limiter_eviction_ttl: None,
+        }
+    }
+}
+
+impl ScenarioContext {
+    /// Fraction of legitimate parties that fit within `cap` names.
+    ///
+    /// Returns 1.0 for an empty distribution (nothing to exclude).
+    pub fn nip_coverage(&self, cap: u32) -> f64 {
+        let total: f64 = self.nip_weights.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let within: f64 = self
+            .nip_weights
+            .iter()
+            .filter(|&&(size, _)| size <= cap)
+            .map(|&(_, w)| w)
+            .sum();
+        within / total
+    }
+
+    /// The largest party size legitimate customers book.
+    pub fn max_legit_party(&self) -> u32 {
+        self.nip_weights
+            .iter()
+            .map(|&(size, _)| size)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One named deployment of the defence stack, ready for semantic analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefenceProfile {
+    /// Where this deployment appears (e.g. `"ablation/traditional"`).
+    pub name: String,
+    /// The policy in force.
+    pub policy: PolicyConfig,
+    /// The scenario it defends.
+    pub scenario: ScenarioContext,
+    /// Lints this profile intentionally trips.
+    pub waivers: Vec<Waiver>,
+}
+
+impl DefenceProfile {
+    /// A profile over the default airline scenario.
+    pub fn airline(name: impl Into<String>, policy: PolicyConfig) -> Self {
+        DefenceProfile {
+            name: name.into(),
+            policy,
+            scenario: ScenarioContext::default(),
+            waivers: Vec::new(),
+        }
+    }
+
+    /// Sets the deployment horizon (builder style).
+    #[must_use]
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.scenario.horizon = horizon;
+        self
+    }
+
+    /// Sets the booking-hold TTL (builder style).
+    #[must_use]
+    pub fn hold_ttl(mut self, ttl: SimDuration) -> Self {
+        self.scenario.hold_ttl = ttl;
+        self
+    }
+
+    /// Sets the enforced NiP cap (builder style).
+    #[must_use]
+    pub fn max_nip(mut self, cap: u32) -> Self {
+        self.scenario.max_nip = cap;
+        self
+    }
+
+    /// Models SMS-path demand (builder style).
+    #[must_use]
+    pub fn sms(mut self, legit_per_day: f64, attack_per_day: f64) -> Self {
+        self.scenario.sms = Some(ChannelTraffic {
+            legit_per_day,
+            attack_per_day,
+        });
+        self
+    }
+
+    /// Models hold-path demand (builder style).
+    #[must_use]
+    pub fn holds(mut self, legit_per_day: f64, attack_per_day: f64) -> Self {
+        self.scenario.holds = Some(ChannelTraffic {
+            legit_per_day,
+            attack_per_day,
+        });
+        self
+    }
+
+    /// Sets the expected real-booking volume (builder style).
+    #[must_use]
+    pub fn expected_bookings(mut self, n: u64) -> Self {
+        self.scenario.expected_bookings = n;
+        self
+    }
+
+    /// Acknowledges an intentional lint finding (builder style).
+    #[must_use]
+    pub fn waive(mut self, lint: &'static str, reason: &'static str) -> Self {
+        self.waivers.push(Waiver { lint, reason });
+        self
+    }
+
+    /// The waiver for `lint`, if one is attached.
+    pub fn waiver_for(&self, lint: &str) -> Option<&Waiver> {
+        self.waivers.iter().find(|w| w.lint == lint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nip_coverage_is_cumulative() {
+        let ctx = ScenarioContext::default();
+        assert!((ctx.nip_coverage(9) - 1.0).abs() < 1e-12);
+        // 52 + 30 + 7 + 5 = 94 of 100 weight fits in 4 names.
+        assert!((ctx.nip_coverage(4) - 0.94).abs() < 1e-12);
+        assert!(ctx.nip_coverage(1) < ctx.nip_coverage(2));
+        assert_eq!(ctx.max_legit_party(), 9);
+    }
+
+    #[test]
+    fn empty_distribution_covers_trivially() {
+        let mut ctx = ScenarioContext::default();
+        ctx.nip_weights.clear();
+        assert_eq!(ctx.nip_coverage(1), 1.0);
+        assert_eq!(ctx.max_legit_party(), 0);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let p = DefenceProfile::airline("t", PolicyConfig::recommended())
+            .horizon(SimDuration::from_days(14))
+            .hold_ttl(SimDuration::from_hours(3))
+            .max_nip(4)
+            .sms(270.0, 72.0)
+            .holds(400.0, 48.0)
+            .expected_bookings(9_999)
+            .waive("limiter-never-fires", "era-accurate posture");
+        assert_eq!(p.scenario.horizon, SimDuration::from_days(14));
+        assert_eq!(p.scenario.max_nip, 4);
+        assert_eq!(p.scenario.sms.unwrap().total_per_day(), 342.0);
+        assert_eq!(p.scenario.expected_bookings, 9_999);
+        assert!(p.waiver_for("limiter-never-fires").is_some());
+        assert!(p.waiver_for("decoy-overlap").is_none());
+    }
+}

@@ -378,7 +378,7 @@ impl DefendedApp {
         self.metrics.endpoint_counter(endpoint).inc();
 
         // Already-diverted clients stay in the decoy.
-        let t = Instant::now();
+        let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let diverted = self.honeypot.is_diverted(req.client);
         self.telemetry
             .record_stage("mitigation.honeypot-check", t.elapsed());
@@ -397,7 +397,7 @@ impl DefendedApp {
             return Ok(false);
         }
 
-        let t = Instant::now();
+        let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let verdict = self
             .detection
             .assess(now, req.ip, &req.fingerprint, endpoint, booking);
@@ -414,7 +414,7 @@ impl DefendedApp {
                 .report(req.ip, verdict.score, now);
         }
 
-        let t = Instant::now();
+        let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let trace = self.policy.decide_traced(&RequestContext {
             now,
             ip: req.ip,
@@ -449,7 +449,7 @@ impl DefendedApp {
         match decision {
             Decision::Allow => Ok(true),
             Decision::Challenge => {
-                let t = Instant::now();
+                let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
                 let result = if req.is_bot {
                     let outcome = self.config.captcha.challenge_bot(&mut self.captcha_rng);
                     *self.solver_spend.entry(req.client).or_insert(Money::ZERO) +=

@@ -172,7 +172,7 @@ impl Simulation {
                 }
                 Tick::Review => {
                     if let Some((team, interval)) = &mut self.team {
-                        let started = std::time::Instant::now();
+                        let started = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
                         team.review(&mut self.app, now);
                         self.app
                             .telemetry()

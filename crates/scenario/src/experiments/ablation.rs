@@ -119,6 +119,31 @@ pub fn smoke_config() -> AblationConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass: all four postures against the SMS-pump pressure they face.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = AblationConfig::default();
+    let legit_sms_daily = config.arrivals_per_day * (0.35 + 0.45 * 0.72);
+    Posture::ALL
+        .iter()
+        .map(|&posture| {
+            let profile = DefenceProfile::airline(posture.to_string(), posture.policy())
+                .horizon(fg_core::time::SimDuration::from_days(config.days as i64))
+                .sms(legit_sms_daily, 200.0 * 24.0)
+                .expected_bookings((config.arrivals_per_day * config.days as f64) as u64);
+            if posture == Posture::Traditional {
+                profile.waive(
+                    "limiter-never-fires",
+                    "the SIV-C finding reproduced: a 20 000/day path limit sized for volumetric bots never meets this pump",
+                )
+            } else {
+                profile
+            }
+        })
+        .collect()
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -134,6 +159,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

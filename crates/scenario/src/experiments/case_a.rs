@@ -61,6 +61,27 @@ pub fn smoke_config() -> CaseAConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_core::time::SimDuration;
+    use fg_mitigation::profile::DefenceProfile;
+    let config = CaseAConfig::default();
+    // The spinner holds 12 seats and re-places each as its 30-minute TTL
+    // expires (576 holds/day against the target flight).
+    vec![
+        DefenceProfile::airline("traditional+nip-cap", PolicyConfig::traditional_antibot())
+            .horizon(SimDuration::from_days(config.departure_day as i64))
+            .max_nip(4)
+            .holds(config.arrivals_per_day, 576.0)
+            .expected_bookings((config.arrivals_per_day * config.departure_day as f64) as u64)
+            .waive(
+                "unguarded-channel",
+                "era posture under study: Case A's airline had no hold limiter, which is the point",
+            ),
+    ]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -81,6 +102,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 crate::harness::CellOutput::of(&run(config))
             }
         },
+        profiles: defence_profiles,
     }
 }
 

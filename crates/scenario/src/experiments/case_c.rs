@@ -86,6 +86,37 @@ pub fn smoke_config() -> CaseCConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass: the three §IV-C SMS postures, with the same path-limit
+/// calibration `run_posture` uses (theoretical baseline x headroom).
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = CaseCConfig::default();
+    let horizon = fg_core::time::SimDuration::from_days(config.weeks as i64 * 7);
+    let legit_sms_daily = config.arrivals_per_day * (0.35 + 0.45 * 0.72);
+    let path_daily = legit_sms_daily * config.path_limit_headroom;
+    let bookings = (config.arrivals_per_day * config.weeks as f64 * 7.0) as u64;
+
+    let mut path_only = PolicyConfig::unprotected();
+    path_only.path_sms_limit = Some((path_daily, path_daily));
+    let mut per_booking = path_only.clone();
+    per_booking.booking_sms_limit = Some((3.0, 1.0));
+
+    let base = |name: &str, policy: PolicyConfig| {
+        DefenceProfile::airline(name, policy)
+            .horizon(horizon)
+            .sms(legit_sms_daily, config.pump_per_hour * 24.0)
+            .expected_bookings(bookings)
+    };
+    const WHY: &str =
+        "Case C's airline ran rate limits without any scoring pipeline; the missing stages are the finding";
+    vec![
+        base("no-limits", PolicyConfig::unprotected()),
+        base("path-limit", path_only).waive("nonfinite-threshold", WHY),
+        base("per-booking", per_booking).waive("nonfinite-threshold", WHY),
+    ]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -101,6 +132,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

@@ -61,6 +61,18 @@ pub fn smoke_config() -> DetectorsConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = DetectorsConfig::default();
+    vec![
+        DefenceProfile::airline("unprotected", PolicyConfig::unprotected())
+            .horizon(fg_core::time::SimDuration::from_days(config.days as i64))
+            .expected_bookings((config.arrivals_per_day * config.days as f64) as u64),
+    ]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -76,6 +88,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

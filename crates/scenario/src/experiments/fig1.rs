@@ -57,6 +57,29 @@ pub fn smoke_config() -> Fig1Config {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_core::time::SimDuration;
+    use fg_mitigation::profile::DefenceProfile;
+    let config = Fig1Config::default();
+    // Legitimate holds track arrivals; the spinner keeps 6 holds alive and
+    // re-places them every 3-hour TTL cycle (48/day).
+    vec![DefenceProfile::airline(
+        "traditional+nip-cap",
+        PolicyConfig::traditional_antibot(),
+    )
+    .horizon(SimDuration::from_days(21))
+    .hold_ttl(SimDuration::from_hours(3))
+    .max_nip(4)
+    .holds(config.arrivals_per_day, 48.0)
+    .expected_bookings((config.arrivals_per_day * 21.0) as u64)
+    .waive(
+        "unguarded-channel",
+        "era posture under study: the NiP cap, not a hold limiter, is the defence being measured",
+    )]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -72,6 +95,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

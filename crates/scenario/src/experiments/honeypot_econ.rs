@@ -53,6 +53,30 @@ pub fn smoke_config() -> HoneypotConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass: both arms share the deliberately opened hold path.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = HoneypotConfig::default();
+    [false, true]
+        .iter()
+        .map(|&honeypot| {
+            let mut policy = PolicyConfig::recommended();
+            policy.honeypot_instead_of_block = honeypot;
+            policy.gate.clear(fg_detection::log::Endpoint::Hold);
+            policy.client_hold_limit = None;
+            DefenceProfile::airline(if honeypot { "honeypot" } else { "blocking" }, policy)
+                .horizon(fg_core::time::SimDuration::from_days(config.days as i64))
+                .holds(config.arrivals_per_day, 576.0)
+                .expected_bookings((config.arrivals_per_day * config.days as f64) as u64)
+                .waive(
+                    "unguarded-channel",
+                    "the hold path is deliberately opened for both arms to measure decoy economics",
+                )
+        })
+        .collect()
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -68,6 +92,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

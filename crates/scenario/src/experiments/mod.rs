@@ -62,4 +62,33 @@ mod tests {
         assert_eq!(names.len(), 10, "duplicate experiment name in registry");
         assert!(specs.iter().filter(|s| s.telemetry_capable).count() == 2);
     }
+
+    /// `fg-mitigation` cannot depend on `fg-behavior`, so the airline NiP
+    /// distribution the config linter judges caps against is a mirrored
+    /// constant — keep it identical to the behavioural ground truth.
+    #[test]
+    fn profile_nip_weights_mirror_the_legit_population() {
+        let legit = fg_behavior::LegitConfig::default_airline(vec![], fg_core::time::SimTime::ZERO);
+        let mirrored: Vec<(usize, f64)> = fg_mitigation::profile::AIRLINE_NIP_WEIGHTS
+            .iter()
+            .map(|&(size, w)| (size as usize, w))
+            .collect();
+        assert_eq!(legit.nip_weights, mirrored);
+    }
+
+    /// Every registered experiment declares at least one analyzable defence
+    /// deployment, and each declared policy passes constructor validation.
+    #[test]
+    fn every_spec_declares_valid_defence_profiles() {
+        for spec in all_specs() {
+            let profiles = (spec.profiles)();
+            assert!(!profiles.is_empty(), "{} has no profiles", spec.name);
+            for profile in profiles {
+                profile
+                    .policy
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e:?}", spec.name, profile.name));
+            }
+        }
+    }
 }

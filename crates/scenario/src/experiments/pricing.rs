@@ -56,6 +56,26 @@ pub fn smoke_config() -> PricingConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = PricingConfig::default();
+    // The griefer keeps `concurrent_holds` seats locked, re-placing each as
+    // its 30-minute TTL expires (48 cycles/day).
+    vec![
+        DefenceProfile::airline("unprotected", PolicyConfig::unprotected())
+            .horizon(fg_core::time::SimDuration::from_days(
+                config.departure_day as i64,
+            ))
+            .holds(
+                config.arrivals_per_day,
+                config.concurrent_holds as f64 * 48.0,
+            )
+            .expected_bookings((config.arrivals_per_day * config.departure_day as f64) as u64),
+    ]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -71,6 +91,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

@@ -53,6 +53,23 @@ pub fn smoke_config() -> ProxiesConfig {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = ProxiesConfig::default();
+    let mut policy = PolicyConfig::traditional_antibot();
+    policy.block_threshold = 0.75;
+    vec![DefenceProfile::airline("ip-reputation", policy)
+        .horizon(fg_core::time::SimDuration::from_days(config.days as i64))
+        .holds(config.arrivals_per_day, 576.0)
+        .expected_bookings((config.arrivals_per_day * config.days as f64) as u64)
+        .waive(
+            "unguarded-channel",
+            "the defence under study is IP reputation at the network edge, not a hold limiter",
+        )]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -68,6 +85,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

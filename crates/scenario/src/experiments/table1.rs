@@ -54,6 +54,22 @@ pub fn smoke_config() -> Table1Config {
     }
 }
 
+/// The defence deployments this experiment exercises, for `fg-analyze`'s
+/// config pass.
+pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
+    use fg_mitigation::profile::DefenceProfile;
+    let config = Table1Config::default();
+    // Arrivals send OTPs and boarding passes (0.674 SMS per arrival); the
+    // pump adds its hourly rate around the clock. No defence is in force,
+    // so the config pass records the exposure without channel lints.
+    vec![
+        DefenceProfile::airline("unprotected", PolicyConfig::unprotected())
+            .horizon(fg_core::time::SimDuration::from_days(14))
+            .sms(config.arrivals_per_day * 0.674, config.pump_per_hour * 24.0)
+            .expected_bookings((config.arrivals_per_day * 14.0) as u64),
+    ]
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -69,6 +85,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
             config.seed = p.seed;
             crate::harness::CellOutput::of(&run(config))
         },
+        profiles: defence_profiles,
     }
 }
 

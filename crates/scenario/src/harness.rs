@@ -86,6 +86,11 @@ pub struct ExperimentSpec {
     /// Runs one cell. A plain `fn` pointer keeps the spec `Send + Sync`
     /// without any `Send` bound on the simulation itself.
     pub run: fn(&ExperimentParams) -> CellOutput,
+    /// The defence deployments this experiment exercises, as declarative
+    /// profiles for `fg-analyze`'s config pass (policy + scenario facts +
+    /// waivers for paper-accurate misconfigurations). A plain `fn` pointer
+    /// keeps the spec `Copy`.
+    pub profiles: fn() -> Vec<fg_mitigation::profile::DefenceProfile>,
 }
 
 /// One completed (experiment × seed) cell.
@@ -377,6 +382,7 @@ mod tests {
                     doubled: p.seed.wrapping_mul(2),
                 })
             },
+            profiles: Vec::new,
         }
     }
 
@@ -451,6 +457,7 @@ mod tests {
                 RUNS.fetch_add(1, Ordering::Relaxed);
                 CellOutput::of(&Noop)
             },
+            profiles: Vec::new,
         };
         let specs = [spec; 3];
         let runs = run_matrix(

@@ -473,10 +473,11 @@ impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V
     }
 }
 
-impl<K, V> Deserialize for std::collections::HashMap<K, V>
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
 where
     K: Deserialize + Eq + std::hash::Hash,
     V: Deserialize,
+    S: std::hash::BuildHasher + Default,
 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         v.as_object()
@@ -521,9 +522,10 @@ impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
     }
 }
 
-impl<T> Deserialize for std::collections::HashSet<T>
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
 where
     T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         v.as_array()

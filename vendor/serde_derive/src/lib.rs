@@ -8,6 +8,8 @@
 //! upstream externally-tagged representation: `"Variant"` for unit
 //! variants, `{"Variant": ...}` otherwise.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 
