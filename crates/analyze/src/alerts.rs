@@ -1,0 +1,381 @@
+//! Pass 3 — the alert-policy semantic linter.
+//!
+//! Checks each experiment's [`AlertPolicy`] against the scenario facts its
+//! [`DefenceProfile`]s declare: a rule whose trigger the modeled traffic can
+//! never mathematically reach is dead monitoring (the alerting twin of the
+//! config pass's `limiter-never-fires`), and a modeled abuse channel no rule
+//! watches is a blind spot the paper's §IV-C invoice-lag story warns about.
+//! Waivers on the profiles apply here too, so paper-accurate blind spots
+//! (the detectors experiment's deliberately volumetric threshold) stay
+//! visible without failing the gate.
+
+use crate::diag::{Diagnostic, Severity};
+use fg_mitigation::profile::{ChannelTraffic, DefenceProfile};
+use fg_sentinel::{AlertPolicy, AlertRule, DriftBaseline, MetricSource, RuleKind};
+
+/// Stable lint ids for pass 3.
+pub mod lints {
+    /// No modeled traffic level can reach the rule's trigger within the
+    /// deployment horizon: the alert exists but can never fire.
+    pub const ALERT_RULE_NEVER_FIRES: &str = "alert-rule-never-fires";
+    /// A channel with modeled abuse traffic that no alert rule watches.
+    pub const ALERT_CHANNEL_UNWATCHED: &str = "alert-channel-unwatched";
+}
+
+/// The abuse channels scenario contexts model, for mapping metric names to
+/// declared traffic.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Channel {
+    Sms,
+    Holds,
+}
+
+impl Channel {
+    fn name(self) -> &'static str {
+        match self {
+            Channel::Sms => "sms",
+            Channel::Holds => "holds",
+        }
+    }
+
+    fn traffic(self, profile: &DefenceProfile) -> Option<&ChannelTraffic> {
+        match self {
+            Channel::Sms => profile.scenario.sms.as_ref(),
+            Channel::Holds => profile.scenario.holds.as_ref(),
+        }
+    }
+}
+
+/// Which modeled channel a rule's metric selector draws its events from, or
+/// `None` for metrics outside the channel model (e.g. honeypot diversions),
+/// which the pass cannot judge and leaves alone.
+fn channel_of(rule: &AlertRule) -> Option<Channel> {
+    match rule.selector.name.as_str() {
+        "fg_sms_sent_total" | "fg_sms_owner_cost_units" => Some(Channel::Sms),
+        "fg_nip_hold" => Some(Channel::Holds),
+        "fg_requests_total" => match &rule.selector.labels {
+            None => Some(Channel::Holds),
+            Some(labels) => labels
+                .iter()
+                .any(|(k, v)| k == "endpoint" && v == "/booking/hold")
+                .then_some(Channel::Holds),
+        },
+        _ => None,
+    }
+}
+
+/// Why `rule` can never fire against `traffic` over `horizon_days`, or
+/// `None` if it plausibly can. Deliberately permissive: only mathematically
+/// certain dead rules are reported (per-label splits and per-SMS costs are
+/// not statically known, so those checks use whole-channel upper bounds).
+fn never_fires(rule: &AlertRule, traffic: &ChannelTraffic, horizon_days: f64) -> Option<String> {
+    let total_per_day = traffic.total_per_day();
+    match &rule.kind {
+        RuleKind::Threshold {
+            window, min_value, ..
+        } => {
+            let max_events = total_per_day * window.as_days_f64().min(horizon_days);
+            (max_events < *min_value).then(|| {
+                format!(
+                    "trigger {min_value:.0} per {:.0} h window vs at most {max_events:.1} \
+                     modeled events — the volume trigger is out of reach",
+                    window.as_hours_f64()
+                )
+            })
+        }
+        RuleKind::Surge {
+            source: MetricSource::Gauge,
+            ..
+        } => {
+            // Spend per SMS is not statically known; all the pass can say is
+            // that zero modeled abuse cannot raise the burn rate.
+            (traffic.attack_per_day <= 0.0)
+                .then(|| "burn-rate rule on a channel with no modeled abuse spend".to_owned())
+        }
+        RuleKind::Surge {
+            current_window,
+            factor,
+            min_count,
+            floor_per_hour,
+            ..
+        } => {
+            let max_events = total_per_day * current_window.as_days_f64().min(horizon_days);
+            if max_events < *min_count {
+                return Some(format!(
+                    "volume guard min_count {min_count:.0} vs at most {max_events:.1} \
+                     events in the current window"
+                ));
+            }
+            // The hottest series can at most carry the whole channel over a
+            // baseline no lower than the floor.
+            let total_per_hour = total_per_day / 24.0;
+            (total_per_hour < factor * floor_per_hour).then(|| {
+                format!(
+                    "surge factor {factor:.0}x is unreachable: the whole channel peaks \
+                     at {total_per_hour:.2}/h against a {floor_per_hour:.2}/h baseline floor"
+                )
+            })
+        }
+        RuleKind::Drift {
+            window,
+            min_samples,
+            baseline,
+            ..
+        } => {
+            if let DriftBaseline::Learned { until } = baseline {
+                let learn_days = until.as_millis() as f64 / fg_core::time::MILLIS_PER_DAY as f64;
+                if learn_days >= horizon_days {
+                    return Some(format!(
+                        "baseline learning runs until day {learn_days:.1} but the horizon \
+                         is {horizon_days:.1} days: the rule is inert for the whole run"
+                    ));
+                }
+            }
+            let max_samples = total_per_day * window.as_days_f64().min(horizon_days);
+            (max_samples < *min_samples as f64).then(|| {
+                format!(
+                    "min_samples {min_samples} vs at most {max_samples:.1} modeled \
+                     samples in the window — the statistic never becomes meaningful"
+                )
+            })
+        }
+    }
+}
+
+/// Analyzes one alert policy against the defence profiles of the experiment
+/// that deploys it. A rule is flagged only when it can never fire under
+/// *every* profile that models its channel; profile waivers apply.
+pub fn analyze_policy(
+    policy: &AlertPolicy,
+    profiles: &[DefenceProfile],
+    src: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for rule in &policy.rules {
+        let Some(channel) = channel_of(rule) else {
+            continue;
+        };
+        let verdicts: Vec<(String, String)> = profiles
+            .iter()
+            .filter_map(|p| {
+                let traffic = channel.traffic(p)?;
+                Some((
+                    p.name.clone(),
+                    never_fires(rule, traffic, p.scenario.horizon.as_days_f64())?,
+                ))
+            })
+            .collect();
+        let modeled = profiles
+            .iter()
+            .filter(|p| channel.traffic(p).is_some())
+            .count();
+        if modeled > 0 && verdicts.len() == modeled {
+            let mut d = Diagnostic::new(
+                lints::ALERT_RULE_NEVER_FIRES,
+                Severity::Warn,
+                src,
+                format!(
+                    "alert rule '{}' can never fire against the modeled {} traffic \
+                     of any declared deployment — dead monitoring",
+                    rule.id,
+                    channel.name()
+                ),
+            )
+            .note("rule", &rule.id)
+            .note("channel", channel.name());
+            for (profile, why) in verdicts {
+                d = d.note(&profile, why);
+            }
+            diags.push(d);
+        }
+    }
+
+    for channel in [Channel::Sms, Channel::Holds] {
+        let watched = policy.rules.iter().any(|r| channel_of(r) == Some(channel));
+        if watched {
+            continue;
+        }
+        let Some((profile, traffic)) = profiles
+            .iter()
+            .filter_map(|p| Some((p, channel.traffic(p)?)))
+            .filter(|(_, t)| t.attack_per_day > 0.0)
+            .max_by(|a, b| a.1.attack_per_day.total_cmp(&b.1.attack_per_day))
+        else {
+            continue;
+        };
+        diags.push(
+            Diagnostic::new(
+                lints::ALERT_CHANNEL_UNWATCHED,
+                Severity::Warn,
+                src,
+                format!(
+                    "{} channel models {:.1} abuse events/day but no alert rule \
+                     watches it: abuse would surface on the invoice, not a pager",
+                    channel.name(),
+                    traffic.attack_per_day
+                ),
+            )
+            .note("channel", channel.name())
+            .note("profile", &profile.name)
+            .note("attack_per_day", format!("{:.1}", traffic.attack_per_day)),
+        );
+    }
+
+    // Apply waivers from any declaring profile (the policy is experiment-wide
+    // while waivers ride on profiles).
+    for d in &mut diags {
+        if let Some(w) = profiles.iter().find_map(|p| p.waiver_for(&d.lint)) {
+            *d = d.clone().waived(w.reason);
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::time::{SimDuration, SimTime};
+    use fg_mitigation::policy::PolicyConfig;
+    use fg_sentinel::MetricSelector;
+
+    fn profile(sms: Option<(f64, f64)>, holds: Option<(f64, f64)>) -> DefenceProfile {
+        let mut p = DefenceProfile::airline("test", PolicyConfig::unprotected())
+            .horizon(SimDuration::from_days(14));
+        if let Some((legit, attack)) = sms {
+            p = p.sms(legit, attack);
+        }
+        if let Some((legit, attack)) = holds {
+            p = p.holds(legit, attack);
+        }
+        p
+    }
+
+    fn lints_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.lint.as_str()).collect()
+    }
+
+    #[test]
+    fn volumetric_threshold_against_slow_abuse_is_dead() {
+        // §III-A: a 2 000/h volume rule vs a low-and-slow spinner.
+        let policy = AlertPolicy::named("test").rule(AlertRule::threshold(
+            "hold-volume",
+            MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            SimDuration::from_hours(1),
+            2_000.0,
+        ));
+        let diags = analyze_policy(&policy, &[profile(None, Some((250.0, 576.0)))], "t");
+        assert!(
+            lints_of(&diags).contains(&lints::ALERT_RULE_NEVER_FIRES),
+            "{diags:?}"
+        );
+        // The same rule sized for the traffic is fine.
+        let policy = AlertPolicy::named("test").rule(AlertRule::threshold(
+            "hold-volume",
+            MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            SimDuration::from_hours(6),
+            40.0,
+        ));
+        let diags = analyze_policy(&policy, &[profile(None, Some((250.0, 576.0)))], "t");
+        assert!(
+            !lints_of(&diags).contains(&lints::ALERT_RULE_NEVER_FIRES),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn surge_needs_enough_volume_for_its_guard() {
+        // min_count 500/h vs a channel carrying ~26 events/h in total.
+        let policy = AlertPolicy::named("test").rule(AlertRule::surge(
+            "sms-surge",
+            MetricSelector::any("fg_sms_sent_total"),
+            SimDuration::from_hours(1),
+            SimDuration::from_days(7),
+            8.0,
+            500.0,
+        ));
+        let diags = analyze_policy(&policy, &[profile(Some((170.0, 450.0)), None)], "t");
+        assert!(
+            lints_of(&diags).contains(&lints::ALERT_RULE_NEVER_FIRES),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn learned_baseline_past_the_horizon_is_inert() {
+        let policy = AlertPolicy::named("test").rule(AlertRule::drift(
+            "nip-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            SimDuration::from_hours(12),
+            40,
+            DriftBaseline::Learned {
+                until: SimTime::from_days(30),
+            },
+            fg_sentinel::DriftStat::ChiSquarePerSample,
+            0.35,
+        ));
+        let diags = analyze_policy(&policy, &[profile(None, Some((500.0, 576.0)))], "t");
+        let d = diags
+            .iter()
+            .find(|d| d.lint == lints::ALERT_RULE_NEVER_FIRES)
+            .expect("inert learning must be flagged");
+        assert!(d.message.contains("nip-drift"), "{}", d.message);
+    }
+
+    #[test]
+    fn unwatched_abuse_channel_is_flagged_and_waivable() {
+        // SMS abuse modeled, but the policy only watches holds.
+        let policy = AlertPolicy::named("test").rule(AlertRule::threshold(
+            "hold-volume",
+            MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            SimDuration::from_hours(6),
+            40.0,
+        ));
+        let profiles = [profile(Some((170.0, 4_800.0)), Some((250.0, 576.0)))];
+        let diags = analyze_policy(&policy, &profiles, "t");
+        let d = diags
+            .iter()
+            .find(|d| d.lint == lints::ALERT_CHANNEL_UNWATCHED)
+            .expect("unwatched sms channel must be flagged");
+        assert!(!d.waived);
+        // A profile waiver marks the finding without dropping it.
+        let waived = [profile(Some((170.0, 4_800.0)), Some((250.0, 576.0)))
+            .waive(lints::ALERT_CHANNEL_UNWATCHED, "paper-accurate blind spot")];
+        let diags = analyze_policy(&policy, &waived, "t");
+        let d = diags
+            .iter()
+            .find(|d| d.lint == lints::ALERT_CHANNEL_UNWATCHED)
+            .unwrap();
+        assert!(d.waived);
+        assert!(!d.gates_at(Severity::Info));
+    }
+
+    #[test]
+    fn burn_rate_counts_as_watching_the_sms_channel() {
+        let policy = AlertPolicy::named("test").rule(AlertRule::burn_rate(
+            "burn",
+            SimDuration::from_hours(6),
+            SimDuration::from_days(7),
+            3.0,
+            1.0,
+        ));
+        let diags = analyze_policy(&policy, &[profile(Some((170.0, 4_800.0)), None)], "t");
+        assert!(
+            !lints_of(&diags).contains(&lints::ALERT_CHANNEL_UNWATCHED),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unmapped_metrics_are_left_alone() {
+        // A honeypot counter is outside the channel model: no judgement.
+        let policy = AlertPolicy::named("test").rule(AlertRule::threshold(
+            "honeypot-diversion",
+            MetricSelector::exact("fg_honeypot_diversions_total", &[]),
+            SimDuration::from_hours(24),
+            1_000_000.0,
+        ));
+        let diags = analyze_policy(&policy, &[profile(None, None)], "t");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

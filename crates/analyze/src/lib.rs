@@ -11,13 +11,17 @@
 //!   sources themselves — no wall clocks or entropy RNG in
 //!   determinism-critical crates, `#![forbid(unsafe_code)]` in every crate
 //!   root, no std hash collections on hot paths.
+//! * **Alerts pass** ([`alerts`]): each experiment's [`fg_sentinel`] alert
+//!   policy judged against the scenario traffic its profiles declare — dead
+//!   alert rules and unwatched abuse channels.
 //!
-//! Both passes emit [`Diagnostic`]s; `--deny <severity>` turns any unwaived
+//! All passes emit [`Diagnostic`]s; `--deny <severity>` turns any unwaived
 //! finding at or above that severity into a CI failure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod config;
 pub mod diag;
 pub mod source;
@@ -56,10 +60,27 @@ pub fn analyze_workspace_configs() -> Vec<Diagnostic> {
     diags
 }
 
-/// Runs both passes: the config pass over all committed deployments and the
-/// source pass over the workspace rooted at `root`.
+/// Runs the alerts pass over every registered experiment's alert policy.
+pub fn analyze_workspace_alerts() -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for spec in fg_scenario::experiments::all_specs() {
+        let policy = (spec.alerts)();
+        let profiles = (spec.profiles)();
+        diags.extend(alerts::analyze_policy(
+            &policy,
+            &profiles,
+            &format!("spec:{}/alerts:{}", spec.name, policy.name),
+        ));
+    }
+    diags
+}
+
+/// Runs all passes: the config pass over all committed deployments, the
+/// alerts pass over all committed alert policies, and the source pass over
+/// the workspace rooted at `root`.
 pub fn full_report(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut diags = analyze_workspace_configs();
+    diags.extend(analyze_workspace_alerts());
     diags.extend(source::scan_workspace(root)?);
     Ok(diags)
 }
@@ -107,6 +128,30 @@ mod tests {
                 .any(|d| d.lint == config::lints::UNGUARDED_CHANNEL),
             "era postures leave the hold path unguarded (waived):\n{}",
             render_pretty(&diags)
+        );
+    }
+
+    /// ISSUE 5: the detectors experiment's deliberately volumetric alert
+    /// rule is dead monitoring by design — reported by the alerts pass,
+    /// waived so it never gates.
+    #[test]
+    fn detectors_blind_spot_surfaces_as_waived_alert_finding() {
+        let diags = analyze_workspace_alerts();
+        let d = diags
+            .iter()
+            .find(|d| {
+                d.lint == alerts::lints::ALERT_RULE_NEVER_FIRES && d.source.contains("detectors")
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "detectors' volume rule should be a waived finding:\n{}",
+                    render_pretty(&diags)
+                )
+            });
+        assert!(d.waived, "{d:?}");
+        assert!(
+            !diags.iter().any(|d| d.gates_at(Severity::Warn)),
+            "{diags:?}"
         );
     }
 

@@ -22,10 +22,14 @@
 //! * `<name>.telemetry.json` / `<name>.prom` — with `--telemetry`, the
 //!   replicate-merged telemetry snapshot for experiments that expose a sink
 //!   (`case_a`, `case_b`).
+//! * `<name>.alerts.json` — with `--alerts`, the sentinel outcome: per-seed
+//!   time-to-detection, the aggregate TTD summary, and the replicate-0
+//!   alert/incident timeline. The process exits non-zero if any experiment
+//!   whose policy expects detection reports none (the CI alerting gate).
 
 use fg_scenario::experiments::all_specs;
 use fg_scenario::harness::{run_matrix, ExperimentRun, ExperimentSpec, HarnessConfig};
-use fg_scenario::report::render_stage_table;
+use fg_scenario::report::{render_sentinel_report, render_stage_table};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -38,7 +42,7 @@ fn write_file(path: &Path, contents: String) {
 }
 
 /// Writes every artifact for one experiment's sweep.
-fn write_artifacts(run: &ExperimentRun, telemetry: bool) {
+fn write_artifacts(run: &ExperimentRun, telemetry: bool, alerts: bool) {
     let dir = Path::new("results");
     if fs::create_dir_all(dir).is_err() {
         eprintln!("[artifact] cannot create {}", dir.display());
@@ -71,6 +75,11 @@ fn write_artifacts(run: &ExperimentRun, telemetry: bool) {
             );
         }
     }
+    if alerts {
+        if let Some(json) = run.alerts_json() {
+            write_file(&dir.join(format!("{}.alerts.json", run.name)), json);
+        }
+    }
 }
 
 fn print_run(run: &ExperimentRun) {
@@ -96,6 +105,16 @@ fn print_run(run: &ExperimentRun) {
             "audit trail: {} decisions recorded ({} evicted); totals {:?}",
             snapshot.audit.recorded, snapshot.audit.evicted, snapshot.audit.decision_totals
         );
+    }
+    // Replicate 0's sentinel outcome (TTD + incident timeline); every seed's
+    // TTD is in the `.alerts.json` artifact.
+    if let Some(report) = run
+        .cells
+        .iter()
+        .find(|c| c.replicate == 0)
+        .and_then(|c| c.alerts.as_ref())
+    {
+        println!("{}", render_sentinel_report(report));
     }
 }
 
@@ -137,6 +156,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--smoke" => cli.config.smoke = true,
             "--telemetry" => cli.config.telemetry = true,
+            "--alerts" => cli.config.alerts = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             name => cli.names.push(name.to_owned()),
         }
@@ -167,7 +187,7 @@ fn main() -> ExitCode {
     let available: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
     let usage = format!(
         "available experiments: {available:?}\n\
-         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry"
+         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry  --alerts"
     );
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
@@ -198,9 +218,20 @@ fn main() -> ExitCode {
         cli.config.jobs.max(1)
     );
     let runs = run_matrix(&specs, &cli.config);
+    let mut detection_missing = false;
     for run in &runs {
         print_run(run);
-        write_artifacts(run, cli.config.telemetry);
+        write_artifacts(run, cli.config.telemetry, cli.config.alerts);
+        if cli.config.alerts && run.detection_missing() {
+            eprintln!(
+                "[alerts] {}: policy expected detection but no alert fired",
+                run.name
+            );
+            detection_missing = true;
+        }
+    }
+    if detection_missing {
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

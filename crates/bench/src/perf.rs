@@ -471,7 +471,7 @@ pub fn cases() -> Vec<PerfCase> {
     use fg_mitigation::rate_limit::{KeyedLimiter, TokenBucket};
     use fg_netsim::ip::IpAddress;
     use fg_scenario::experiments::case_a;
-    use fg_telemetry::{AuditRecord, AuditTrail, Histogram, MetricsRegistry, SignalScore};
+    use fg_telemetry::{AuditRecord, AuditTrail, Counter, Histogram, MetricsRegistry, SignalScore};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -830,6 +830,138 @@ pub fn cases() -> Vec<PerfCase> {
         }));
     }
 
+    // --- sentinel: the online alerting hot paths — one observe pass over a
+    // registry shaped like a live run (dozens of per-country SMS counters, a
+    // NiP histogram, spend gauges), and the report-time incident correlation
+    // over a populated audit ring.
+    {
+        use fg_sentinel::{
+            AlertPolicy, AlertRule, DriftBaseline, DriftStat, MetricSelector, Sentinel,
+        };
+
+        let registry = MetricsRegistry::new();
+        let countries = [
+            "UZ", "IR", "KG", "JO", "NG", "KH", "SG", "GB", "CN", "TH", "FR", "DE", "IT", "ES",
+            "PL", "RO", "NL", "BE", "GR", "PT", "CZ", "HU", "SE", "AT", "CH", "BG", "DK", "FI",
+            "SK", "NO", "IE", "HR", "LT", "SI", "LV", "EE", "US", "CA", "BR", "IN",
+        ];
+        let counters: Vec<Counter> = countries
+            .iter()
+            .map(|c| registry.counter_with("fg_sms_sent_total", &[("country", c)]))
+            .collect();
+        let holds = registry.counter_with("fg_requests_total", &[("endpoint", "/booking/hold")]);
+        let nip = registry.histogram(
+            "fg_nip_hold",
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let spend = registry.gauge("fg_sms_owner_cost_units");
+        let policy = AlertPolicy::named("bench")
+            .rule(AlertRule::surge(
+                "sms-country-surge",
+                MetricSelector::any("fg_sms_sent_total"),
+                SimDuration::from_hours(1),
+                SimDuration::from_days(7),
+                8.0,
+                10.0,
+            ))
+            .rule(AlertRule::burn_rate(
+                "sms-burn-rate",
+                SimDuration::from_hours(6),
+                SimDuration::from_days(7),
+                3.0,
+                2.0,
+            ))
+            .rule(AlertRule::threshold(
+                "hold-volume",
+                MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+                SimDuration::from_hours(1),
+                2_000.0,
+            ))
+            .rule(AlertRule::drift(
+                "nip-drift",
+                MetricSelector::exact("fg_nip_hold", &[]),
+                SimDuration::from_hours(6),
+                40,
+                DriftBaseline::Static(vec![52.0, 30.0, 7.0, 5.0, 2.5, 1.5, 1.0, 0.6, 0.4]),
+                DriftStat::ChiSquarePerSample,
+                0.5,
+            ));
+        let mut sentinel = Sentinel::new(policy, &registry);
+        let mut t = 0u64;
+        // 43 rule-series evaluations per observe: 40 country surges, the
+        // spend burn rate, the hold threshold, and the NiP drift.
+        cases.push(PerfCase::with_units("sentinel", "rule_eval", 43.0, {
+            move || {
+                t += 1;
+                // One 5-minute housekeeping tick's worth of traffic.
+                for (i, c) in counters.iter().enumerate() {
+                    c.add(1 + (splitmix64(t * 41 + i as u64) % 3));
+                }
+                holds.add(2);
+                nip.record(1.0 + (splitmix64(t) % 4) as f64);
+                spend.add(0.2);
+                let snap = registry.snapshot();
+                sentinel.observe(SimTime::from_mins(t * 5), &snap);
+                std::hint::black_box(sentinel.events().len());
+            }
+        }));
+    }
+    {
+        use fg_sentinel::engine::{AlertEvent, AlertTransition};
+        use fg_sentinel::{incident, AlertPolicy};
+
+        let policy = AlertPolicy::named("bench").campaign(SimTime::from_hours(1), 7);
+        let events: Vec<AlertEvent> = (0..200)
+            .map(|i| AlertEvent {
+                at: SimTime::from_mins(60 + i * 3),
+                rule: "sms-country-surge".to_owned(),
+                series: format!("fg_sms_sent_total{{country=\"C{}\"}}", i % 40),
+                event: match i % 3 {
+                    0 => AlertTransition::Pending,
+                    1 => AlertTransition::Firing,
+                    _ => AlertTransition::Resolved,
+                },
+                value: 12.0,
+                threshold: 8.0,
+            })
+            .collect();
+        let mut trail = AuditTrail::new(4096);
+        for i in 0..2_000u64 {
+            // Every 8th record is the attacker, rotating fingerprints every
+            // 50 of its requests; the rest is legitimate background.
+            let attacker = i.is_multiple_of(8);
+            trail.push(AuditRecord {
+                at: SimTime::from_secs(i * 30),
+                endpoint: "/booking/hold".to_owned(),
+                client: if attacker { 7 } else { 1_000 + i % 64 },
+                fingerprint: if attacker {
+                    splitmix64(i / 50)
+                } else {
+                    splitmix64(1_000_000 + i)
+                },
+                ip: "10.0.0.1".to_owned(),
+                score: 0.3,
+                signals: Vec::new(),
+                decision: if attacker && i > 1_000 {
+                    "challenge".to_owned()
+                } else {
+                    "allow".to_owned()
+                },
+                reasons: Vec::new(),
+            });
+        }
+        let audit = trail.snapshot();
+        let end = SimTime::from_days(1);
+        cases.push(PerfCase::with_units(
+            "sentinel",
+            "incident_correlation",
+            2_200.0,
+            move || {
+                std::hint::black_box(incident::build(&policy, &events, &audit, end, 0));
+            },
+        ));
+    }
+
     // --- simulation: end-to-end defended-app throughput on a small Case A.
     {
         let config = case_a::CaseAConfig {
@@ -907,6 +1039,7 @@ mod tests {
             "velocity",
             "policy",
             "telemetry",
+            "sentinel",
             "simulation",
         ] {
             assert!(groups.contains(expected), "missing group {expected}");

@@ -386,6 +386,7 @@ impl DecisionCounters {
     /// Exposes the counters in `registry` as
     /// `fg_decisions_total{decision="..."}`.
     pub fn register_in(&self, registry: &MetricsRegistry) {
+        registry.set_help("fg_decisions_total", "Policy decisions issued, by kind");
         for d in [
             Decision::Allow,
             Decision::Challenge,

@@ -16,6 +16,7 @@ use fg_mitigation::captcha::CaptchaPolicy;
 use fg_mitigation::economics::DefenderLedger;
 use fg_mitigation::honeypot::Honeypot;
 use fg_mitigation::policy::{Decision, PolicyConfig, PolicyEngine, RequestContext};
+use fg_sentinel::{AlertPolicy, Sentinel, SentinelReport};
 use fg_smsgw::gateway::Gateway;
 use fg_smsgw::message::{SmsKind, SmsMessage};
 use fg_telemetry::audit::{AuditRecord, SignalScore};
@@ -94,6 +95,7 @@ pub struct DefendedApp {
     ticket_revenue: Money,
     telemetry: Arc<Telemetry>,
     metrics: AppMetrics,
+    sentinel: Option<Sentinel>,
 }
 
 /// Pre-registered handles for everything the gate increments per request,
@@ -109,6 +111,9 @@ struct AppMetrics {
     challenges_failed: Counter,
     human_abandons: Counter,
     detection_score: Histogram,
+    /// Number-in-Party distribution of *accepted* real holds — the sentinel's
+    /// drift rules compare this against the Fig. 1 baseline shape.
+    nip_hold: Histogram,
     ticket_revenue: Gauge,
     solver_spend: Gauge,
     /// One gauge per defence-state map, in [`TRACKED_MAPS`] order: current
@@ -128,6 +133,47 @@ pub const TRACKED_MAPS: [&str; 5] = [
 
 impl AppMetrics {
     fn register(registry: &MetricsRegistry) -> Self {
+        for (name, help) in [
+            (
+                "fg_requests_total",
+                "Requests reaching the gate, by endpoint",
+            ),
+            (
+                "fg_signals_total",
+                "Detection signals raised, by signal kind",
+            ),
+            (
+                "fg_honeypot_diversions_total",
+                "Sessions newly diverted into the decoy environment",
+            ),
+            (
+                "fg_challenges_total",
+                "CAPTCHA challenges issued, by outcome",
+            ),
+            (
+                "fg_human_abandons_total",
+                "Humans who abandoned at a CAPTCHA (friction cost)",
+            ),
+            (
+                "fg_detection_score",
+                "Detection verdict score per gated request",
+            ),
+            ("fg_nip_hold", "Number in Party of accepted real seat holds"),
+            (
+                "fg_ticket_revenue_units",
+                "Cumulative ticket revenue collected, in currency units",
+            ),
+            (
+                "fg_solver_spend_units",
+                "Cumulative CAPTCHA-solver fees paid by bots, in currency units",
+            ),
+            (
+                "fg_tracked_keys",
+                "Live key population per defence-state map after housekeeping",
+            ),
+        ] {
+            registry.set_help(name, help);
+        }
         AppMetrics {
             requests: Endpoint::ALL
                 .iter()
@@ -149,6 +195,10 @@ impl AppMetrics {
             detection_score: registry.histogram(
                 "fg_detection_score",
                 &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            ),
+            nip_hold: registry.histogram(
+                "fg_nip_hold",
+                &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
             ),
             ticket_revenue: registry.gauge("fg_ticket_revenue_units"),
             solver_spend: registry.gauge("fg_solver_spend_units"),
@@ -209,6 +259,7 @@ impl DefendedApp {
             ticket_revenue: Money::ZERO,
             telemetry,
             metrics,
+            sentinel: None,
             config,
         }
     }
@@ -216,6 +267,25 @@ impl DefendedApp {
     /// The telemetry hub this app reports into.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Attaches an online alerting sentinel evaluating `policy` against this
+    /// app's metrics on every housekeeping tick. Observation is read-only:
+    /// attaching a sentinel never changes simulation behaviour.
+    pub fn attach_sentinel(&mut self, policy: AlertPolicy) {
+        self.sentinel = Some(Sentinel::new(policy, self.telemetry.metrics()));
+    }
+
+    /// The attached sentinel, if any.
+    pub fn sentinel(&self) -> Option<&Sentinel> {
+        self.sentinel.as_ref()
+    }
+
+    /// Final sentinel report (alert events, time-to-detection, incident
+    /// timeline correlated with the decision audit trail) as of `end`.
+    pub fn sentinel_report(&self, end: SimTime) -> Option<SentinelReport> {
+        let audit = self.telemetry.audit().snapshot();
+        self.sentinel.as_ref().map(|s| s.report(end, &audit))
     }
 
     /// Registers a flight.
@@ -340,6 +410,10 @@ impl DefendedApp {
             client_hold,
         ]) {
             gauge.set(keys as f64);
+        }
+        if let Some(sentinel) = &mut self.sentinel {
+            let snap = self.telemetry.metrics().snapshot();
+            sentinel.observe(now, &snap);
         }
     }
 
@@ -514,9 +588,11 @@ impl App for DefendedApp {
         passengers: Vec<Passenger>,
         now: SimTime,
     ) -> ApiOutcome<BookingRef> {
+        let nip = passengers.len() as f64;
         match self.gate::<BookingRef>(req, Endpoint::Hold, None, now) {
             Ok(true) => match self.reservations.hold(flight, passengers, now) {
                 Ok(reference) => {
+                    self.metrics.nip_hold.record(nip);
                     self.log(req, Endpoint::Hold, Method::Post, true, now);
                     ApiOutcome::Ok(reference)
                 }

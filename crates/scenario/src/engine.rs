@@ -85,10 +85,12 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation over `app` with the given master seed.
     pub fn new(app: DefendedApp, seed: u64) -> Self {
-        let wake_clamps = app
-            .telemetry()
-            .metrics()
-            .counter("fg_agent_wake_clamped_total");
+        let registry = app.telemetry().metrics();
+        registry.set_help(
+            "fg_agent_wake_clamped_total",
+            "Agent wake-ups clamped forward to keep sim time monotone",
+        );
+        let wake_clamps = registry.counter("fg_agent_wake_clamped_total");
         Simulation {
             app,
             wake_clamps,

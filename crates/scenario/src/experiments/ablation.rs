@@ -20,6 +20,7 @@ use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -144,6 +145,29 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
         .collect()
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the loud 200 SMS/h pump lights up both the per-country surge rule and
+/// the owner's spend burn rate within the first hours of day 1.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("ablation-sms-surge")
+        .rule(AlertRule::surge(
+            "sms-country-surge",
+            MetricSelector::any("fg_sms_sent_total"),
+            SimDuration::from_hours(1),
+            SimDuration::from_days(1),
+            8.0,
+            10.0,
+        ))
+        .rule(AlertRule::burn_rate(
+            "sms-burn-rate",
+            SimDuration::from_hours(6),
+            SimDuration::from_days(1),
+            3.0,
+            1.0,
+        ))
+        .campaign(SimTime::from_days(1), 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -157,9 +181,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 AblationConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -235,12 +261,17 @@ impl fmt::Display for AblationReport {
     }
 }
 
-fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Cell {
+fn run_cell(
+    config: &AblationConfig,
+    posture: Posture,
+    attack: AttackKind,
+) -> (Cell, SentinelReport) {
     let fork = SeedFork::new(config.seed ^ (posture as u64) << 8 ^ attack as u64);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
     let mut app = DefendedApp::new(AppConfig::airline(posture.policy()), fork.seed("app"));
+    app.attach_sentinel(alert_policy());
     let target = FlightId(1);
     app.add_flight(Flight::new(
         target,
@@ -303,6 +334,7 @@ fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Ce
     };
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let legit_stats = legit.borrow().stats();
     let friction = if legit_stats.arrivals == 0 {
@@ -333,25 +365,39 @@ fn run_cell(config: &AblationConfig, posture: Posture, attack: AttackKind) -> Ce
     // Lost sales: bookers denied by stock while the attack held inventory.
     defender.lost_sales = Money::from_units(120) * (legit_stats.denied_by_stock.min(10_000));
 
-    Cell {
+    let cell = Cell {
         posture,
         attack,
         attack_effect,
         legit_friction: friction,
         attacker_profit: attacker_ledger.profit(),
         defender_loss: defender.total_loss(),
-    }
+    };
+    (cell, alerts)
 }
 
 /// Runs the full grid.
 pub fn run(config: AblationConfig) -> AblationReport {
+    run_instrumented(config).0
+}
+
+/// Runs the full grid, also returning the sentinel outcome for the
+/// unprotected SMS-pumping cell — the configuration with no defence at all,
+/// where the online alert is the only thing that notices the attack.
+pub fn run_instrumented(config: AblationConfig) -> (AblationReport, SentinelReport) {
     let mut cells = Vec::new();
+    let mut designated = None;
     for posture in Posture::ALL {
         for attack in [AttackKind::SeatSpinning, AttackKind::SmsPumping] {
-            cells.push(run_cell(&config, posture, attack));
+            let (cell, alerts) = run_cell(&config, posture, attack);
+            if posture == Posture::Unprotected && attack == AttackKind::SmsPumping {
+                designated = Some(alerts);
+            }
+            cells.push(cell);
         }
     }
-    AblationReport { cells }
+    let alerts = designated.expect("grid covers the unprotected pumping cell");
+    (AblationReport { cells }, alerts)
 }
 
 #[cfg(test)]

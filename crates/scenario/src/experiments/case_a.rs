@@ -19,6 +19,7 @@ use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, DriftStat, MetricSelector, SentinelReport};
 use fg_telemetry::Telemetry;
 use serde::Serialize;
 use std::fmt;
@@ -82,6 +83,24 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     ]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the NiP distribution of successful holds drifting away from the airline's
+/// known average-week shape (the attack starts at `t = 0`, so there is no
+/// clean week to learn a baseline from).
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("case-a-nip-drift")
+        .rule(AlertRule::drift(
+            "nip-distribution-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            SimDuration::from_hours(6),
+            40,
+            super::nip_baseline(),
+            DriftStat::ChiSquarePerSample,
+            0.5,
+        ))
+        .campaign(SimTime::ZERO, 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -95,14 +114,17 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseAConfig::default()
             };
             config.seed = p.seed;
+            let (report, telemetry, alerts) = run_full(config);
+            let out =
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts));
             if p.telemetry {
-                let (report, telemetry) = run_with_telemetry(config);
-                crate::harness::CellOutput::of(&report).with_telemetry(telemetry.snapshot())
+                out.with_telemetry(telemetry.snapshot())
             } else {
-                crate::harness::CellOutput::of(&run(config))
+                out
             }
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -173,6 +195,14 @@ pub fn run(config: CaseAConfig) -> CaseAReport {
 /// it alongside the report, so callers can export metrics, the decision
 /// audit trail, and per-stage latency profiles for the run.
 pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) {
+    let (report, telemetry, _) = run_full(config);
+    (report, telemetry)
+}
+
+/// Runs the Case A scenario with both the telemetry sink and the sentinel
+/// attached. Sentinel observation is read-only, so the report is identical
+/// to [`run`]'s.
+pub fn run_full(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>, SentinelReport) {
     let telemetry = Telemetry::shared();
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
@@ -184,6 +214,7 @@ pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) 
         config.seed,
         telemetry.clone(),
     );
+    app.attach_sentinel(alert_policy());
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
     // Background flights so the legit population has somewhere to book.
@@ -236,6 +267,7 @@ pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) 
     });
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let spinner = spinner.borrow();
     let stats = spinner.stats();
@@ -273,7 +305,7 @@ pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) 
         mean_hold_ratio_during_attack,
         blocked_requests: app.policy().counts().block,
     };
-    (report, telemetry)
+    (report, telemetry, alerts)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use fg_detection::names::{gibberish_score, NameAbuseAnalyzer};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, DriftStat, MetricSelector, SentinelReport};
 use fg_telemetry::Telemetry;
 use serde::Serialize;
 use std::collections::HashSet;
@@ -73,6 +74,23 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     ]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the combined NiP load of the two spinners (fixed NiP 3 automated, manual
+/// permutations) drifting away from the airline's average-week shape.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("case-b-nip-drift")
+        .rule(AlertRule::drift(
+            "nip-distribution-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            fg_core::time::SimDuration::from_hours(6),
+            40,
+            super::nip_baseline(),
+            DriftStat::ChiSquarePerSample,
+            0.5,
+        ))
+        .campaign(SimTime::ZERO, 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -86,14 +104,17 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseBConfig::default()
             };
             config.seed = p.seed;
+            let (report, telemetry, alerts) = run_full(config);
+            let out =
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts));
             if p.telemetry {
-                let (report, telemetry) = run_with_telemetry(config);
-                crate::harness::CellOutput::of(&report).with_telemetry(telemetry.snapshot())
+                out.with_telemetry(telemetry.snapshot())
             } else {
-                crate::harness::CellOutput::of(&run(config))
+                out
             }
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -146,6 +167,14 @@ pub fn run(config: CaseBConfig) -> CaseBReport {
 /// Runs the Case B scenario against a fresh [`Telemetry`] sink and returns
 /// it alongside the report, for metric/audit/latency export.
 pub fn run_with_telemetry(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>) {
+    let (report, telemetry, _) = run_full(config);
+    (report, telemetry)
+}
+
+/// Runs the Case B scenario with both the telemetry sink and the sentinel
+/// attached. Sentinel observation is read-only, so the report is identical
+/// to [`run`]'s.
+pub fn run_full(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>, SentinelReport) {
     let telemetry = Telemetry::shared();
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
@@ -156,6 +185,7 @@ pub fn run_with_telemetry(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>) 
         config.seed,
         telemetry.clone(),
     );
+    app.attach_sentinel(alert_policy());
     let capacity = (config.arrivals_per_day * config.days as f64 * 3.0) as u32;
     for f in 1..=3 {
         app.add_flight(Flight::new(FlightId(f), capacity, SimTime::from_days(40)));
@@ -196,6 +226,7 @@ pub fn run_with_telemetry(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>) 
     sim.add_agent(manual_agent, SimTime::ZERO);
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     // Analysis: feed every booking to the analyzer, then flag per booking.
     let mut analyzer = NameAbuseAnalyzer::new();
@@ -256,7 +287,7 @@ pub fn run_with_telemetry(config: CaseBConfig) -> (CaseBReport, Arc<Telemetry>) 
         confusion,
         bookings_by_source: by_source,
     };
-    (report, telemetry)
+    (report, telemetry, alerts)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use fg_core::time::SimTime;
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -117,6 +118,25 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     ]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the owner's SMS spend burning above its first-week baseline rate. The
+/// low-and-slow pump (3 SMS/h) defeats every volume rule, but premium-route
+/// pricing makes the *cost* signal stand out — the paper's point that the
+/// airline only noticed on the invoice, weeks later, while a spend monitor
+/// raises the same signal within a day.
+pub fn alert_policy() -> AlertPolicy {
+    use fg_core::time::SimDuration;
+    AlertPolicy::named("case-c-spend-burn")
+        .rule(AlertRule::burn_rate(
+            "sms-burn-rate",
+            SimDuration::from_hours(24),
+            SimDuration::from_days(7),
+            2.0,
+            3.0,
+        ))
+        .campaign(SimTime::from_weeks(1), 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -130,9 +150,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseCConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -210,7 +232,7 @@ fn run_posture(
     config: &CaseCConfig,
     posture: SmsPosture,
     measured_baseline_daily: Option<f64>,
-) -> PostureOutcome {
+) -> (PostureOutcome, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(config.weeks);
@@ -235,6 +257,7 @@ fn run_posture(
     }
 
     let mut app = DefendedApp::new(AppConfig::airline(policy), config.seed);
+    app.attach_sentinel(alert_policy());
     let flight = FlightId(1);
     let capacity = (config.arrivals_per_day * config.weeks as f64 * 7.0 * 2.0 * 1.5) as u32;
     app.add_flight(Flight::new(flight, capacity, SimTime::from_days(60)));
@@ -261,6 +284,7 @@ fn run_posture(
     sim.add_agent(pumper_agent, attack_start);
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     // Detection latency: the first rate-limit refusal logged against the
     // boarding-pass path after the attack started.
@@ -298,7 +322,7 @@ fn run_posture(
         + baseline_bp as f64 / 7.0;
     let pumper_stats = pumper.borrow().stats();
     let legit_stats = legit.borrow().stats();
-    PostureOutcome {
+    let outcome = PostureOutcome {
         posture,
         detection_latency_hours: first_refusal,
         attack_sms_delivered: pumper_stats.sms_sent,
@@ -307,19 +331,28 @@ fn run_posture(
         countries: pumper_stats.countries_used as usize,
         legit_refused: legit_stats.defence_friction,
         baseline_sms_daily,
-    }
+    };
+    (outcome, alerts)
 }
 
 /// Runs all three postures. The no-limits run doubles as the traffic
 /// measurement from which the other postures' path limit is calibrated.
 pub fn run(config: CaseCConfig) -> CaseCReport {
-    let no_limits = run_posture(&config, SmsPosture::NoLimits, None);
+    run_instrumented(config).0
+}
+
+/// Runs all three postures, also returning the sentinel outcome for the
+/// no-limits posture — the configuration whose era defences never detect
+/// the pump, making it the cell where online spend alerting matters.
+pub fn run_instrumented(config: CaseCConfig) -> (CaseCReport, SentinelReport) {
+    let (no_limits, alerts) = run_posture(&config, SmsPosture::NoLimits, None);
     let measured = Some(no_limits.baseline_sms_daily);
-    let path = run_posture(&config, SmsPosture::PathLimitOnly, measured);
-    let booking = run_posture(&config, SmsPosture::PerBookingLimit, measured);
-    CaseCReport {
+    let (path, _) = run_posture(&config, SmsPosture::PathLimitOnly, measured);
+    let (booking, _) = run_posture(&config, SmsPosture::PerBookingLimit, measured);
+    let report = CaseCReport {
         outcomes: vec![no_limits, path, booking],
-    }
+    };
+    (report, alerts)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use fg_fingerprint::rotation::{RotationSchedule, RotationStrategy};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -66,11 +67,36 @@ pub fn smoke_config() -> DetectorsConfig {
 pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     use fg_mitigation::profile::DefenceProfile;
     let config = DetectorsConfig::default();
+    // The slow spinner re-places 12 seats as their 30-minute TTLs lapse
+    // (576 holds/day) — far under the volumetric alert threshold, which is
+    // exactly the §III-A blind spot this experiment studies.
     vec![
         DefenceProfile::airline("unprotected", PolicyConfig::unprotected())
             .horizon(fg_core::time::SimDuration::from_days(config.days as i64))
-            .expected_bookings((config.arrivals_per_day * config.days as f64) as u64),
+            .holds(config.arrivals_per_day, 576.0)
+            .expected_bookings((config.arrivals_per_day * config.days as f64) as u64)
+            .waive(
+                "alert-rule-never-fires",
+                "SIII-A reproduced: the volumetric hold-volume rule is the blind spot under study",
+            ),
     ]
+}
+
+/// The alert policy the sentinel evaluates online during this experiment —
+/// deliberately the §III-A blind spot. A volume rule on the abused hold
+/// path, sized for volumetric bots, never meets the low-and-slow spinner's
+/// request rate; `expect_detection(false)` records that no alert firing is
+/// the *correct*, paper-accurate outcome here, not a monitoring gap.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("detectors-volume-blindspot")
+        .rule(AlertRule::threshold(
+            "hold-volume-spike",
+            MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            SimDuration::from_hours(1),
+            2_000.0,
+        ))
+        .campaign(SimTime::ZERO, 1)
+        .expect_detection(false)
 }
 
 /// Registry entry for the multi-seed harness.
@@ -86,9 +112,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 DetectorsConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -143,11 +171,18 @@ impl fmt::Display for DetectorsReport {
 
 /// Runs the detector comparison.
 pub fn run(config: DetectorsConfig) -> DetectorsReport {
+    run_instrumented(config).0
+}
+
+/// Runs the detector comparison with the sentinel attached. The expected
+/// outcome is *no* detection — the volume blind spot under test.
+pub fn run_instrumented(config: DetectorsConfig) -> (DetectorsReport, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
     let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
+    app.attach_sentinel(alert_policy());
     for f in 1..=3 {
         app.add_flight(Flight::new(
             FlightId(f),
@@ -196,6 +231,7 @@ pub fn run(config: DetectorsConfig) -> DetectorsReport {
     sim.add_agent(scrape_agent, SimTime::ZERO);
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let sessions = sessionize(app.logs().to_vec(), SimDuration::from_mins(30));
     let features: Vec<SessionFeatures> = sessions.iter().map(SessionFeatures::extract).collect();
@@ -235,7 +271,7 @@ pub fn run(config: DetectorsConfig) -> DetectorsReport {
         scraper_cm.record(class == 2, f.volume > threshold);
     }
 
-    DetectorsReport {
+    let report = DetectorsReport {
         volume: RuleOutcome {
             rule: "volume(median+10·MAD)".to_owned(),
             recall: volume_cm.recall(),
@@ -257,7 +293,8 @@ pub fn run(config: DetectorsConfig) -> DetectorsReport {
             precision: scraper_cm.precision(),
             confusion: scraper_cm,
         },
-    }
+    };
+    (report, alerts)
 }
 
 #[cfg(test)]

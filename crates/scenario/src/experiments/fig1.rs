@@ -17,6 +17,9 @@ use fg_detection::anomaly::NipDistributionMonitor;
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{
+    AlertPolicy, AlertRule, DriftBaseline, DriftStat, MetricSelector, SentinelReport,
+};
 use serde::Serialize;
 use std::fmt;
 
@@ -80,6 +83,25 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     )]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the Fig. 1 monitoring story itself — the NiP distribution of successful
+/// holds drifting away from a baseline learned over the clean first week.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("fig1-nip-drift")
+        .rule(AlertRule::drift(
+            "nip-distribution-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            fg_core::time::SimDuration::from_hours(12),
+            40,
+            DriftBaseline::Learned {
+                until: SimTime::from_weeks(1),
+            },
+            DriftStat::ChiSquarePerSample,
+            0.35,
+        ))
+        .campaign(SimTime::from_weeks(1), 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -93,9 +115,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Fig1Config::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -137,6 +161,13 @@ impl fmt::Display for Fig1Report {
 
 /// Runs the Fig. 1 scenario.
 pub fn run(config: Fig1Config) -> Fig1Report {
+    run_instrumented(config).0
+}
+
+/// Runs the Fig. 1 scenario with the sentinel attached, returning the
+/// report plus the online alerting outcome. Observation is read-only, so
+/// the report is identical to [`run`]'s.
+pub fn run_instrumented(config: Fig1Config) -> (Fig1Report, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(3);
@@ -147,6 +178,7 @@ pub fn run(config: Fig1Config) -> Fig1Report {
     let mut app_config = AppConfig::airline(PolicyConfig::traditional_antibot());
     app_config.hold_ttl = fg_core::time::SimDuration::from_hours(3);
     let mut app = DefendedApp::new(app_config, config.seed);
+    app.attach_sentinel(alert_policy());
     let flights: Vec<FlightId> = (1..=config.flights).map(FlightId).collect();
     // Capacity sized so legitimate demand over three weeks does not sell the
     // airline out (selling out would distort the distribution for reasons
@@ -185,6 +217,7 @@ pub fn run(config: Fig1Config) -> Fig1Report {
     });
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let weeks = [
         app.reservations()
@@ -195,13 +228,14 @@ pub fn run(config: Fig1Config) -> Fig1Report {
             .nip_histogram(SimTime::from_weeks(2), SimTime::from_weeks(3), 9),
     ];
     let monitor = NipDistributionMonitor::fit(&weeks[0], 2.0);
-    Fig1Report {
+    let report = Fig1Report {
         drift_scores: [monitor.score(&weeks[1]), monitor.score(&weeks[2])],
         attack_bucket: monitor.most_inflated_bucket(&weeks[1]),
         capped_bucket: monitor.most_inflated_bucket(&weeks[2]),
         totals: [weeks[0].total(), weeks[1].total(), weeks[2].total()],
         weeks,
-    }
+    };
+    (report, alerts)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, DriftStat, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -77,6 +78,30 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
         .collect()
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// any honeypot diversion is direct evidence of a confirmed bot (legit users
+/// never cross the diversion threshold), backed by NiP drift over the real
+/// holds placed before the decoy swallows the attacker.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("honeypot-engagement")
+        .rule(AlertRule::threshold(
+            "honeypot-diversion",
+            MetricSelector::exact("fg_honeypot_diversions_total", &[]),
+            SimDuration::from_hours(24),
+            1.0,
+        ))
+        .rule(AlertRule::drift(
+            "nip-distribution-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            SimDuration::from_hours(12),
+            25,
+            super::nip_baseline(),
+            DriftStat::ChiSquarePerSample,
+            0.5,
+        ))
+        .campaign(SimTime::ZERO, 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -90,9 +115,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 HoneypotConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -156,7 +183,7 @@ impl fmt::Display for HoneypotReport {
     }
 }
 
-fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
+fn run_arm(config: &HoneypotConfig, honeypot: bool) -> (ArmOutcome, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
@@ -169,6 +196,7 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
     policy.client_hold_limit = None;
 
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
+    app.attach_sentinel(alert_policy());
     let target = FlightId(1);
     app.add_flight(Flight::new(
         target,
@@ -210,6 +238,7 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
     sim.add_agent(spinner_agent, SimTime::ZERO);
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let spinner = spinner.borrow();
     let ledger = spinner.ledger();
@@ -217,22 +246,29 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> ArmOutcome {
         .borrow()
         .mean_hold_ratio_between(SimTime::from_hours(12), end);
     let legit_denied_by_stock = legit.borrow().stats().denied_by_stock;
-    ArmOutcome {
+    let outcome = ArmOutcome {
         honeypot,
         rotations: spinner.rotation_times().len() as u64,
         real_hold_ratio,
         absorbed_holds: app.honeypot().stats().holds_absorbed,
         attacker_spend: ledger.total_cost() + app.solver_spend(ClientId(1)),
         legit_denied_by_stock,
-    }
+    };
+    (outcome, alerts)
 }
 
 /// Runs both arms.
 pub fn run(config: HoneypotConfig) -> HoneypotReport {
-    HoneypotReport {
-        blocking: run_arm(&config, false),
-        honeypot: run_arm(&config, true),
-    }
+    run_instrumented(config).0
+}
+
+/// Runs both arms, also returning the sentinel outcome for the honeypot
+/// arm — the cell where mitigation engagement (diversion) is itself the
+/// alertable event.
+pub fn run_instrumented(config: HoneypotConfig) -> (HoneypotReport, SentinelReport) {
+    let (blocking, _) = run_arm(&config, false);
+    let (honeypot, alerts) = run_arm(&config, true);
+    (HoneypotReport { blocking, honeypot }, alerts)
 }
 
 #[cfg(test)]

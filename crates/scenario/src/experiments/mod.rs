@@ -30,6 +30,20 @@ pub mod proxies;
 pub mod table1;
 
 use crate::harness::ExperimentSpec;
+use fg_sentinel::DriftBaseline;
+
+/// The average-week NiP shape (Fig. 1, mirrored in
+/// [`fg_mitigation::profile::AIRLINE_NIP_WEIGHTS`]) as a static drift
+/// baseline over the `fg_nip_hold` histogram buckets. Used by experiments
+/// whose attack starts at `t = 0`, leaving no clean week to learn from.
+pub(crate) fn nip_baseline() -> DriftBaseline {
+    DriftBaseline::Static(
+        fg_mitigation::profile::AIRLINE_NIP_WEIGHTS
+            .iter()
+            .map(|&(_, w)| w)
+            .collect(),
+    )
+}
 
 /// Every experiment's harness registry entry, in the paper's artifact order
 /// (the order the `experiments` binary runs them in).

@@ -18,6 +18,7 @@ use fg_inventory::flight::Flight;
 use fg_inventory::pricing::DynamicPricer;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -76,6 +77,22 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     ]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// the suppression campaign's hold-request volume on a thin-demand flight
+/// (≈ 14 legitimate arrivals/day vs ≈ 40 griefer holds/hour) trips a plain
+/// volume threshold on the hold path within the first hour.
+pub fn alert_policy() -> AlertPolicy {
+    use fg_core::time::SimDuration;
+    AlertPolicy::named("pricing-hold-volume")
+        .rule(AlertRule::threshold(
+            "hold-volume",
+            MetricSelector::exact("fg_requests_total", &[("endpoint", "/booking/hold")]),
+            SimDuration::from_hours(6),
+            40.0,
+        ))
+        .campaign(SimTime::ZERO, 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -89,9 +106,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 PricingConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -161,7 +180,10 @@ impl fmt::Display for PricingReport {
     }
 }
 
-fn run_arm(config: &PricingConfig, manipulated: bool) -> (PricingArm, Option<PricingReport>) {
+fn run_arm(
+    config: &PricingConfig,
+    manipulated: bool,
+) -> (PricingArm, Option<PricingReport>, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let departure = SimTime::from_days(config.departure_day);
@@ -169,6 +191,7 @@ fn run_arm(config: &PricingConfig, manipulated: bool) -> (PricingArm, Option<Pri
     let mut app_config = AppConfig::airline(PolicyConfig::unprotected());
     app_config.pricing = Some(DynamicPricer::airline(config.base_fare));
     let mut app = DefendedApp::new(app_config, config.seed);
+    app.attach_sentinel(alert_policy());
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
     app.add_flight(Flight::new(
@@ -197,6 +220,9 @@ fn run_arm(config: &PricingConfig, manipulated: bool) -> (PricingArm, Option<Pri
 
     let deadline = departure - fg_core::time::SimDuration::from_days(3);
     let app = sim.run(departure);
+    let alerts = app
+        .sentinel_report(departure)
+        .expect("sentinel attached above");
 
     let arm = PricingArm {
         manipulated,
@@ -215,19 +241,26 @@ fn run_arm(config: &PricingConfig, manipulated: bool) -> (PricingArm, Option<Pri
             attacker_profit: bot.ledger().profit(),
         }
     });
-    (arm, extras)
+    (arm, extras, alerts)
 }
 
 /// Runs both arms.
 pub fn run(config: PricingConfig) -> PricingReport {
-    let (healthy, _) = run_arm(&config, false);
-    let (attacked, extras) = run_arm(&config, true);
+    run_instrumented(config).0
+}
+
+/// Runs both arms, also returning the sentinel outcome for the manipulated
+/// arm — the cell whose hold-volume alert marks the suppression campaign.
+pub fn run_instrumented(config: PricingConfig) -> (PricingReport, SentinelReport) {
+    let (healthy, _, _) = run_arm(&config, false);
+    let (attacked, extras, alerts) = run_arm(&config, true);
     let extras = extras.expect("manipulated arm produced manipulator stats");
-    PricingReport {
+    let report = PricingReport {
         healthy,
         attacked,
         ..extras
-    }
+    };
+    (report, alerts)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, DriftStat, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -70,6 +71,24 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
         )]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// IP blocking cannot burn a residential pool (§III-B), but the spinner's
+/// NiP-6 holds still distort the hold-size distribution — the functional
+/// signal stays visible whichever exits the attacker rents.
+pub fn alert_policy() -> AlertPolicy {
+    AlertPolicy::named("proxies-nip-drift")
+        .rule(AlertRule::drift(
+            "nip-distribution-drift",
+            MetricSelector::exact("fg_nip_hold", &[]),
+            SimDuration::from_hours(6),
+            30,
+            super::nip_baseline(),
+            DriftStat::ChiSquarePerSample,
+            0.5,
+        ))
+        .campaign(SimTime::ZERO, 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -83,9 +102,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 ProxiesConfig::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -144,7 +165,7 @@ impl fmt::Display for ProxiesReport {
     }
 }
 
-fn run_arm(config: &ProxiesConfig, datacenter: bool) -> ProxyArm {
+fn run_arm(config: &ProxiesConfig, datacenter: bool) -> (ProxyArm, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
@@ -154,6 +175,7 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> ProxyArm {
     let mut policy = PolicyConfig::traditional_antibot();
     policy.block_threshold = 0.75;
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
+    app.attach_sentinel(alert_policy());
     // A long-memory blocklist: confirmed attack exits stay burned for the
     // whole campaign (the realistic posture for manually curated lists).
     app.detection_mut()
@@ -216,28 +238,42 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> ProxyArm {
     let (mon, mon_agent) = share(HoldMonitor::new(target, SimDuration::from_mins(30), end));
     sim.add_agent(mon_agent, SimTime::ZERO);
 
-    let _app = sim.run(end);
+    let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let spinner = spinner.borrow();
     let stats = spinner.stats();
     let hold_ratio = mon
         .borrow()
         .mean_hold_ratio_between(SimTime::from_days(1), end);
-    ProxyArm {
+    let arm = ProxyArm {
         datacenter,
         hold_ratio,
         holds_placed: stats.holds_placed,
         defence_refusals: stats.defence_refusals,
         leases_used: spinner.ledger().proxy_spend.as_f64() as u64, // ≥ leases × price
-    }
+    };
+    (arm, alerts)
 }
 
 /// Runs both arms.
 pub fn run(config: ProxiesConfig) -> ProxiesReport {
-    ProxiesReport {
-        datacenter: run_arm(&config, true),
-        residential: run_arm(&config, false),
-    }
+    run_instrumented(config).0
+}
+
+/// Runs both arms, also returning the sentinel outcome for the residential
+/// arm — the paper's hard case, where IP blocking fails and the functional
+/// drift alert is what still catches the attack.
+pub fn run_instrumented(config: ProxiesConfig) -> (ProxiesReport, SentinelReport) {
+    let (datacenter, _) = run_arm(&config, true);
+    let (residential, alerts) = run_arm(&config, false);
+    (
+        ProxiesReport {
+            datacenter,
+            residential,
+        },
+        alerts,
+    )
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use fg_core::time::SimTime;
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::geo::GeoDatabase;
+use fg_sentinel::{AlertPolicy, AlertRule, MetricSelector, SentinelReport};
 use serde::Serialize;
 use std::fmt;
 
@@ -70,6 +71,31 @@ pub fn defence_profiles() -> Vec<fg_mitigation::profile::DefenceProfile> {
     ]
 }
 
+/// The alert policy the sentinel evaluates online during this experiment:
+/// Table I itself as a detector — any destination country's delivered-SMS
+/// rate surging far above its sliding weekly baseline — plus the owner's
+/// SMS spend burning above its baseline rate.
+pub fn alert_policy() -> AlertPolicy {
+    use fg_core::time::SimDuration;
+    AlertPolicy::named("table1-sms-surge")
+        .rule(AlertRule::surge(
+            "sms-country-surge",
+            MetricSelector::any("fg_sms_sent_total"),
+            SimDuration::from_hours(1),
+            SimDuration::from_days(7),
+            8.0,
+            10.0,
+        ))
+        .rule(AlertRule::burn_rate(
+            "sms-burn-rate",
+            SimDuration::from_hours(6),
+            SimDuration::from_days(7),
+            3.0,
+            2.0,
+        ))
+        .campaign(SimTime::from_weeks(1), 1)
+}
+
 /// Registry entry for the multi-seed harness.
 pub fn spec() -> crate::harness::ExperimentSpec {
     crate::harness::ExperimentSpec {
@@ -83,9 +109,11 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Table1Config::default()
             };
             config.seed = p.seed;
-            crate::harness::CellOutput::of(&run(config))
+            let (report, alerts) = run_instrumented(config);
+            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
         },
         profiles: defence_profiles,
+        alerts: alert_policy,
     }
 }
 
@@ -149,12 +177,20 @@ impl fmt::Display for Table1Report {
 
 /// Runs the Table I scenario.
 pub fn run(config: Table1Config) -> Table1Report {
+    run_instrumented(config).0
+}
+
+/// Runs the Table I scenario with the sentinel attached, returning the
+/// report plus the online alerting outcome. Observation is read-only, so
+/// the report is identical to [`run`]'s.
+pub fn run_instrumented(config: Table1Config) -> (Table1Report, SentinelReport) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(2);
 
     // Airline D, December 2022: no per-feature limits at all.
     let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
+    app.attach_sentinel(alert_policy());
     let flight = FlightId(1);
     let capacity = (config.arrivals_per_day * 14.0 * 2.0 * 1.5) as u32;
     app.add_flight(Flight::new(flight, capacity, SimTime::from_days(30)));
@@ -181,6 +217,7 @@ pub fn run(config: Table1Config) -> Table1Report {
     sim.add_agent(pumper_agent, SimTime::from_weeks(1));
 
     let app = sim.run(end);
+    let alerts = app.sentinel_report(end).expect("sentinel attached above");
 
     let baseline = (SimTime::ZERO, SimTime::from_weeks(1));
     let window = (SimTime::from_weeks(1), SimTime::from_weeks(2));
@@ -199,12 +236,13 @@ pub fn run(config: Table1Config) -> Table1Report {
         .collect();
     rows.truncate(config.top_n);
 
-    Table1Report {
+    let report = Table1Report {
         countries_reached: app.gateway().countries_reached_between(window.0, window.1),
         owner_cost: app.gateway().owner_cost(),
         attacker_revenue: app.gateway().attacker_revenue(),
         rows,
-    }
+    };
+    (report, alerts)
 }
 
 /// Human-readable country names for the report (Table I prints names).

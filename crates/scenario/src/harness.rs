@@ -27,6 +27,7 @@
 use crate::report::{render_aggregate_table, AggregateRow};
 use fg_core::rng::SeedFork;
 use fg_core::stats::Summary;
+use fg_sentinel::{AlertPolicy, SentinelReport};
 use fg_telemetry::TelemetrySnapshot;
 use serde::Serialize;
 use serde_json::Value;
@@ -43,6 +44,9 @@ pub struct ExperimentParams {
     pub smoke: bool,
     /// Capture a telemetry snapshot where the experiment supports it.
     pub telemetry: bool,
+    /// Capture the sentinel's alert report (TTD, incident timeline). The
+    /// sentinel always observes; this only controls result capture.
+    pub alerts: bool,
 }
 
 /// What one experiment run hands back to the harness.
@@ -54,6 +58,8 @@ pub struct CellOutput {
     pub report: Value,
     /// Telemetry snapshot, when requested and supported.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Sentinel alert report, when requested and supported.
+    pub alerts: Option<SentinelReport>,
 }
 
 impl CellOutput {
@@ -63,12 +69,19 @@ impl CellOutput {
             display: report.to_string(),
             report: serde_json::to_value(report).expect("reports serialize cleanly"),
             telemetry: None,
+            alerts: None,
         }
     }
 
     /// Attaches a telemetry snapshot.
     pub fn with_telemetry(mut self, snapshot: TelemetrySnapshot) -> CellOutput {
         self.telemetry = Some(snapshot);
+        self
+    }
+
+    /// Attaches a sentinel report.
+    pub fn with_alerts(mut self, report: Option<SentinelReport>) -> CellOutput {
+        self.alerts = report;
         self
     }
 }
@@ -91,6 +104,11 @@ pub struct ExperimentSpec {
     /// waivers for paper-accurate misconfigurations). A plain `fn` pointer
     /// keeps the spec `Copy`.
     pub profiles: fn() -> Vec<fg_mitigation::profile::DefenceProfile>,
+    /// The alert policy the experiment's designated sentinel cell enforces
+    /// (also consumed declaratively by `fg-analyze`'s alert lints). A plain
+    /// `fn` pointer keeps the spec `Copy`; experiments without a sentinel
+    /// declare [`AlertPolicy::none`].
+    pub alerts: fn() -> AlertPolicy,
 }
 
 /// One completed (experiment × seed) cell.
@@ -111,6 +129,8 @@ pub struct CellResult {
     pub metrics: Vec<(String, f64)>,
     /// Telemetry snapshot, when captured.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Sentinel alert report, when captured.
+    pub alerts: Option<SentinelReport>,
 }
 
 /// All replicates of one experiment plus cross-seed aggregation.
@@ -148,6 +168,101 @@ impl ExperimentRun {
         ]);
         serde_json::to_string_pretty(&artifact).expect("aggregates serialize cleanly")
     }
+
+    /// The alerts artifact (`results/<name>.alerts.json`) as pretty JSON:
+    /// per-seed time-to-detection, a cross-seed TTD summary, and replicate
+    /// 0's full sentinel report (alert events + incident timeline). `None`
+    /// when no replicate captured a sentinel report.
+    pub fn alerts_json(&self) -> Option<String> {
+        let first = self.cells.iter().find_map(|c| c.alerts.as_ref())?;
+        let ttd_mins =
+            |r: &SentinelReport| r.time_to_detection.map(|d| d.as_millis() as f64 / 60_000.0);
+        let replicates: Vec<Value> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let report = c.alerts.as_ref()?;
+                Some(Value::Object(vec![
+                    ("seed".to_owned(), Value::UInt(c.seed)),
+                    (
+                        "alerts_fired".to_owned(),
+                        Value::UInt(report.events.len() as u64),
+                    ),
+                    (
+                        "detected".to_owned(),
+                        Value::Bool(report.first_firing.is_some()),
+                    ),
+                    (
+                        "time_to_detection_mins".to_owned(),
+                        match ttd_mins(report) {
+                            Some(m) => Value::Float(m),
+                            None => Value::Null,
+                        },
+                    ),
+                ]))
+            })
+            .collect();
+        let ttds: Summary = self
+            .cells
+            .iter()
+            .filter_map(|c| c.alerts.as_ref().and_then(&ttd_mins))
+            .collect();
+        let summary = Value::Object(vec![
+            (
+                "replicates_detected".to_owned(),
+                Value::UInt(ttds.count() as u64),
+            ),
+            (
+                "replicates_total".to_owned(),
+                Value::UInt(replicates.len() as u64),
+            ),
+            ("ttd_mean_mins".to_owned(), Value::Float(ttds.mean())),
+            ("ttd_std_dev_mins".to_owned(), Value::Float(ttds.std_dev())),
+            (
+                "ttd_min_mins".to_owned(),
+                Value::Float(ttds.min().unwrap_or(0.0)),
+            ),
+            (
+                "ttd_max_mins".to_owned(),
+                Value::Float(ttds.max().unwrap_or(0.0)),
+            ),
+        ]);
+        let artifact = Value::Object(vec![
+            ("experiment".to_owned(), Value::String(self.name.to_owned())),
+            (
+                "policy".to_owned(),
+                Value::String(first.policy.name.clone()),
+            ),
+            (
+                "expect_detection".to_owned(),
+                Value::Bool(first.policy.expect_detection),
+            ),
+            ("replicates".to_owned(), Value::Array(replicates)),
+            ("time_to_detection".to_owned(), summary),
+            (
+                "report".to_owned(),
+                serde_json::to_value(first).expect("sentinel reports serialize cleanly"),
+            ),
+        ]);
+        Some(serde_json::to_string_pretty(&artifact).expect("alert artifacts serialize cleanly"))
+    }
+
+    /// `true` when this experiment's alert policy expects detection but some
+    /// captured replicate never saw a firing alert — the CI gate condition.
+    pub fn detection_missing(&self) -> bool {
+        let captured: Vec<&SentinelReport> = self
+            .cells
+            .iter()
+            .filter_map(|c| c.alerts.as_ref())
+            .collect();
+        match captured.first() {
+            Some(first) => {
+                first.policy.expect_detection
+                    && captured.iter().any(|r| r.time_to_detection.is_none())
+            }
+            None => false,
+        }
+    }
 }
 
 /// Sweep-wide knobs for [`run_matrix`].
@@ -164,6 +279,8 @@ pub struct HarnessConfig {
     pub smoke: bool,
     /// Capture telemetry where supported.
     pub telemetry: bool,
+    /// Capture sentinel alert reports where supported.
+    pub alerts: bool,
 }
 
 impl Default for HarnessConfig {
@@ -174,6 +291,7 @@ impl Default for HarnessConfig {
             jobs: 1,
             smoke: false,
             telemetry: false,
+            alerts: false,
         }
     }
 }
@@ -221,6 +339,7 @@ pub fn run_matrix(specs: &[ExperimentSpec], config: &HarnessConfig) -> Vec<Exper
                     seed: replicate_seed(spec.default_seed, replicate),
                     smoke: config.smoke,
                     telemetry: config.telemetry && spec.telemetry_capable,
+                    alerts: config.alerts,
                 };
                 let out = (spec.run)(&params);
                 *slots[i].lock().expect("no panics while holding slot") = Some(CellResult {
@@ -232,6 +351,7 @@ pub fn run_matrix(specs: &[ExperimentSpec], config: &HarnessConfig) -> Vec<Exper
                     metrics: scalar_metrics(&out.report),
                     display: out.display,
                     telemetry: out.telemetry,
+                    alerts: out.alerts,
                 });
             });
         }
@@ -383,6 +503,7 @@ mod tests {
                 })
             },
             profiles: Vec::new,
+            alerts: AlertPolicy::none,
         }
     }
 
@@ -458,6 +579,7 @@ mod tests {
                 CellOutput::of(&Noop)
             },
             profiles: Vec::new,
+            alerts: AlertPolicy::none,
         };
         let specs = [spec; 3];
         let runs = run_matrix(

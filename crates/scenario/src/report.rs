@@ -10,6 +10,53 @@ fn cell_width(s: &str) -> usize {
     s.chars().count()
 }
 
+/// Renders a sentinel report as a console block: the alert-event stream's
+/// verdict line, time-to-detection, and the correlated incident timeline.
+pub fn render_sentinel_report(report: &fg_sentinel::SentinelReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sentinel '{}': {} observations, {} rule evaluations, {} alert events",
+        report.policy.name,
+        report.observations,
+        report.evaluations,
+        report.events.len()
+    );
+    match (report.time_to_detection, report.policy.expect_detection) {
+        (Some(ttd), _) => {
+            let _ = writeln!(
+                out,
+                "time to detection: {:.1} min (first firing at {})",
+                ttd.as_secs_f64() / 60.0,
+                report.first_firing.expect("detection implies a firing"),
+            );
+        }
+        (None, false) => {
+            let _ = writeln!(
+                out,
+                "no detection — expected: this policy documents a monitoring blind spot"
+            );
+        }
+        (None, true) => {
+            let _ = writeln!(
+                out,
+                "NO DETECTION (policy expected the attack to be caught)"
+            );
+        }
+    }
+    let rows: Vec<Vec<String>> = report
+        .incident
+        .entries
+        .iter()
+        .map(|e| vec![e.at.to_string(), e.kind.clone(), e.detail.clone()])
+        .collect();
+    let _ = write!(out, "{}", render_table(&["When", "Event", "Detail"], &rows));
+    if report.incident.ongoing_at_end {
+        let _ = writeln!(out, "incident still ongoing at end of run");
+    }
+    out
+}
+
 /// Renders rows as a fixed-width ASCII table.
 ///
 /// Rows shorter than the header are padded with empty cells; rows *longer*

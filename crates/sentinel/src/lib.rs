@@ -1,0 +1,43 @@
+//! fg-sentinel: online anomaly alerting over fg-telemetry streams.
+//!
+//! The paper's case studies turn on an *operational* failure: the SMS-pumping
+//! campaign of Table I was noticed only when the operator's invoice arrived,
+//! and the NiP-distribution shifts of Fig. 1 were spotted by humans eyeballing
+//! charts. This crate is the layer that closes that gap — it watches the
+//! metrics fg-telemetry already exports and turns them into alerts, incident
+//! timelines, and a first-class *time-to-detection* measurement.
+//!
+//! Structure:
+//!
+//! - [`rule`] — the alert-rule vocabulary: static thresholds, surge
+//!   (rate-of-change vs a sliding seasonal baseline, the Table I detector),
+//!   distribution drift (NiP histogram vs an average-week baseline, the
+//!   Fig. 1 detector), and cost burn-rate rules over owner SMS spend.
+//! - [`window`] — the bounded sliding-window state behind every rule.
+//! - [`policy`] — [`AlertPolicy`]: the set of rules an experiment deploys,
+//!   plus the declared campaign facts (attack start, attacker client) that
+//!   anchor time-to-detection.
+//! - [`engine`] — the [`Sentinel`] itself: evaluates rules against
+//!   [`fg_telemetry::MetricsSnapshot`]s on every housekeeping tick and runs
+//!   the pending → firing → resolved alert lifecycle, with its own
+//!   transitions exported back into telemetry as `fg_sentinel_*` metrics.
+//! - [`incident`] — correlates fired alerts with the decision audit trail
+//!   into a deterministic incident timeline.
+//!
+//! Everything here is sim-time-driven and deterministic: two runs with the
+//! same seed produce byte-identical [`engine::SentinelReport`]s regardless of
+//! thread count.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod incident;
+pub mod policy;
+pub mod rule;
+pub mod window;
+
+pub use engine::{AlertEvent, Sentinel, SentinelReport};
+pub use incident::{Incident, IncidentEntry};
+pub use policy::AlertPolicy;
+pub use rule::{AlertRule, DriftBaseline, DriftStat, MetricSelector, MetricSource, RuleKind};
+pub use window::RateWindow;

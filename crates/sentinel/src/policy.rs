@@ -1,0 +1,99 @@
+//! [`AlertPolicy`] — the alerting deployment an experiment declares.
+
+use crate::rule::AlertRule;
+use fg_core::time::SimTime;
+use serde::Serialize;
+
+/// The set of alert rules an experiment deploys, plus the declared campaign
+/// facts that anchor time-to-detection and incident correlation.
+///
+/// Every `ExperimentSpec` in `fg-scenario` declares one; `fg-analyze` lints
+/// it against the experiment's `DefenceProfile` (an alert rule that can
+/// never fire, or an abused channel no rule watches, is the same class of
+/// operational misconfiguration the paper's defenders suffered from).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct AlertPolicy {
+    /// Policy name, e.g. `case_a-ops`.
+    pub name: String,
+    /// The deployed rules.
+    pub rules: Vec<AlertRule>,
+    /// Declared campaign start (sim-time of the first abusive event), the
+    /// time-to-detection origin. `None` for experiments without an attack.
+    pub attack_start: Option<SimTime>,
+    /// The attacker's `ClientId` raw value, used by the incident builder to
+    /// pull the attacker's audit records (fingerprint-rotation epochs,
+    /// first mitigation engagement).
+    pub attacker_client: Option<u64>,
+    /// Whether the CI detection gate requires a finite time-to-detection.
+    /// `false` documents a deliberate blind spot (e.g. low-and-slow abuse
+    /// calibrated to evade the sentinel, §III-A).
+    pub expect_detection: bool,
+}
+
+impl AlertPolicy {
+    /// An empty policy with nothing deployed and no detection expected.
+    pub fn named(name: &str) -> Self {
+        AlertPolicy {
+            name: name.to_owned(),
+            rules: Vec::new(),
+            attack_start: None,
+            attacker_client: None,
+            expect_detection: false,
+        }
+    }
+
+    /// The no-op policy (used by experiments with nothing to watch and by
+    /// test scaffolding).
+    pub fn none() -> Self {
+        AlertPolicy::named("none")
+    }
+
+    /// Builder: add a rule.
+    pub fn rule(mut self, rule: AlertRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Builder: declare the campaign start and attacker identity, and mark
+    /// the policy as expecting detection.
+    pub fn campaign(mut self, attack_start: SimTime, attacker_client: u64) -> Self {
+        self.attack_start = Some(attack_start);
+        self.attacker_client = Some(attacker_client);
+        self.expect_detection = true;
+        self
+    }
+
+    /// Builder: override whether the CI gate demands detection (documented
+    /// blind spots keep their campaign facts but set this to `false`).
+    pub fn expect_detection(mut self, expect: bool) -> Self {
+        self.expect_detection = expect;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::MetricSelector;
+    use fg_core::time::SimDuration;
+
+    #[test]
+    fn campaign_builder_sets_detection_expectation() {
+        let p = AlertPolicy::named("t")
+            .rule(AlertRule::threshold(
+                "r",
+                MetricSelector::any("fg_requests_total"),
+                SimDuration::from_hours(1),
+                10.0,
+            ))
+            .campaign(SimTime::from_weeks(1), 1);
+        assert!(p.expect_detection);
+        assert_eq!(p.attack_start, Some(SimTime::from_weeks(1)));
+        assert_eq!(p.attacker_client, Some(1));
+        assert_eq!(p.rules.len(), 1);
+
+        let blind = p.expect_detection(false);
+        assert!(!blind.expect_detection, "blind spots keep campaign facts");
+        assert!(blind.attack_start.is_some());
+    }
+}

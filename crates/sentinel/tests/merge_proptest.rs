@@ -1,0 +1,134 @@
+//! Associativity of cross-seed folding.
+//!
+//! The multi-seed harness folds per-replicate state in whatever grouping the
+//! work-stealing executor produces, so both folding units must be
+//! associative: the sentinel's [`RateWindow`] (sliding-window/baseline
+//! state) and the metric sections of `TelemetrySnapshot::merge` it mirrors.
+//! Values are generated as small integers so f64 addition is exact and the
+//! assertions can demand bitwise equality.
+//!
+//! (Stage-latency and audit sections are excluded deliberately: weighted
+//! percentile averaging is float-order sensitive by design, and audit
+//! re-sorting only ties on full-record equality.)
+
+use fg_core::time::{SimDuration, SimTime};
+use fg_sentinel::RateWindow;
+use fg_telemetry::metrics::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use fg_telemetry::{AuditSnapshot, MetricName, TelemetrySnapshot};
+use proptest::prelude::*;
+
+fn window_from(pushes: &[(u64, u8)]) -> RateWindow {
+    let mut w = RateWindow::new(SimDuration::from_mins(5), SimDuration::from_hours(2));
+    let mut sorted: Vec<(u64, u8)> = pushes.to_vec();
+    sorted.sort();
+    for &(minute, delta) in &sorted {
+        w.push(SimTime::from_mins(minute), delta as f64);
+    }
+    w
+}
+
+fn snapshot_from(counters: &[(u8, u8)], gauges: &[(u8, u8)], hist: &[u8]) -> TelemetrySnapshot {
+    let name = |i: u8| MetricName {
+        name: format!("fg_m{}_total", i % 4),
+        labels: if i.is_multiple_of(2) {
+            vec![("country".to_owned(), format!("C{}", i % 3))]
+        } else {
+            Vec::new()
+        },
+    };
+    let metrics = MetricsSnapshot {
+        counters: counters
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, v))| CounterSample {
+                name: name(id),
+                value: v as u64 + i as u64,
+            })
+            .collect(),
+        gauges: gauges
+            .iter()
+            .map(|&(id, v)| GaugeSample {
+                name: name(id),
+                value: v as f64,
+            })
+            .collect(),
+        histograms: vec![HistogramSample {
+            name: MetricName::with_labels("fg_nip_hold", &[]),
+            bounds: vec![1.0, 2.0, 3.0],
+            buckets: hist.iter().map(|&b| b as u64).collect(),
+            count: hist.iter().map(|&b| b as u64).sum(),
+            sum: hist.iter().map(|&b| b as f64).sum(),
+        }],
+        help: vec![("fg_nip_hold".to_owned(), "NiP of accepted holds".to_owned())],
+    };
+    TelemetrySnapshot {
+        metrics,
+        stages: Vec::new(),
+        audit: AuditSnapshot {
+            recorded: 0,
+            evicted: 0,
+            decision_totals: Vec::new(),
+            records: Vec::new(),
+        },
+    }
+}
+
+proptest! {
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` for sliding-window state, including
+    /// eviction interplay: intermediate merges may evict early, but only
+    /// buckets the final eviction would drop anyway.
+    #[test]
+    fn prop_rate_window_merge_is_associative(
+        a in proptest::collection::vec((0u64..600, 0u8..50), 0..12),
+        b in proptest::collection::vec((0u64..600, 0u8..50), 0..12),
+        c in proptest::collection::vec((0u64..600, 0u8..50), 0..12),
+    ) {
+        let (wa, wb, wc) = (window_from(&a), window_from(&b), window_from(&c));
+
+        let mut left = wa.clone();
+        left.merge(&wb);
+        left.merge(&wc);
+
+        let mut right_inner = wb.clone();
+        right_inner.merge(&wc);
+        let mut right = wa.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Metric-section associativity of `TelemetrySnapshot::merge` — the
+    /// cross-seed parity the sentinel's windows rely on.
+    #[test]
+    fn prop_snapshot_metric_merge_is_associative(
+        (ca, ga, ha) in (
+            proptest::collection::vec((0u8..8, 0u8..100), 0..6),
+            proptest::collection::vec((0u8..8, 0u8..100), 0..4),
+            proptest::collection::vec(0u8..100, 4..5),
+        ),
+        (cb, gb, hb) in (
+            proptest::collection::vec((0u8..8, 0u8..100), 0..6),
+            proptest::collection::vec((0u8..8, 0u8..100), 0..4),
+            proptest::collection::vec(0u8..100, 4..5),
+        ),
+        (cc, hc) in (
+            proptest::collection::vec((0u8..8, 0u8..100), 0..6),
+            proptest::collection::vec(0u8..100, 4..5),
+        ),
+    ) {
+        let sa = snapshot_from(&ca, &ga, &ha);
+        let sb = snapshot_from(&cb, &gb, &hb);
+        let sc = snapshot_from(&cc, &[], &hc);
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(left.metrics, right.metrics);
+    }
+}

@@ -96,6 +96,23 @@ impl Gateway {
     /// attacker-revenue gauges.
     pub fn attach_telemetry(&mut self, telemetry: std::sync::Arc<fg_telemetry::Telemetry>) {
         let registry = telemetry.metrics();
+        for (name, help) in [
+            ("fg_sms_sent_total", "Delivered SMS by destination country"),
+            (
+                "fg_sms_rejected_quota_total",
+                "SMS rejected by the gateway's quota guard",
+            ),
+            (
+                "fg_sms_owner_cost_units",
+                "Cumulative SMS termination cost billed to the app owner",
+            ),
+            (
+                "fg_sms_attacker_revenue_units",
+                "Cumulative revenue-share accrued to colluding operators",
+            ),
+        ] {
+            registry.set_help(name, help);
+        }
         self.metrics = Some(GatewayMetrics {
             rejected_quota: registry.counter("fg_sms_rejected_quota_total"),
             owner_cost: registry.gauge("fg_sms_owner_cost_units"),

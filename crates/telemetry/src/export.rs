@@ -77,6 +77,13 @@ impl TelemetrySnapshot {
         }
         self.metrics.histograms.sort_by(|a, b| a.name.cmp(&b.name));
 
+        for (name, help) in &other.metrics.help {
+            if !self.metrics.help.iter().any(|(n, _)| n == name) {
+                self.metrics.help.push((name.clone(), help.clone()));
+            }
+        }
+        self.metrics.help.sort();
+
         for s in &other.stages {
             match self.stages.iter_mut().find(|mine| mine.stage == s.stage) {
                 Some(mine) => {
@@ -148,6 +155,9 @@ impl TelemetrySnapshot {
         let mut last_type_header = String::new();
         let mut type_header = |out: &mut String, name: &str, kind: &str| {
             if last_type_header != name {
+                if let Some(help) = self.metrics.help_for(name) {
+                    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+                }
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 last_type_header = name.to_owned();
             }
@@ -205,6 +215,9 @@ impl TelemetrySnapshot {
 
         if !self.stages.is_empty() {
             let name = "fg_stage_latency_seconds";
+            if let Some(help) = self.metrics.help_for(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            }
             let _ = writeln!(out, "# TYPE {name} summary");
             for s in &self.stages {
                 for (q, v_us) in [("0.5", s.p50_us), ("0.95", s.p95_us), ("0.99", s.p99_us)] {
@@ -265,6 +278,12 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escapes `# HELP` text per the exposition format (backslash and newline
+/// only; quotes are legal in help text).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// Escapes a label value per the exposition format.
 fn escape_label(value: &str) -> String {
     value
@@ -311,6 +330,7 @@ mod tests {
 
     fn sample_snapshot() -> TelemetrySnapshot {
         let registry = MetricsRegistry::new();
+        registry.set_help("fg_sms_sent_total", "Delivered SMS by country");
         registry
             .counter_with("fg_sms_sent_total", &[("country", "UZ")])
             .add(12);
@@ -364,6 +384,57 @@ mod tests {
             text.contains("fg_stage_latency_seconds_count{stage=\"policy.decide\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn prometheus_emits_help_before_type() {
+        let text = sample_snapshot().to_prometheus();
+        let help_at = text
+            .find("# HELP fg_sms_sent_total Delivered SMS by country")
+            .expect("HELP line present");
+        let type_at = text
+            .find("# TYPE fg_sms_sent_total counter")
+            .expect("TYPE line present");
+        assert!(help_at < type_at, "HELP precedes TYPE:\n{text}");
+        // Metrics without registered help simply have no HELP line.
+        assert!(!text.contains("# HELP fg_ticket_revenue_units"), "{text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.set_help("fg_x_total", "line one\nback\\slash");
+        registry.counter("fg_x_total").inc();
+        let snap = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        assert!(snap
+            .to_prometheus()
+            .contains("# HELP fg_x_total line one\\nback\\\\slash"));
+    }
+
+    #[test]
+    fn merge_unions_help_first_wins() {
+        let registry = MetricsRegistry::new();
+        registry.set_help("fg_a_total", "mine");
+        let mut a = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        let registry = MetricsRegistry::new();
+        registry.set_help("fg_a_total", "theirs");
+        registry.set_help("fg_b_total", "only theirs");
+        let b = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        a.merge(&b);
+        assert_eq!(a.metrics.help_for("fg_a_total"), Some("mine"));
+        assert_eq!(a.metrics.help_for("fg_b_total"), Some("only theirs"));
     }
 
     #[test]

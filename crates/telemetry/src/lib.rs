@@ -49,7 +49,7 @@ pub mod profile;
 
 pub use audit::{AuditRecord, AuditSnapshot, AuditTrail, SignalScore};
 pub use export::TelemetrySnapshot;
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, MetricName, MetricsRegistry, MetricsSnapshot};
 pub use profile::{StageProfiler, StageSnapshot};
 
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -83,8 +83,13 @@ impl Telemetry {
 
     /// Creates a telemetry hub retaining at most `capacity` audit records.
     pub fn with_audit_capacity(capacity: usize) -> Self {
+        let metrics = MetricsRegistry::new();
+        metrics.set_help(
+            "fg_stage_latency_seconds",
+            "Wall-clock latency of instrumented pipeline stages",
+        );
         Telemetry {
-            metrics: MetricsRegistry::new(),
+            metrics,
             audit: Mutex::new(AuditTrail::new(capacity)),
             profiler: Mutex::new(StageProfiler::new()),
         }

@@ -216,6 +216,9 @@ struct Inner {
     counters: Vec<(MetricName, Counter)>,
     gauges: Vec<(MetricName, Gauge)>,
     histograms: Vec<(MetricName, Histogram)>,
+    /// Per-base-name help text (`# HELP` in the Prometheus exposition),
+    /// keyed by base name only — labelled series share their metric's help.
+    help: Vec<(String, String)>,
 }
 
 /// The registry of all exportable metric handles.
@@ -304,6 +307,18 @@ impl MetricsRegistry {
         h
     }
 
+    /// Attaches help text to a base metric name (`# HELP` in the Prometheus
+    /// exposition). The first registration wins; registering the same text
+    /// twice is a no-op, so every component can describe the metrics it
+    /// creates without coordinating.
+    pub fn set_help(&self, name: &str, help: &str) {
+        let mut inner = self.lock();
+        if inner.help.iter().any(|(n, _)| n == name) {
+            return;
+        }
+        inner.help.push((name.to_owned(), help.to_owned()));
+    }
+
     /// Captures every registered metric's current value, sorted by identity
     /// for deterministic export.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -338,10 +353,13 @@ impl MetricsRegistry {
             })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut help = inner.help.clone();
+        help.sort();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            help,
         }
     }
 }
@@ -389,9 +407,18 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSample>,
     /// All histograms, sorted by identity.
     pub histograms: Vec<HistogramSample>,
+    /// Per-base-name help text, sorted by name.
+    pub help: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
+    /// Looks up a base name's help text.
+    pub fn help_for(&self, name: &str) -> Option<&str> {
+        self.help
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.as_str())
+    }
     /// Looks up a counter's value by base name and labels.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let id = MetricName::with_labels(name, labels);
@@ -496,6 +523,34 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn help_text_is_first_write_wins_and_snapshotted() {
+        let registry = MetricsRegistry::new();
+        registry.set_help("fg_requests_total", "Requests by endpoint");
+        registry.set_help("fg_requests_total", "A later, different description");
+        registry.set_help("fg_sms_sent_total", "Delivered SMS by country");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.help_for("fg_requests_total"),
+            Some("Requests by endpoint"),
+            "first registration wins"
+        );
+        assert_eq!(
+            snap.help,
+            vec![
+                (
+                    "fg_requests_total".to_owned(),
+                    "Requests by endpoint".to_owned()
+                ),
+                (
+                    "fg_sms_sent_total".to_owned(),
+                    "Delivered SMS by country".to_owned()
+                ),
+            ],
+            "sorted by name"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn smoke(seeds: usize, seed_offset: usize, jobs: usize, telemetry: bool) -> Harn
         jobs,
         smoke: true,
         telemetry,
+        alerts: false,
     }
 }
 
