@@ -26,6 +26,10 @@
 //!   time-to-detection, the aggregate TTD summary, and the replicate-0
 //!   alert/incident timeline. The process exits non-zero if any experiment
 //!   whose policy expects detection reports none (the CI alerting gate).
+//! * `<name>.traces.json` — with `--traces`, the replicate-0 causal span
+//!   trace in Chrome trace-event form (load it in Perfetto or
+//!   `chrome://tracing`). The process exits non-zero if any incident's
+//!   exemplar trace ids fail to resolve in the export (the CI tracing gate).
 
 use fg_scenario::experiments::all_specs;
 use fg_scenario::harness::{run_matrix, ExperimentRun, ExperimentSpec, HarnessConfig};
@@ -33,6 +37,29 @@ use fg_scenario::report::{render_sentinel_report, render_stage_table};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Every way this process can exit, in one place. CI shell snippets match on
+/// the numeric values, so they are part of the binary's interface: keep them
+/// stable and document any addition here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exit {
+    /// All runs completed and every enabled gate passed.
+    Success = 0,
+    /// Bad command line: unknown flag, unknown experiment, malformed value.
+    Usage = 2,
+    /// The `--alerts` gate failed: an experiment whose policy expects
+    /// detection reported no alert.
+    DetectionMissing = 3,
+    /// The `--traces` gate failed: an incident carries an exemplar trace id
+    /// that does not resolve in the run's trace export.
+    ExemplarUnresolved = 4,
+}
+
+impl From<Exit> for ExitCode {
+    fn from(exit: Exit) -> ExitCode {
+        ExitCode::from(exit as u8)
+    }
+}
 
 fn write_file(path: &Path, contents: String) {
     match fs::write(path, contents) {
@@ -42,7 +69,7 @@ fn write_file(path: &Path, contents: String) {
 }
 
 /// Writes every artifact for one experiment's sweep.
-fn write_artifacts(run: &ExperimentRun, telemetry: bool, alerts: bool) {
+fn write_artifacts(run: &ExperimentRun, telemetry: bool, alerts: bool, traces: bool) {
     let dir = Path::new("results");
     if fs::create_dir_all(dir).is_err() {
         eprintln!("[artifact] cannot create {}", dir.display());
@@ -78,6 +105,11 @@ fn write_artifacts(run: &ExperimentRun, telemetry: bool, alerts: bool) {
     if alerts {
         if let Some(json) = run.alerts_json() {
             write_file(&dir.join(format!("{}.alerts.json", run.name)), json);
+        }
+    }
+    if traces {
+        if let Some(json) = run.traces_json() {
+            write_file(&dir.join(format!("{}.traces.json", run.name)), json);
         }
     }
 }
@@ -157,6 +189,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--smoke" => cli.config.smoke = true,
             "--telemetry" => cli.config.telemetry = true,
             "--alerts" => cli.config.alerts = true,
+            "--traces" => cli.config.traces = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             name => cli.names.push(name.to_owned()),
         }
@@ -187,20 +220,20 @@ fn main() -> ExitCode {
     let available: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
     let usage = format!(
         "available experiments: {available:?}\n\
-         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry  --alerts"
+         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry  --alerts  --traces"
     );
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}\n{usage}");
-            return ExitCode::from(2);
+            return Exit::Usage.into();
         }
     };
     let specs = match select_specs(&cli.names) {
         Ok(specs) => specs,
         Err(e) => {
             eprintln!("{e}\n{usage}");
-            return ExitCode::from(2);
+            return Exit::Usage.into();
         }
     };
     if cli.config.telemetry {
@@ -219,9 +252,15 @@ fn main() -> ExitCode {
     );
     let runs = run_matrix(&specs, &cli.config);
     let mut detection_missing = false;
+    let mut exemplars_unresolved = false;
     for run in &runs {
         print_run(run);
-        write_artifacts(run, cli.config.telemetry, cli.config.alerts);
+        write_artifacts(
+            run,
+            cli.config.telemetry,
+            cli.config.alerts,
+            cli.config.traces,
+        );
         if cli.config.alerts && run.detection_missing() {
             eprintln!(
                 "[alerts] {}: policy expected detection but no alert fired",
@@ -229,9 +268,19 @@ fn main() -> ExitCode {
             );
             detection_missing = true;
         }
+        if cli.config.traces && run.exemplars_unresolved() {
+            eprintln!(
+                "[traces] {}: an incident exemplar trace id does not resolve in the trace export",
+                run.name
+            );
+            exemplars_unresolved = true;
+        }
     }
     if detection_missing {
-        return ExitCode::from(3);
+        return Exit::DetectionMissing.into();
     }
-    ExitCode::SUCCESS
+    if exemplars_unresolved {
+        return Exit::ExemplarUnresolved.into();
+    }
+    Exit::Success.into()
 }

@@ -7,6 +7,7 @@
 //! fg-bench --compare BENCH_baseline.json --tolerance 0.5 --hard-fail 10
 //! fg-bench --filter name_heuristics --bench-json - # subset, JSON to stdout
 //! fg-bench --quick --compare BENCH_baseline.json   # CI profile (shorter samples)
+//! fg-bench --bless                                 # re-measure, overwrite BENCH_baseline.json
 //! ```
 //!
 //! `--compare` normalizes ratios by the `calibration/splitmix64_chain` case
@@ -15,6 +16,11 @@
 
 use fg_bench::perf::{self, Baseline, CompareOpts, MeasureOpts};
 use std::process::ExitCode;
+
+/// Where `--bless` writes: the committed baseline the CI gate compares
+/// against. Run it from the repository root, full (non-`--quick`) profile,
+/// on a quiet machine, and commit the diff deliberately.
+const BLESS_PATH: &str = "BENCH_baseline.json";
 
 struct Args {
     bench_json: Option<String>,
@@ -40,11 +46,17 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         note: "fg-bench".to_owned(),
     };
+    let mut bless = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
         match arg.as_str() {
-            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
+            "--bench-json" => {
+                if bless {
+                    return Err("--bless conflicts with --bench-json (it implies one)".into());
+                }
+                args.bench_json = Some(value("--bench-json")?);
+            }
             "--compare" => args.compare = Some(value("--compare")?),
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
@@ -57,6 +69,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--hard-fail: {e}"))?
             }
             "--no-normalize" => args.normalize = false,
+            "--bless" => {
+                if args.bench_json.is_some() {
+                    return Err("--bless conflicts with --bench-json (it implies one)".into());
+                }
+                bless = true;
+                args.bench_json = Some(BLESS_PATH.to_owned());
+                args.note = "blessed baseline (fg-bench --bless)".to_owned();
+            }
             "--filter" => args.filter = Some(value("--filter")?),
             "--note" => args.note = value("--note")?,
             "--quick" => args.quick = true,
@@ -86,6 +106,9 @@ fn print_help() {
          \x20 --tolerance <FRAC>     allowed fractional slowdown (default 0.5 = +50%)\n\
          \x20 --hard-fail <RATIO>    normalized slowdown that always fails (default 10)\n\
          \x20 --no-normalize         gate on raw ns/op, skip calibration scaling\n\
+         \x20 --bless                re-measure and overwrite BENCH_baseline.json in the\n\
+         \x20                        current directory (run from the repo root; full\n\
+         \x20                        profile; commit the diff deliberately)\n\
          \x20 --filter <SUBSTR>      only run cases whose group/name contains SUBSTR\n\
          \x20 --note <TEXT>          provenance note stored in the emitted JSON\n\
          \x20 --quick                short CI measurement profile\n"

@@ -825,7 +825,40 @@ pub fn cases() -> Vec<PerfCase> {
                     }],
                     decision: "allow".to_owned(),
                     reasons: Vec::new(),
+                    trace_id: fg_core::hash::trace_id(t, t),
                 });
+            }
+        }));
+    }
+
+    // --- tracing: the span pipeline. The disabled check is the cost every
+    // gate() pays when tracing is off — it must price at a single relaxed
+    // atomic load — and the build+submit case is the full enabled path.
+    {
+        let telemetry = fg_telemetry::Telemetry::new();
+        cases.push(PerfCase::new("tracing", "enabled_check_off", {
+            move || {
+                std::hint::black_box(telemetry.tracing_enabled());
+            }
+        }));
+    }
+    {
+        use fg_telemetry::{RequestTrace, Telemetry, TraceConfig};
+        let telemetry = Telemetry::new();
+        telemetry.enable_tracing(TraceConfig::default());
+        let mut t = 0u64;
+        cases.push(PerfCase::new("tracing", "span_build_submit", {
+            move || {
+                t += 1;
+                let id = fg_core::hash::trace_id(t % 64, t);
+                let mut trace =
+                    RequestTrace::new(id, t % 64, "/booking/hold", SimTime::from_millis(t));
+                let detect = trace.stage("detect.assess");
+                trace.attr(detect, "score", "0.42");
+                let decide = trace.stage("policy.decide");
+                trace.attr(decide, "decision", "block");
+                trace.finish("block");
+                telemetry.record_trace(trace);
             }
         }));
     }
@@ -948,6 +981,7 @@ pub fn cases() -> Vec<PerfCase> {
                     "allow".to_owned()
                 },
                 reasons: Vec::new(),
+                trace_id: fg_core::hash::trace_id(if attacker { 7 } else { 1_000 + i % 64 }, i),
             });
         }
         let audit = trail.snapshot();
@@ -957,7 +991,7 @@ pub fn cases() -> Vec<PerfCase> {
             "incident_correlation",
             2_200.0,
             move || {
-                std::hint::black_box(incident::build(&policy, &events, &audit, end, 0));
+                std::hint::black_box(incident::build(&policy, &events, &audit, end, 0, None));
             },
         ));
     }
@@ -1039,6 +1073,7 @@ mod tests {
             "velocity",
             "policy",
             "telemetry",
+            "tracing",
             "sentinel",
             "simulation",
         ] {

@@ -22,6 +22,7 @@
 //! assert_eq!(m[&42], 1);
 //! ```
 
+use crate::rng::splitmix64;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -30,6 +31,25 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// A `HashSet` keyed by [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Derives the deterministic trace id for request `sequence` of `session`.
+///
+/// Trace ids are a pure function of the session identifier and a per-run
+/// request sequence number — no wall clock, no entropy — so traces exported
+/// by the harness are byte-identical across thread counts. The Fx fold
+/// mixes both words; a final [`splitmix64`] finaliser spreads the entropy
+/// into the low bits (Fx alone leaves them weak, and the trace sampler
+/// keys off the full width). `0` is reserved for "no trace" and is never
+/// returned.
+pub fn trace_id(session: u64, sequence: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(session);
+    h.write_u64(sequence);
+    match splitmix64(h.finish()) {
+        0 => 1,
+        id => id,
+    }
+}
 
 /// The 64-bit Fx multiply-xor hasher (as used by rustc): each word is
 /// folded in with a rotate, xor, and multiply by a mixing constant.
@@ -155,6 +175,22 @@ mod tests {
         assert_ne!(
             hash_of(&[b'a', b'b'].as_slice()),
             hash_of(&[b'a', b'b', 0].as_slice())
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(trace_id(7, 1), trace_id(7, 1));
+        assert_ne!(trace_id(7, 1), trace_id(7, 2));
+        assert_ne!(trace_id(7, 1), trace_id(8, 1));
+        assert_ne!(trace_id(7, 1), 0, "0 is reserved for \"no trace\"");
+        let ids: std::collections::HashSet<u64> = (0..64u64)
+            .flat_map(|s| (0..64u64).map(move |q| trace_id(s, q)))
+            .collect();
+        assert_eq!(
+            ids.len(),
+            64 * 64,
+            "session × sequence ids must not collide"
         );
     }
 

@@ -21,7 +21,7 @@ use fg_smsgw::gateway::Gateway;
 use fg_smsgw::message::{SmsKind, SmsMessage};
 use fg_telemetry::audit::{AuditRecord, SignalScore};
 use fg_telemetry::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use fg_telemetry::Telemetry;
+use fg_telemetry::{RequestTrace, Telemetry};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -96,6 +96,9 @@ pub struct DefendedApp {
     telemetry: Arc<Telemetry>,
     metrics: AppMetrics,
     sentinel: Option<Sentinel>,
+    /// Monotone per-app request counter; with the client id it derives the
+    /// deterministic `trace_id` stamped on audit records and span traces.
+    request_seq: u64,
 }
 
 /// Pre-registered handles for everything the gate increments per request,
@@ -260,6 +263,7 @@ impl DefendedApp {
             telemetry,
             metrics,
             sentinel: None,
+            request_seq: 0,
             config,
         }
     }
@@ -272,7 +276,14 @@ impl DefendedApp {
     /// Attaches an online alerting sentinel evaluating `policy` against this
     /// app's metrics on every housekeeping tick. Observation is read-only:
     /// attaching a sentinel never changes simulation behaviour.
+    ///
+    /// When the policy names an attacker client, that session is pinned in
+    /// the tracer so its traces bypass allow-sampling — the incident's
+    /// exemplar trace ids then always resolve in the exported trace file.
     pub fn attach_sentinel(&mut self, policy: AlertPolicy) {
+        if let Some(attacker) = policy.attacker_client {
+            self.telemetry.tracer().pin_session(attacker);
+        }
         self.sentinel = Some(Sentinel::new(policy, self.telemetry.metrics()));
     }
 
@@ -285,7 +296,15 @@ impl DefendedApp {
     /// timeline correlated with the decision audit trail) as of `end`.
     pub fn sentinel_report(&self, end: SimTime) -> Option<SentinelReport> {
         let audit = self.telemetry.audit().snapshot();
-        self.sentinel.as_ref().map(|s| s.report(end, &audit))
+        // When tracing ran, scope exemplar ids to the traces the tracer
+        // actually retained so every cited id resolves in the export.
+        let retained = self
+            .telemetry
+            .tracing_enabled()
+            .then(|| self.telemetry.tracer().retained_ids());
+        self.sentinel
+            .as_ref()
+            .map(|s| s.report_with_traces(end, &audit, retained.as_ref()))
     }
 
     /// Registers a flight.
@@ -413,7 +432,26 @@ impl DefendedApp {
         }
         if let Some(sentinel) = &mut self.sentinel {
             let snap = self.telemetry.metrics().snapshot();
+            let events_before = sentinel.events().len();
             sentinel.observe(now, &snap);
+            if self.telemetry.tracing_enabled() {
+                // Aux span: one sentinel rule-evaluation pass per tick,
+                // outside any request trace (session lane 0).
+                let id = fg_core::hash::trace_id(u64::MAX, now.as_millis());
+                let transitions = sentinel.events().len() - events_before;
+                self.telemetry
+                    .tracer()
+                    .record_aux(fg_telemetry::SpanRecord {
+                        trace_id: id,
+                        span_id: id,
+                        parent_id: 0,
+                        name: "sentinel.evaluate".to_owned(),
+                        session: 0,
+                        start_us: now.as_millis() * 1_000,
+                        dur_us: 1,
+                        attrs: vec![("transitions".to_owned(), transitions.to_string())],
+                    });
+            }
         }
     }
 
@@ -450,12 +488,25 @@ impl DefendedApp {
         now: SimTime,
     ) -> Result<bool, ApiOutcome<T>> {
         self.metrics.endpoint_counter(endpoint).inc();
+        self.request_seq += 1;
+        let trace_id = fg_core::hash::trace_id(req.client.as_u64(), self.request_seq);
+        // Span tracing is pure observation over sim-time: building the
+        // trace never touches simulation state, so behaviour (and every
+        // non-trace artifact) is byte-identical with tracing on or off.
+        let mut span_trace = self
+            .telemetry
+            .tracing_enabled()
+            .then(|| RequestTrace::new(trace_id, req.client.as_u64(), &endpoint.to_string(), now));
 
         // Already-diverted clients stay in the decoy.
         let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
         let diverted = self.honeypot.is_diverted(req.client);
         self.telemetry
             .record_stage("mitigation.honeypot-check", t.elapsed());
+        if let Some(tr) = span_trace.as_mut() {
+            let check = tr.stage("mitigation.honeypot-check");
+            tr.attr(check, "diverted", diverted);
+        }
         if diverted {
             self.telemetry.record_audit(AuditRecord {
                 at: now,
@@ -467,7 +518,12 @@ impl DefendedApp {
                 signals: Vec::new(),
                 decision: Decision::Honeypot.to_string(),
                 reasons: vec!["honeypot:session-diverted".to_owned()],
+                trace_id,
             });
+            if let Some(mut tr) = span_trace.take() {
+                tr.finish(&Decision::Honeypot.to_string());
+                self.telemetry.record_trace(tr);
+            }
             return Ok(false);
         }
 
@@ -477,6 +533,15 @@ impl DefendedApp {
             .assess(now, req.ip, &req.fingerprint, endpoint, booking);
         self.telemetry.record_stage("detect.assess", t.elapsed());
         self.metrics.detection_score.record(verdict.score);
+        if let Some(tr) = span_trace.as_mut() {
+            let assess = tr.stage("detect.assess");
+            tr.attr(assess, "score", format!("{:.3}", verdict.score));
+            for signal in &verdict.signals {
+                let child = tr.child(assess, &format!("detect.{}", signal.kind()));
+                tr.attr(child, "signal", signal.to_string());
+                tr.attr(child, "weight", format!("{:.3}", signal.weight()));
+            }
+        }
         for signal in &verdict.signals {
             if let Some(counter) = self.metrics.signal_counter(signal.kind()) {
                 counter.inc();
@@ -501,6 +566,15 @@ impl DefendedApp {
         });
         self.telemetry.record_stage("policy.decide", t.elapsed());
         let decision = trace.decision;
+        if let Some(tr) = span_trace.as_mut() {
+            let decide = tr.stage("policy.decide");
+            tr.attr(decide, "decision", decision.to_string());
+            tr.attr(decide, "reasons", trace.reason_strings().join(" → "));
+            tr.attr(decide, "client_key", req.client.as_u64());
+            if let Some(booking) = booking {
+                tr.attr(decide, "limiter_booking", booking);
+            }
+        }
         self.telemetry.record_audit(AuditRecord {
             at: now,
             endpoint: endpoint.to_string(),
@@ -518,9 +592,10 @@ impl DefendedApp {
                 .collect(),
             decision: decision.to_string(),
             reasons: trace.reason_strings(),
+            trace_id,
         });
 
-        match decision {
+        let result = match decision {
             Decision::Allow => Ok(true),
             Decision::Challenge => {
                 let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
@@ -553,17 +628,35 @@ impl DefendedApp {
                 }
                 self.telemetry
                     .record_stage("mitigation.captcha", t.elapsed());
+                if let Some(tr) = span_trace.as_mut() {
+                    let captcha = tr.stage("mitigation.captcha");
+                    tr.attr(captcha, "solver", req.is_bot);
+                    tr.attr(
+                        captcha,
+                        "outcome",
+                        if result.is_ok() { "solved" } else { "failed" },
+                    );
+                }
                 result
             }
             Decision::Honeypot => {
                 self.honeypot.divert(req.client, now);
                 self.metrics.honeypot_diversions.inc();
+                if let Some(tr) = span_trace.as_mut() {
+                    let divert = tr.stage("mitigation.honeypot-divert");
+                    tr.attr(divert, "sticky", true);
+                }
                 Ok(false)
             }
             Decision::RateLimited => Err(ApiOutcome::RateLimited),
             Decision::TierDenied => Err(ApiOutcome::TierDenied),
             Decision::Block => Err(ApiOutcome::Blocked),
+        };
+        if let Some(mut tr) = span_trace.take() {
+            tr.finish(&decision.to_string());
+            self.telemetry.record_trace(tr);
         }
+        result
     }
 }
 

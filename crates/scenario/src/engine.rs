@@ -176,9 +176,23 @@ impl Simulation {
                     if let Some((team, interval)) = &mut self.team {
                         let started = std::time::Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
                         team.review(&mut self.app, now);
-                        self.app
-                            .telemetry()
-                            .record_stage("team.review", started.elapsed());
+                        let telemetry = self.app.telemetry();
+                        telemetry.record_stage("team.review", started.elapsed());
+                        if telemetry.tracing_enabled() {
+                            // Aux span: reviews run outside any request
+                            // trace, on session lane 0.
+                            let id = fg_core::hash::trace_id(u64::MAX - 1, now.as_millis());
+                            telemetry.tracer().record_aux(fg_telemetry::SpanRecord {
+                                trace_id: id,
+                                span_id: id,
+                                parent_id: 0,
+                                name: "team.review".to_owned(),
+                                session: 0,
+                                start_us: now.as_millis() * 1_000,
+                                dur_us: 1,
+                                attrs: Vec::new(),
+                            });
+                        }
                         let interval = *interval;
                         self.queue.schedule(now + interval, Tick::Review);
                     }

@@ -181,8 +181,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 AblationConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -265,13 +272,18 @@ fn run_cell(
     config: &AblationConfig,
     posture: Posture,
     attack: AttackKind,
-) -> (Cell, SentinelReport) {
+    traces: bool,
+) -> (Cell, SentinelReport, Option<fg_telemetry::TraceSnapshot>) {
     let fork = SeedFork::new(config.seed ^ (posture as u64) << 8 ^ attack as u64);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
     let mut app = DefendedApp::new(AppConfig::airline(posture.policy()), fork.seed("app"));
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let target = FlightId(1);
     app.add_flight(Flight::new(
         target,
@@ -373,7 +385,8 @@ fn run_cell(
         attacker_profit: attacker_ledger.profit(),
         defender_loss: defender.total_loss(),
     };
-    (cell, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (cell, alerts, trace_snapshot)
 }
 
 /// Runs the full grid.
@@ -385,19 +398,43 @@ pub fn run(config: AblationConfig) -> AblationReport {
 /// unprotected SMS-pumping cell — the configuration with no defence at all,
 /// where the online alert is the only thing that notices the attack.
 pub fn run_instrumented(config: AblationConfig) -> (AblationReport, SentinelReport) {
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the designated
+/// (unprotected × SMS-pumping) cell, additionally returning that cell's
+/// trace export. Tracing is read-only, so the grid is unchanged.
+pub fn run_traced(
+    config: AblationConfig,
+) -> (AblationReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: AblationConfig,
+    traces: bool,
+) -> (
+    AblationReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let mut cells = Vec::new();
     let mut designated = None;
     for posture in Posture::ALL {
         for attack in [AttackKind::SeatSpinning, AttackKind::SmsPumping] {
-            let (cell, alerts) = run_cell(&config, posture, attack);
-            if posture == Posture::Unprotected && attack == AttackKind::SmsPumping {
-                designated = Some(alerts);
+            let is_designated = posture == Posture::Unprotected && attack == AttackKind::SmsPumping;
+            let (cell, alerts, cell_traces) =
+                run_cell(&config, posture, attack, traces && is_designated);
+            if is_designated {
+                designated = Some((alerts, cell_traces));
             }
             cells.push(cell);
         }
     }
-    let alerts = designated.expect("grid covers the unprotected pumping cell");
-    (AblationReport { cells }, alerts)
+    let (alerts, trace_snapshot) = designated.expect("grid covers the unprotected pumping cell");
+    (AblationReport { cells }, alerts, trace_snapshot)
 }
 
 #[cfg(test)]

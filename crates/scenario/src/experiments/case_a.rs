@@ -114,14 +114,20 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseAConfig::default()
             };
             config.seed = p.seed;
-            let (report, telemetry, alerts) = run_full(config);
-            let out =
+            let (report, telemetry, alerts) = if p.traces {
+                run_traced(config)
+            } else {
+                run_full(config)
+            };
+            let mut out =
                 crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts));
             if p.telemetry {
-                out.with_telemetry(telemetry.snapshot())
-            } else {
-                out
+                out = out.with_telemetry(telemetry.snapshot());
             }
+            if p.traces {
+                out = out.with_traces(Some(telemetry.trace_snapshot()));
+            }
+            out
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -203,6 +209,17 @@ pub fn run_with_telemetry(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>) 
 /// attached. Sentinel observation is read-only, so the report is identical
 /// to [`run`]'s.
 pub fn run_full(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>, SentinelReport) {
+    run_inner(config, false)
+}
+
+/// Like [`run_full`], with span tracing enabled on the telemetry sink; read
+/// the export via [`Telemetry::trace_snapshot`]. Tracing is read-only, so
+/// the report is still identical to [`run`]'s.
+pub fn run_traced(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>, SentinelReport) {
+    run_inner(config, true)
+}
+
+fn run_inner(config: CaseAConfig, traces: bool) -> (CaseAReport, Arc<Telemetry>, SentinelReport) {
     let telemetry = Telemetry::shared();
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
@@ -215,6 +232,10 @@ pub fn run_full(config: CaseAConfig) -> (CaseAReport, Arc<Telemetry>, SentinelRe
         telemetry.clone(),
     );
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
     // Background flights so the legit population has somewhere to book.

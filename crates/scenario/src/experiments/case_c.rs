@@ -150,8 +150,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseCConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -232,7 +239,12 @@ fn run_posture(
     config: &CaseCConfig,
     posture: SmsPosture,
     measured_baseline_daily: Option<f64>,
-) -> (PostureOutcome, SentinelReport) {
+    traces: bool,
+) -> (
+    PostureOutcome,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(config.weeks);
@@ -258,6 +270,10 @@ fn run_posture(
 
     let mut app = DefendedApp::new(AppConfig::airline(policy), config.seed);
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let flight = FlightId(1);
     let capacity = (config.arrivals_per_day * config.weeks as f64 * 7.0 * 2.0 * 1.5) as u32;
     app.add_flight(Flight::new(flight, capacity, SimTime::from_days(60)));
@@ -332,7 +348,8 @@ fn run_posture(
         legit_refused: legit_stats.defence_friction,
         baseline_sms_daily,
     };
-    (outcome, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (outcome, alerts, trace_snapshot)
 }
 
 /// Runs all three postures. The no-limits run doubles as the traffic
@@ -345,14 +362,37 @@ pub fn run(config: CaseCConfig) -> CaseCReport {
 /// no-limits posture — the configuration whose era defences never detect
 /// the pump, making it the cell where online spend alerting matters.
 pub fn run_instrumented(config: CaseCConfig) -> (CaseCReport, SentinelReport) {
-    let (no_limits, alerts) = run_posture(&config, SmsPosture::NoLimits, None);
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the no-limits
+/// posture, additionally returning that run's trace export. Tracing is
+/// read-only, so the report is unchanged.
+pub fn run_traced(
+    config: CaseCConfig,
+) -> (CaseCReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: CaseCConfig,
+    traces: bool,
+) -> (
+    CaseCReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
+    let (no_limits, alerts, trace_snapshot) =
+        run_posture(&config, SmsPosture::NoLimits, None, traces);
     let measured = Some(no_limits.baseline_sms_daily);
-    let (path, _) = run_posture(&config, SmsPosture::PathLimitOnly, measured);
-    let (booking, _) = run_posture(&config, SmsPosture::PerBookingLimit, measured);
+    let (path, _, _) = run_posture(&config, SmsPosture::PathLimitOnly, measured, false);
+    let (booking, _, _) = run_posture(&config, SmsPosture::PerBookingLimit, measured, false);
     let report = CaseCReport {
         outcomes: vec![no_limits, path, booking],
     };
-    (report, alerts)
+    (report, alerts, trace_snapshot)
 }
 
 #[cfg(test)]

@@ -112,8 +112,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 DetectorsConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -177,12 +184,38 @@ pub fn run(config: DetectorsConfig) -> DetectorsReport {
 /// Runs the detector comparison with the sentinel attached. The expected
 /// outcome is *no* detection — the volume blind spot under test.
 pub fn run_instrumented(config: DetectorsConfig) -> (DetectorsReport, SentinelReport) {
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the defended
+/// app, additionally returning the trace export. Tracing is read-only, so
+/// the report is still identical to [`run`]'s.
+pub fn run_traced(
+    config: DetectorsConfig,
+) -> (DetectorsReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: DetectorsConfig,
+    traces: bool,
+) -> (
+    DetectorsReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
     let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     for f in 1..=3 {
         app.add_flight(Flight::new(
             FlightId(f),
@@ -294,7 +327,8 @@ pub fn run_instrumented(config: DetectorsConfig) -> (DetectorsReport, SentinelRe
             confusion: scraper_cm,
         },
     };
-    (report, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (report, alerts, trace_snapshot)
 }
 
 #[cfg(test)]

@@ -115,8 +115,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Fig1Config::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -168,6 +175,26 @@ pub fn run(config: Fig1Config) -> Fig1Report {
 /// report plus the online alerting outcome. Observation is read-only, so
 /// the report is identical to [`run`]'s.
 pub fn run_instrumented(config: Fig1Config) -> (Fig1Report, SentinelReport) {
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the defended
+/// app, additionally returning the trace export. Tracing is read-only, so
+/// the report is still identical to [`run`]'s.
+pub fn run_traced(config: Fig1Config) -> (Fig1Report, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: Fig1Config,
+    traces: bool,
+) -> (
+    Fig1Report,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(3);
@@ -179,6 +206,10 @@ pub fn run_instrumented(config: Fig1Config) -> (Fig1Report, SentinelReport) {
     app_config.hold_ttl = fg_core::time::SimDuration::from_hours(3);
     let mut app = DefendedApp::new(app_config, config.seed);
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let flights: Vec<FlightId> = (1..=config.flights).map(FlightId).collect();
     // Capacity sized so legitimate demand over three weeks does not sell the
     // airline out (selling out would distort the distribution for reasons
@@ -235,7 +266,8 @@ pub fn run_instrumented(config: Fig1Config) -> (Fig1Report, SentinelReport) {
         totals: [weeks[0].total(), weeks[1].total(), weeks[2].total()],
         weeks,
     };
-    (report, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (report, alerts, trace_snapshot)
 }
 
 #[cfg(test)]

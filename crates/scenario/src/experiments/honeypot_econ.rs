@@ -115,8 +115,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 HoneypotConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -183,7 +190,15 @@ impl fmt::Display for HoneypotReport {
     }
 }
 
-fn run_arm(config: &HoneypotConfig, honeypot: bool) -> (ArmOutcome, SentinelReport) {
+fn run_arm(
+    config: &HoneypotConfig,
+    honeypot: bool,
+    traces: bool,
+) -> (
+    ArmOutcome,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
@@ -197,6 +212,10 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> (ArmOutcome, SentinelRepo
 
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let target = FlightId(1);
     app.add_flight(Flight::new(
         target,
@@ -254,7 +273,8 @@ fn run_arm(config: &HoneypotConfig, honeypot: bool) -> (ArmOutcome, SentinelRepo
         attacker_spend: ledger.total_cost() + app.solver_spend(ClientId(1)),
         legit_denied_by_stock,
     };
-    (outcome, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (outcome, alerts, trace_snapshot)
 }
 
 /// Runs both arms.
@@ -266,9 +286,35 @@ pub fn run(config: HoneypotConfig) -> HoneypotReport {
 /// arm — the cell where mitigation engagement (diversion) is itself the
 /// alertable event.
 pub fn run_instrumented(config: HoneypotConfig) -> (HoneypotReport, SentinelReport) {
-    let (blocking, _) = run_arm(&config, false);
-    let (honeypot, alerts) = run_arm(&config, true);
-    (HoneypotReport { blocking, honeypot }, alerts)
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the honeypot
+/// arm, additionally returning that arm's trace export. Tracing is
+/// read-only, so the report is unchanged.
+pub fn run_traced(
+    config: HoneypotConfig,
+) -> (HoneypotReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: HoneypotConfig,
+    traces: bool,
+) -> (
+    HoneypotReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
+    let (blocking, _, _) = run_arm(&config, false, false);
+    let (honeypot, alerts, trace_snapshot) = run_arm(&config, true, traces);
+    (
+        HoneypotReport { blocking, honeypot },
+        alerts,
+        trace_snapshot,
+    )
 }
 
 #[cfg(test)]

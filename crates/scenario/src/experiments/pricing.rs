@@ -106,8 +106,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 PricingConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -180,10 +187,17 @@ impl fmt::Display for PricingReport {
     }
 }
 
+#[allow(clippy::type_complexity)]
 fn run_arm(
     config: &PricingConfig,
     manipulated: bool,
-) -> (PricingArm, Option<PricingReport>, SentinelReport) {
+    traces: bool,
+) -> (
+    PricingArm,
+    Option<PricingReport>,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let departure = SimTime::from_days(config.departure_day);
@@ -192,6 +206,10 @@ fn run_arm(
     app_config.pricing = Some(DynamicPricer::airline(config.base_fare));
     let mut app = DefendedApp::new(app_config, config.seed);
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let target = FlightId(1);
     app.add_flight(Flight::new(target, 180, departure));
     app.add_flight(Flight::new(
@@ -241,7 +259,8 @@ fn run_arm(
             attacker_profit: bot.ledger().profit(),
         }
     });
-    (arm, extras, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (arm, extras, alerts, trace_snapshot)
 }
 
 /// Runs both arms.
@@ -252,15 +271,37 @@ pub fn run(config: PricingConfig) -> PricingReport {
 /// Runs both arms, also returning the sentinel outcome for the manipulated
 /// arm — the cell whose hold-volume alert marks the suppression campaign.
 pub fn run_instrumented(config: PricingConfig) -> (PricingReport, SentinelReport) {
-    let (healthy, _, _) = run_arm(&config, false);
-    let (attacked, extras, alerts) = run_arm(&config, true);
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the manipulated
+/// arm, additionally returning that arm's trace export. Tracing is
+/// read-only, so the report is unchanged.
+pub fn run_traced(
+    config: PricingConfig,
+) -> (PricingReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: PricingConfig,
+    traces: bool,
+) -> (
+    PricingReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
+    let (healthy, _, _, _) = run_arm(&config, false, false);
+    let (attacked, extras, alerts, trace_snapshot) = run_arm(&config, true, traces);
     let extras = extras.expect("manipulated arm produced manipulator stats");
     let report = PricingReport {
         healthy,
         attacked,
         ..extras
     };
-    (report, alerts)
+    (report, alerts, trace_snapshot)
 }
 
 #[cfg(test)]

@@ -102,8 +102,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 ProxiesConfig::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -165,7 +172,15 @@ impl fmt::Display for ProxiesReport {
     }
 }
 
-fn run_arm(config: &ProxiesConfig, datacenter: bool) -> (ProxyArm, SentinelReport) {
+fn run_arm(
+    config: &ProxiesConfig,
+    datacenter: bool,
+    traces: bool,
+) -> (
+    ProxyArm,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
@@ -176,6 +191,10 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> (ProxyArm, SentinelRepor
     policy.block_threshold = 0.75;
     let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     // A long-memory blocklist: confirmed attack exits stay burned for the
     // whole campaign (the realistic posture for manually curated lists).
     app.detection_mut()
@@ -253,7 +272,8 @@ fn run_arm(config: &ProxiesConfig, datacenter: bool) -> (ProxyArm, SentinelRepor
         defence_refusals: stats.defence_refusals,
         leases_used: spinner.ledger().proxy_spend.as_f64() as u64, // ≥ leases × price
     };
-    (arm, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (arm, alerts, trace_snapshot)
 }
 
 /// Runs both arms.
@@ -265,14 +285,37 @@ pub fn run(config: ProxiesConfig) -> ProxiesReport {
 /// arm — the paper's hard case, where IP blocking fails and the functional
 /// drift alert is what still catches the attack.
 pub fn run_instrumented(config: ProxiesConfig) -> (ProxiesReport, SentinelReport) {
-    let (datacenter, _) = run_arm(&config, true);
-    let (residential, alerts) = run_arm(&config, false);
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the residential
+/// arm, additionally returning that arm's trace export. Tracing is
+/// read-only, so the report is unchanged.
+pub fn run_traced(
+    config: ProxiesConfig,
+) -> (ProxiesReport, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: ProxiesConfig,
+    traces: bool,
+) -> (
+    ProxiesReport,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
+    let (datacenter, _, _) = run_arm(&config, true, false);
+    let (residential, alerts, trace_snapshot) = run_arm(&config, false, traces);
     (
         ProxiesReport {
             datacenter,
             residential,
         },
         alerts,
+        trace_snapshot,
     )
 }
 

@@ -109,8 +109,15 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Table1Config::default()
             };
             config.seed = p.seed;
-            let (report, alerts) = run_instrumented(config);
-            crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            if p.traces {
+                let (report, alerts, traces) = run_traced(config);
+                crate::harness::CellOutput::of(&report)
+                    .with_alerts(p.alerts.then_some(alerts))
+                    .with_traces(Some(traces))
+            } else {
+                let (report, alerts) = run_instrumented(config);
+                crate::harness::CellOutput::of(&report).with_alerts(p.alerts.then_some(alerts))
+            }
         },
         profiles: defence_profiles,
         alerts: alert_policy,
@@ -184,6 +191,28 @@ pub fn run(config: Table1Config) -> Table1Report {
 /// report plus the online alerting outcome. Observation is read-only, so
 /// the report is identical to [`run`]'s.
 pub fn run_instrumented(config: Table1Config) -> (Table1Report, SentinelReport) {
+    let (report, alerts, _) = run_inner(config, false);
+    (report, alerts)
+}
+
+/// Like [`run_instrumented`], with span tracing enabled on the defended
+/// app, additionally returning the trace export. Tracing is read-only, so
+/// the report is still identical to [`run`]'s.
+pub fn run_traced(
+    config: Table1Config,
+) -> (Table1Report, SentinelReport, fg_telemetry::TraceSnapshot) {
+    let (report, alerts, traces) = run_inner(config, true);
+    (report, alerts, traces.expect("tracing was enabled"))
+}
+
+fn run_inner(
+    config: Table1Config,
+    traces: bool,
+) -> (
+    Table1Report,
+    SentinelReport,
+    Option<fg_telemetry::TraceSnapshot>,
+) {
     let fork = SeedFork::new(config.seed);
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_weeks(2);
@@ -191,6 +220,10 @@ pub fn run_instrumented(config: Table1Config) -> (Table1Report, SentinelReport) 
     // Airline D, December 2022: no per-feature limits at all.
     let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
     app.attach_sentinel(alert_policy());
+    if traces {
+        app.telemetry()
+            .enable_tracing(fg_telemetry::TraceConfig::default());
+    }
     let flight = FlightId(1);
     let capacity = (config.arrivals_per_day * 14.0 * 2.0 * 1.5) as u32;
     app.add_flight(Flight::new(flight, capacity, SimTime::from_days(30)));
@@ -242,7 +275,8 @@ pub fn run_instrumented(config: Table1Config) -> (Table1Report, SentinelReport) 
         attacker_revenue: app.gateway().attacker_revenue(),
         rows,
     };
-    (report, alerts)
+    let trace_snapshot = traces.then(|| app.telemetry().trace_snapshot());
+    (report, alerts, trace_snapshot)
 }
 
 /// Human-readable country names for the report (Table I prints names).

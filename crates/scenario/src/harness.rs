@@ -28,7 +28,7 @@ use crate::report::{render_aggregate_table, AggregateRow};
 use fg_core::rng::SeedFork;
 use fg_core::stats::Summary;
 use fg_sentinel::{AlertPolicy, SentinelReport};
-use fg_telemetry::TelemetrySnapshot;
+use fg_telemetry::{TelemetrySnapshot, TraceSnapshot};
 use serde::Serialize;
 use serde_json::Value;
 use std::fmt::Display;
@@ -47,6 +47,10 @@ pub struct ExperimentParams {
     /// Capture the sentinel's alert report (TTD, incident timeline). The
     /// sentinel always observes; this only controls result capture.
     pub alerts: bool,
+    /// Enable span tracing and capture a trace snapshot where the
+    /// experiment supports it. Tracing is pure observation: enabling it
+    /// never changes any other artifact.
+    pub traces: bool,
 }
 
 /// What one experiment run hands back to the harness.
@@ -60,6 +64,8 @@ pub struct CellOutput {
     pub telemetry: Option<TelemetrySnapshot>,
     /// Sentinel alert report, when requested and supported.
     pub alerts: Option<SentinelReport>,
+    /// Span-trace snapshot, when requested and supported.
+    pub traces: Option<TraceSnapshot>,
 }
 
 impl CellOutput {
@@ -70,6 +76,7 @@ impl CellOutput {
             report: serde_json::to_value(report).expect("reports serialize cleanly"),
             telemetry: None,
             alerts: None,
+            traces: None,
         }
     }
 
@@ -82,6 +89,12 @@ impl CellOutput {
     /// Attaches a sentinel report.
     pub fn with_alerts(mut self, report: Option<SentinelReport>) -> CellOutput {
         self.alerts = report;
+        self
+    }
+
+    /// Attaches a span-trace snapshot.
+    pub fn with_traces(mut self, snapshot: Option<TraceSnapshot>) -> CellOutput {
+        self.traces = snapshot;
         self
     }
 }
@@ -131,6 +144,8 @@ pub struct CellResult {
     pub telemetry: Option<TelemetrySnapshot>,
     /// Sentinel alert report, when captured.
     pub alerts: Option<SentinelReport>,
+    /// Span-trace snapshot, when captured.
+    pub traces: Option<TraceSnapshot>,
 }
 
 /// All replicates of one experiment plus cross-seed aggregation.
@@ -247,6 +262,38 @@ impl ExperimentRun {
         Some(serde_json::to_string_pretty(&artifact).expect("alert artifacts serialize cleanly"))
     }
 
+    /// The trace artifact (`results/<name>.traces.json`) as pretty JSON in
+    /// Chrome trace-event form (Perfetto-loadable): replicate 0's span
+    /// export plus provenance in `otherData`. `None` when no replicate
+    /// captured traces.
+    pub fn traces_json(&self) -> Option<String> {
+        let cell = self.cells.iter().find(|c| c.traces.is_some())?;
+        let snapshot = cell.traces.as_ref()?;
+        let value = snapshot.to_chrome_trace(&[
+            ("experiment", Value::String(self.name.to_owned())),
+            ("seed", Value::UInt(cell.seed)),
+        ]);
+        Some(serde_json::to_string_pretty(&value).expect("trace artifacts serialize cleanly"))
+    }
+
+    /// `true` when replicate 0 captured both a sentinel incident and a trace
+    /// snapshot, but some incident exemplar `trace_id` does not resolve to
+    /// an exported request span — the `--traces` CI gate condition.
+    pub fn exemplars_unresolved(&self) -> bool {
+        let Some(cell) = self.cells.iter().find(|c| c.traces.is_some()) else {
+            return false;
+        };
+        let (Some(snapshot), Some(alerts)) = (cell.traces.as_ref(), cell.alerts.as_ref()) else {
+            return false;
+        };
+        let exported = snapshot.request_trace_ids();
+        alerts
+            .incident
+            .exemplar_trace_ids
+            .iter()
+            .any(|id| !exported.contains(id))
+    }
+
     /// `true` when this experiment's alert policy expects detection but some
     /// captured replicate never saw a firing alert — the CI gate condition.
     pub fn detection_missing(&self) -> bool {
@@ -281,6 +328,10 @@ pub struct HarnessConfig {
     pub telemetry: bool,
     /// Capture sentinel alert reports where supported.
     pub alerts: bool,
+    /// Enable span tracing on replicate 0 (the cell whose incident
+    /// timeline [`ExperimentRun::alerts_json`] exports) and capture its
+    /// trace snapshot.
+    pub traces: bool,
 }
 
 impl Default for HarnessConfig {
@@ -292,6 +343,7 @@ impl Default for HarnessConfig {
             smoke: false,
             telemetry: false,
             alerts: false,
+            traces: false,
         }
     }
 }
@@ -340,6 +392,10 @@ pub fn run_matrix(specs: &[ExperimentSpec], config: &HarnessConfig) -> Vec<Exper
                     smoke: config.smoke,
                     telemetry: config.telemetry && spec.telemetry_capable,
                     alerts: config.alerts,
+                    // Trace replicate 0 only: the artifact is one exemplar
+                    // trace per experiment (the replicate whose incident
+                    // timeline `alerts_json` exports), not a per-seed sweep.
+                    traces: config.traces && replicate == 0,
                 };
                 let out = (spec.run)(&params);
                 *slots[i].lock().expect("no panics while holding slot") = Some(CellResult {
@@ -352,6 +408,7 @@ pub fn run_matrix(specs: &[ExperimentSpec], config: &HarnessConfig) -> Vec<Exper
                     display: out.display,
                     telemetry: out.telemetry,
                     alerts: out.alerts,
+                    traces: out.traces,
                 });
             });
         }

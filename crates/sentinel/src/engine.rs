@@ -222,6 +222,18 @@ impl Sentinel {
     /// Finalises the run: time-to-detection plus the correlated incident
     /// timeline.
     pub fn report(&self, end: SimTime, audit: &AuditSnapshot) -> SentinelReport {
+        self.report_with_traces(end, audit, None)
+    }
+
+    /// Like [`Sentinel::report`], but restricts the incident's exemplar
+    /// trace ids to `retained_traces` (what the tracer actually kept) so
+    /// every cited id resolves in the exported trace file.
+    pub fn report_with_traces(
+        &self,
+        end: SimTime,
+        audit: &AuditSnapshot,
+        retained_traces: Option<&std::collections::BTreeSet<u64>>,
+    ) -> SentinelReport {
         let first_firing = self.first_firing();
         let time_to_detection = match (self.policy.attack_start, first_firing) {
             (Some(start), Some(fired)) => Some(fired.saturating_since(start)),
@@ -232,7 +244,14 @@ impl Sentinel {
             .iter()
             .filter(|s| s.status == Status::Firing)
             .count() as u64;
-        let incident = incident::build(&self.policy, &self.events, audit, end, active_at_end);
+        let incident = incident::build(
+            &self.policy,
+            &self.events,
+            audit,
+            end,
+            active_at_end,
+            retained_traces,
+        );
         SentinelReport {
             policy: self.policy.clone(),
             observations: self.observations,

@@ -38,6 +38,12 @@ pub struct Incident {
     pub entries: Vec<IncidentEntry>,
     /// Whether any alert was still firing at the horizon.
     pub ongoing_at_end: bool,
+    /// Exemplar span-trace ids for the attacker's decision path (first
+    /// record seen, first and last non-allow decision — deduplicated, at
+    /// most three). When a retained-trace set is supplied to [`build`],
+    /// only ids whose traces survived sampling and eviction are cited, so
+    /// every listed id resolves in the exported trace file.
+    pub exemplar_trace_ids: Vec<u64>,
 }
 
 /// Builds the timeline from the policy's campaign facts, the sentinel's
@@ -53,8 +59,10 @@ pub fn build(
     audit: &AuditSnapshot,
     end: SimTime,
     active_at_end: u64,
+    retained_traces: Option<&BTreeSet<u64>>,
 ) -> Incident {
     let mut entries: Vec<IncidentEntry> = Vec::new();
+    let mut exemplar_trace_ids: Vec<u64> = Vec::new();
 
     if let Some(start) = policy.attack_start {
         let who = match policy.attacker_client {
@@ -114,6 +122,31 @@ pub fn build(
                 detail: format!("… {extra} further rotation epochs (summarised)"),
             });
         }
+
+        // Exemplar traces: the attacker's first request, first non-allow,
+        // and last non-allow — the three moments an analyst opens first.
+        // Filtered to traces the tracer actually retained (when known) so
+        // every cited id resolves in the export.
+        let resolvable = |r: &&fg_telemetry::AuditRecord| {
+            r.trace_id != 0 && retained_traces.is_none_or(|kept| kept.contains(&r.trace_id))
+        };
+        let attacker_records = || {
+            audit
+                .records
+                .iter()
+                .filter(|r| r.client == attacker)
+                .filter(resolvable)
+        };
+        let candidates = [
+            attacker_records().find(|r| r.decision != "allow"),
+            attacker_records().rev().find(|r| r.decision != "allow"),
+            attacker_records().next(),
+        ];
+        for rec in candidates.into_iter().flatten() {
+            if !exemplar_trace_ids.contains(&rec.trace_id) {
+                exemplar_trace_ids.push(rec.trace_id);
+            }
+        }
     }
 
     for e in events {
@@ -147,6 +180,7 @@ pub fn build(
     Incident {
         entries,
         ongoing_at_end: active_at_end > 0,
+        exemplar_trace_ids,
     }
 }
 
@@ -167,6 +201,7 @@ mod tests {
             signals: Vec::new(),
             decision: decision.to_owned(),
             reasons: vec!["velocity".to_owned()],
+            trace_id: fg_core::hash::trace_id(client, at.as_millis()),
         }
     }
 
@@ -195,7 +230,14 @@ mod tests {
             record(SimTime::from_hours(3), 7, 0xB, "block"),
             record(SimTime::from_mins(30), 99, 0xC, "allow"), // not the attacker
         ];
-        let inc = build(&policy, &events, &audit(records), SimTime::from_days(1), 0);
+        let inc = build(
+            &policy,
+            &events,
+            &audit(records),
+            SimTime::from_days(1),
+            0,
+            None,
+        );
         let kinds: Vec<&str> = inc.entries.iter().map(|e| e.kind.as_str()).collect();
         assert_eq!(
             kinds,
@@ -218,7 +260,14 @@ mod tests {
         let records: Vec<AuditRecord> = (0..25)
             .map(|i| record(SimTime::from_mins(i), 1, 0x100 + i, "allow"))
             .collect();
-        let inc = build(&policy, &[], &audit(records), SimTime::from_hours(1), 0);
+        let inc = build(
+            &policy,
+            &[],
+            &audit(records),
+            SimTime::from_hours(1),
+            0,
+            None,
+        );
         let rotations = inc
             .entries
             .iter()
@@ -239,8 +288,63 @@ mod tests {
             &audit(Vec::new()),
             SimTime::from_days(1),
             0,
+            None,
         );
         assert_eq!(inc.entries.len(), 1);
         assert!(inc.entries[0].detail.contains("no alerts fired"));
+        assert!(inc.exemplar_trace_ids.is_empty());
+    }
+
+    #[test]
+    fn exemplars_cite_first_and_last_non_allow_then_first_record() {
+        let policy = AlertPolicy::named("t").campaign(SimTime::ZERO, 7);
+        let records = vec![
+            record(SimTime::from_mins(1), 7, 0xA, "allow"),
+            record(SimTime::from_mins(2), 7, 0xA, "challenge"),
+            record(SimTime::from_mins(3), 7, 0xB, "allow"),
+            record(SimTime::from_mins(4), 7, 0xB, "block"),
+        ];
+        let expect =
+            |at_mins: u64| fg_core::hash::trace_id(7, SimTime::from_mins(at_mins).as_millis());
+        let inc = build(
+            &policy,
+            &[],
+            &audit(records),
+            SimTime::from_hours(1),
+            0,
+            None,
+        );
+        assert_eq!(
+            inc.exemplar_trace_ids,
+            vec![expect(2), expect(4), expect(1)],
+            "first non-allow, last non-allow, first record"
+        );
+    }
+
+    #[test]
+    fn exemplars_honour_the_retained_trace_set() {
+        let policy = AlertPolicy::named("t").campaign(SimTime::ZERO, 7);
+        let records = vec![
+            record(SimTime::from_mins(1), 7, 0xA, "allow"),
+            record(SimTime::from_mins(2), 7, 0xA, "challenge"),
+            record(SimTime::from_mins(4), 7, 0xB, "block"),
+        ];
+        let kept: BTreeSet<u64> = [fg_core::hash::trace_id(
+            7,
+            SimTime::from_mins(4).as_millis(),
+        )]
+        .into();
+        let inc = build(
+            &policy,
+            &[],
+            &audit(records),
+            SimTime::from_hours(1),
+            0,
+            Some(&kept),
+        );
+        assert_eq!(
+            inc.exemplar_trace_ids,
+            kept.iter().copied().collect::<Vec<u64>>()
+        );
     }
 }

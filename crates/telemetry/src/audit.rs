@@ -43,6 +43,11 @@ pub struct AuditRecord {
     /// Machine-readable reason chain: each policy stage consulted, in
     /// order, ending with the stage that fired (if any).
     pub reasons: Vec<String>,
+    /// The request's span-trace id (`fg_core::hash::trace_id` of the
+    /// session and request sequence); `0` when no trace was assigned.
+    /// Stamped even when tracing is off, so audit records correlate with
+    /// traces from any run that enabled them.
+    pub trace_id: u64,
 }
 
 impl AuditRecord {
@@ -214,6 +219,7 @@ mod tests {
             ],
             decision: decision.to_owned(),
             reasons: vec!["score-block:triggered".to_owned()],
+            trace_id: fg_core::hash::trace_id(1, at_ms),
         }
     }
 

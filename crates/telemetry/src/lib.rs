@@ -18,6 +18,10 @@
 //! 3. **Profiling** ([`profile`]) — wall-clock timers around each
 //!    detection signal and mitigation stage, aggregated into exact
 //!    p50/p95/p99 via `fg_core::stats::Summary`.
+//! 4. **Tracing** ([`trace`]) — deterministic, sim-time causal spans over
+//!    the decision path (fg-trace), with head+tail sampling and Chrome
+//!    trace-event / JSONL exporters. Off by default; when off, the only
+//!    hot-path cost is one relaxed atomic load.
 //!
 //! [`export::TelemetrySnapshot`] serialises all three as a JSON artifact or
 //! Prometheus text exposition; `fg_scenario::report` renders the ASCII
@@ -46,12 +50,15 @@ pub mod audit;
 pub mod export;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 
 pub use audit::{AuditRecord, AuditSnapshot, AuditTrail, SignalScore};
 pub use export::TelemetrySnapshot;
 pub use metrics::{Counter, Gauge, Histogram, MetricName, MetricsRegistry, MetricsSnapshot};
 pub use profile::{StageProfiler, StageSnapshot};
+pub use trace::{RequestTrace, SpanRecord, TraceConfig, TraceSnapshot, Tracer};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -67,6 +74,10 @@ pub struct Telemetry {
     metrics: MetricsRegistry,
     audit: Mutex<AuditTrail>,
     profiler: Mutex<StageProfiler>,
+    tracer: Mutex<Tracer>,
+    /// Mirrors `tracer.is_enabled()` so the tracing-off hot path pays one
+    /// relaxed load instead of a mutex acquisition.
+    tracing: AtomicBool,
 }
 
 impl Default for Telemetry {
@@ -92,6 +103,8 @@ impl Telemetry {
             metrics,
             audit: Mutex::new(AuditTrail::new(capacity)),
             profiler: Mutex::new(StageProfiler::new()),
+            tracer: Mutex::new(Tracer::new()),
+            tracing: AtomicBool::new(false),
         }
     }
 
@@ -123,6 +136,37 @@ impl Telemetry {
     /// Records one latency sample against a named stage.
     pub fn record_stage(&self, stage: &str, elapsed: Duration) {
         self.profiler().record_named(stage, elapsed);
+    }
+
+    /// Turns span tracing on with the given config. Until called, tracing
+    /// is off and [`Telemetry::tracing_enabled`] is a single relaxed load.
+    pub fn enable_tracing(&self, config: TraceConfig) {
+        self.tracer().enable(config);
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether span tracing is on — the cheap hot-path check callers make
+    /// before building a [`RequestTrace`].
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Locks and returns the span tracer.
+    pub fn tracer(&self) -> MutexGuard<'_, Tracer> {
+        self.tracer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits a finished request trace to the tracer's sampler. A no-op
+    /// when tracing is off.
+    pub fn record_trace(&self, trace: RequestTrace) {
+        if self.tracing_enabled() {
+            self.tracer().submit(trace);
+        }
+    }
+
+    /// Exports every retained span with the sampling accounting.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer().snapshot()
     }
 
     /// Starts a timer that records into `stage` when dropped.
@@ -181,6 +225,7 @@ mod tests {
             signals: Vec::new(),
             decision: "allow".to_owned(),
             reasons: vec!["clean".to_owned()],
+            trace_id: fg_core::hash::trace_id(9, 1),
         });
 
         let snap = t.snapshot();
@@ -192,5 +237,36 @@ mod tests {
         assert_eq!(snap.stages[0].stage, "gate.total");
         assert_eq!(snap.audit.recorded, 1);
         assert_eq!(snap.audit.decision_total("allow"), 1);
+    }
+
+    #[test]
+    fn tracing_is_off_until_enabled() {
+        let t = Telemetry::new();
+        assert!(!t.tracing_enabled());
+        let mut off = RequestTrace::new(
+            fg_core::hash::trace_id(1, 1),
+            1,
+            "/search",
+            fg_core::time::SimTime::from_secs(1),
+        );
+        off.finish("block");
+        t.record_trace(off);
+        assert_eq!(t.trace_snapshot().submitted, 0);
+
+        t.enable_tracing(TraceConfig::default());
+        assert!(t.tracing_enabled());
+        let mut on = RequestTrace::new(
+            fg_core::hash::trace_id(1, 2),
+            1,
+            "/search",
+            fg_core::time::SimTime::from_secs(2),
+        );
+        on.finish("block");
+        t.record_trace(on);
+        let snap = t.trace_snapshot();
+        assert_eq!(snap.submitted, 1);
+        assert!(snap
+            .request_trace_ids()
+            .contains(&fg_core::hash::trace_id(1, 2)));
     }
 }

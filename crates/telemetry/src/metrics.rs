@@ -183,7 +183,24 @@ pub struct MetricName {
 
 impl MetricName {
     /// Builds a name from a base and borrowed label pairs.
+    ///
+    /// Debug builds assert the Prometheus exposition-format charsets at
+    /// registration — metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`
+    /// and label names `[a-zA-Z_][a-zA-Z0-9_]*` — so a bad name fails the
+    /// test suite instead of producing an exporter output that a scraper
+    /// rejects long after the run. Label *values* are unrestricted (the
+    /// exporter quotes and escapes them).
     pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> Self {
+        debug_assert!(
+            is_valid_metric_name(name),
+            "invalid Prometheus metric name {name:?} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
+        for (k, _) in labels {
+            debug_assert!(
+                is_valid_label_name(k),
+                "invalid Prometheus label name {k:?} on {name:?} (want [a-zA-Z_][a-zA-Z0-9_]*)"
+            );
+        }
         MetricName {
             name: name.to_owned(),
             labels: labels
@@ -192,6 +209,24 @@ impl MetricName {
                 .collect(),
         }
     }
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the Prometheus metric-name charset.
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — the Prometheus label-name charset.
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 impl fmt::Display for MetricName {
@@ -559,5 +594,38 @@ mod tests {
         assert_eq!(n.to_string(), "fg_sms_sent_total{country=\"UZ\"}");
         let bare = MetricName::with_labels("fg_requests_total", &[]);
         assert_eq!(bare.to_string(), "fg_requests_total");
+    }
+
+    #[test]
+    fn name_charset_validation_matches_the_exposition_format() {
+        for ok in ["fg_requests_total", "_hidden", "ns:sub:metric", "a9"] {
+            assert!(is_valid_metric_name(ok), "{ok}");
+        }
+        for bad in ["", "9leading", "has-dash", "has space", "utf8_é"] {
+            assert!(!is_valid_metric_name(bad), "{bad}");
+        }
+        for ok in ["endpoint", "_private", "le9"] {
+            assert!(is_valid_label_name(ok), "{ok}");
+        }
+        for bad in ["", "9x", "with:colon", "with-dash"] {
+            assert!(!is_valid_label_name(bad), "{bad}");
+        }
+        // Label values are deliberately unrestricted.
+        let n = MetricName::with_labels("fg_requests_total", &[("endpoint", "/booking/hold")]);
+        assert_eq!(n.labels[0].1, "/booking/hold");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    #[cfg(debug_assertions)]
+    fn bad_metric_name_is_rejected_at_registration() {
+        let _ = MetricName::with_labels("fg-requests-total", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    #[cfg(debug_assertions)]
+    fn bad_label_name_is_rejected_at_registration() {
+        let _ = MetricName::with_labels("fg_requests_total", &[("end-point", "/search")]);
     }
 }

@@ -16,6 +16,7 @@ fn smoke(seeds: usize, seed_offset: usize, jobs: usize, telemetry: bool) -> Harn
         smoke: true,
         telemetry,
         alerts: false,
+        traces: false,
     }
 }
 
