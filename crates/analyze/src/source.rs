@@ -8,6 +8,10 @@
 //!   `Instant::now()` or `thread_rng()` on a sim path silently breaks that.
 //!   Profiling sites that feed telemetry (and never influence sim state) are
 //!   acknowledged inline with `// fg-analyze: allow(wall-clock): <why>`.
+//! * **No host-topology queries in determinism-critical crates.** A shard or
+//!   worker count derived from `available_parallelism` makes the replay a
+//!   function of the machine, not the seed; partitioning is configured
+//!   through `ConcurrencyMode` instead.
 //! * **`#![forbid(unsafe_code)]` in every crate root**, workspace and vendor
 //!   alike.
 //! * **No SipHash maps in hot-path crates.** `fg_core::hash` (Fx) is
@@ -29,6 +33,9 @@ pub mod lints {
     pub const WALL_CLOCK: &str = "wall-clock";
     /// Entropy-seeded randomness in a determinism-critical crate.
     pub const ENTROPY_RNG: &str = "entropy-rng";
+    /// Host-topology queries (`available_parallelism`, `num_cpus`) in a
+    /// determinism-critical crate.
+    pub const MACHINE_DEPENDENT: &str = "machine-dependent";
     /// Crate root missing `#![forbid(unsafe_code)]`.
     pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
     /// `std::collections::HashMap`/`HashSet` in a hot-path crate where
@@ -59,6 +66,10 @@ pub const EXEMPT: &[&str] = &["analyze", "bench", "telemetry"];
 
 const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
 const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
+// Host-topology queries make shard/worker counts follow the machine, so the
+// same seed would replay differently on different hardware. Shard counts must
+// come from config (`ConcurrencyMode`), never from the host.
+const MACHINE_DEPENDENT_PATTERNS: &[&str] = &["available_parallelism", "num_cpus"];
 const STD_HASH_PATTERNS: &[&str] = &[
     "HashMap::new(",
     "HashSet::new(",
@@ -180,6 +191,25 @@ pub fn scan_file(crate_name: &str, path: &str, content: &str) -> Vec<Diagnostic>
                             format!(
                                 "`{pat}` in determinism-critical crate `{crate_name}`: \
                                  all randomness must derive from the run seed"
+                            ),
+                        )
+                        .note("pattern", pat)
+                        .note("crate", crate_name),
+                    );
+                    break;
+                }
+            }
+            for pat in MACHINE_DEPENDENT_PATTERNS {
+                if code.contains(pat) && !allow(lints::MACHINE_DEPENDENT) {
+                    diags.push(
+                        Diagnostic::new(
+                            lints::MACHINE_DEPENDENT,
+                            Severity::Deny,
+                            format!("{path}:{line_no}"),
+                            format!(
+                                "`{pat}` in determinism-critical crate `{crate_name}`: \
+                                 shard and worker counts must come from config, \
+                                 not the host's core count"
                             ),
                         )
                         .note("pattern", pat)
@@ -336,6 +366,22 @@ mod tests {
         }
         // Seeded RNG is the contract, not a violation.
         assert!(scan_file("behavior", "x.rs", "StdRng::seed_from_u64(7)\n").is_empty());
+    }
+
+    #[test]
+    fn machine_dependent_queries_fire_in_critical_crates_only() {
+        for pat in ["std::thread::available_parallelism()", "num_cpus::get()"] {
+            let code = format!("let n = {pat};\n");
+            assert_eq!(
+                lints_of(&scan_file("scenario", "x.rs", &code)),
+                vec![lints::MACHINE_DEPENDENT],
+                "{pat}"
+            );
+            // The bench harness may size its worker pool from the host.
+            assert!(scan_file("bench", "x.rs", &code).is_empty(), "{pat}");
+        }
+        // A config-driven shard count is the contract, not a violation.
+        assert!(scan_file("scenario", "x.rs", "let n = config.shards.max(1);\n").is_empty());
     }
 
     #[test]

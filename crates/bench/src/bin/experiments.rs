@@ -7,7 +7,13 @@
 //! cargo run --release -p fg-bench --bin experiments --seeds 4 --jobs 4
 //! cargo run --release -p fg-bench --bin experiments case_a --telemetry
 //! cargo run --release -p fg-bench --bin experiments --smoke --seeds 2 --jobs 2  # CI
+//! cargo run --release -p fg-bench --bin experiments --shards 4   # sharded stores
 //! ```
+//!
+//! `--shards S` partitions every keyed defence store into S shards
+//! (`fg_core::shard`). Replay stays single-threaded per cell, so artifacts
+//! are byte-identical to the default `--shards 1` — CI runs one sharded
+//! smoke sweep to hold that invariant.
 //!
 //! Artifacts under `results/`:
 //!
@@ -186,6 +192,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--seed-offset: {e}"))?;
             }
+            "--shards" => {
+                cli.config.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
             "--smoke" => cli.config.smoke = true,
             "--telemetry" => cli.config.telemetry = true,
             "--alerts" => cli.config.alerts = true,
@@ -220,7 +231,7 @@ fn main() -> ExitCode {
     let available: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
     let usage = format!(
         "available experiments: {available:?}\n\
-         flags: --seeds N  --jobs J  --seed-offset K  --smoke  --telemetry  --alerts  --traces"
+         flags: --seeds N  --jobs J  --seed-offset K  --shards S  --smoke  --telemetry  --alerts  --traces"
     );
     let cli = match parse_args(&args) {
         Ok(cli) => cli,

@@ -24,6 +24,8 @@
 //!   time-bucketed series, summary accumulators.
 //! * [`hash`] — fast deterministic hashing ([`hash::FxHashMap`]) for the
 //!   per-event keyed maps on the request path.
+//! * [`shard`] — shard-per-core partitioning ([`ShardedStore`]) for those
+//!   keyed maps, plus the [`ConcurrencyMode`] selecting it.
 //! * [`error`] — the shared error type hierarchy.
 //!
 //! # Example
@@ -50,6 +52,7 @@ pub mod hash;
 pub mod ids;
 pub mod money;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -58,4 +61,5 @@ pub use event::EventQueue;
 pub use ids::{BookingRef, ClientId, CountryCode, FlightId, PhoneNumber, SessionId};
 pub use money::Money;
 pub use rng::SeedFork;
+pub use shard::{ConcurrencyMode, ShardedStore};
 pub use time::{SimDuration, SimTime};

@@ -15,6 +15,13 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 ///
 /// Signed: negative amounts represent losses / costs.
 ///
+/// All arithmetic saturates at the `i64` range instead of wrapping: the
+/// economics ledgers accumulate per-request amounts over multi-year
+/// sim-time horizons, where a silent two's-complement wrap would flip a
+/// catastrophic attacker loss into a profit (release builds don't panic on
+/// overflow — they wrap). A saturated ledger is visibly pegged at the rail;
+/// a wrapped one lies.
+///
 /// # Example
 ///
 /// ```
@@ -37,14 +44,16 @@ impl Money {
     /// Zero money.
     pub const ZERO: Money = Money(0);
 
-    /// Creates an amount from whole currency units.
+    /// Creates an amount from whole currency units (saturating at the
+    /// `i64` micro-unit range).
     pub const fn from_units(units: i64) -> Self {
-        Money(units * MICROS)
+        Money(units.saturating_mul(MICROS))
     }
 
-    /// Creates an amount from cents (hundredths of a unit).
+    /// Creates an amount from cents (hundredths of a unit), saturating at
+    /// the `i64` micro-unit range.
     pub const fn from_cents(cents: i64) -> Self {
-        Money(cents * (MICROS / 100))
+        Money(cents.saturating_mul(MICROS / 100))
     }
 
     /// Creates an amount from raw micro-units.
@@ -101,47 +110,51 @@ impl fmt::Display for Money {
 impl Add for Money {
     type Output = Money;
     fn add(self, rhs: Money) -> Money {
-        Money(self.0 + rhs.0)
+        Money(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Money {
     fn add_assign(&mut self, rhs: Money) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Sub for Money {
     type Output = Money;
     fn sub(self, rhs: Money) -> Money {
-        Money(self.0 - rhs.0)
+        Money(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl SubAssign for Money {
     fn sub_assign(&mut self, rhs: Money) {
-        self.0 -= rhs.0;
+        self.0 = self.0.saturating_sub(rhs.0);
     }
 }
 
 impl Neg for Money {
     type Output = Money;
     fn neg(self) -> Money {
-        Money(-self.0)
+        // `-i64::MIN` overflows; saturate like everything else.
+        Money(self.0.saturating_neg())
     }
 }
 
 impl Mul<i64> for Money {
     type Output = Money;
     fn mul(self, rhs: i64) -> Money {
-        Money(self.0 * rhs)
+        Money(self.0.saturating_mul(rhs))
     }
 }
 
 impl Mul<u64> for Money {
     type Output = Money;
     fn mul(self, rhs: u64) -> Money {
-        Money(self.0 * rhs as i64)
+        // A count beyond i64::MAX saturates the cast (the old `as i64`
+        // wrapped it negative, flipping the product's sign).
+        let count = i64::try_from(rhs).unwrap_or(i64::MAX);
+        Money(self.0.saturating_mul(count))
     }
 }
 
@@ -197,5 +210,58 @@ mod tests {
     fn saturating_add_does_not_wrap() {
         let max = Money::from_micros(i64::MAX);
         assert_eq!(max.saturating_add(Money::from_units(1)), max);
+    }
+
+    #[test]
+    fn all_arithmetic_saturates_at_the_rails() {
+        let max = Money::from_micros(i64::MAX);
+        let min = Money::from_micros(i64::MIN);
+        let one = Money::from_units(1);
+        // Operators, not just the named saturating_add.
+        assert_eq!(max + one, max);
+        assert_eq!(min - one, min);
+        assert_eq!(max * 2i64, max);
+        assert_eq!(min * 2i64, min);
+        assert_eq!(max * 2u64, max);
+        assert_eq!(-min, max, "-i64::MIN saturates instead of overflowing");
+        let mut acc = max;
+        acc += one;
+        assert_eq!(acc, max);
+        let mut acc = min;
+        acc -= one;
+        assert_eq!(acc, min);
+    }
+
+    #[test]
+    fn huge_unit_counts_saturate_instead_of_truncating() {
+        // `Mul<u64>` used to cast with `as i64`, wrapping counts beyond
+        // i64::MAX negative and flipping the product's sign.
+        assert_eq!(
+            Money::from_units(1) * u64::MAX,
+            Money::from_micros(i64::MAX)
+        );
+        assert_eq!(
+            -Money::from_units(1) * u64::MAX,
+            Money::from_micros(i64::MIN)
+        );
+        // Constructors at the boundary: i64::MAX units ≫ representable
+        // micros, so the product pegs rather than wrapping.
+        assert_eq!(Money::from_units(i64::MAX), Money::from_micros(i64::MAX));
+        assert_eq!(Money::from_cents(i64::MIN), Money::from_micros(i64::MIN));
+    }
+
+    #[test]
+    fn multi_year_accumulation_stays_exact_below_the_rail() {
+        // A decade of one $0.25 SMS per second is far inside i64 micros —
+        // accumulation must stay exact, not merely un-wrapped.
+        let per_event = Money::from_cents(25);
+        let events: u64 = 10 * 365 * 24 * 3600;
+        let total = per_event * events;
+        assert_eq!(total, Money::from_micros(250_000 * events as i64));
+        let mut ledger = Money::ZERO;
+        for _ in 0..1000 {
+            ledger += per_event * (events / 1000);
+        }
+        assert_eq!(ledger, per_event * (events / 1000 * 1000));
     }
 }

@@ -207,12 +207,25 @@ impl DetectionEngine {
     /// Creates an engine with the given config and a default reputation
     /// ledger (12 h half-life, thresholds 3 / 10).
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_shards(config, 1)
+    }
+
+    /// Creates an engine whose velocity maps and reputation ledger are
+    /// hash-partitioned into `shards` partitions (rounded up to a power of
+    /// two). Shard count changes memory layout and housekeeping striping
+    /// only — verdicts and aggregates are identical at any count.
+    pub fn with_shards(config: EngineConfig, shards: usize) -> Self {
         DetectionEngine {
             config,
-            ip_velocity: VelocityCounter::new(config.velocity_window),
-            fp_velocity: VelocityCounter::new(config.velocity_window),
-            booking_sms_velocity: VelocityCounter::new(config.velocity_window),
-            reputation: ReputationLedger::new(SimDuration::from_hours(12), 3.0, 10.0),
+            ip_velocity: VelocityCounter::with_shards(config.velocity_window, shards),
+            fp_velocity: VelocityCounter::with_shards(config.velocity_window, shards),
+            booking_sms_velocity: VelocityCounter::with_shards(config.velocity_window, shards),
+            reputation: ReputationLedger::with_shards(
+                SimDuration::from_hours(12),
+                3.0,
+                10.0,
+                shards,
+            ),
             telemetry: None,
         }
     }

@@ -9,11 +9,90 @@
 //! velocity signals.
 
 use fg_core::hash::FxHashMap;
+use fg_core::shard::ShardedStore;
 use fg_core::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::hash::Hash;
 
+/// One hash partition of a [`VelocityCounter`]: a flat map of per-key event
+/// queues. Self-contained (it carries the window) so scoped threads can each
+/// own one shard and record/compact without cross-shard coordination.
+#[derive(Clone, Debug)]
+pub struct VelocityShard<K> {
+    window: SimDuration,
+    // Fx-hashed: keys are already-mixed integers (identity hashes, IPs), and
+    // per-event hashing cost dominates at production rates.
+    events: FxHashMap<K, VecDeque<SimTime>>,
+}
+
+impl<K: Eq + Hash + Clone> VelocityShard<K> {
+    fn new(window: SimDuration) -> Self {
+        VelocityShard {
+            window,
+            events: FxHashMap::default(),
+        }
+    }
+
+    fn evict(q: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
+        while let Some(&front) = q.front() {
+            if now - front > window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records one event for `key` at `now`.
+    ///
+    /// Correct only for keys this shard owns — the parent counter routes;
+    /// parallel workers partition key streams with
+    /// [`VelocityCounter::shard_index`] first.
+    pub fn record(&mut self, key: K, now: SimTime) {
+        let q = self.events.entry(key).or_default();
+        q.push_back(now);
+        Self::evict(q, now, self.window);
+    }
+
+    /// Records and returns the new in-window count in one step.
+    pub fn record_and_count(&mut self, key: K, now: SimTime) -> u64 {
+        let q = self.events.entry(key).or_default();
+        q.push_back(now);
+        Self::evict(q, now, self.window);
+        q.len() as u64
+    }
+
+    /// Events for `key` inside the window ending at `now`.
+    pub fn count(&mut self, key: &K, now: SimTime) -> u64 {
+        match self.events.get_mut(key) {
+            Some(q) => {
+                Self::evict(q, now, self.window);
+                q.len() as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// Drops every key in this shard whose events all expired by `now`.
+    pub fn compact(&mut self, now: SimTime) {
+        let window = self.window;
+        self.events.retain(|_, q| {
+            Self::evict(q, now, window);
+            !q.is_empty()
+        });
+    }
+
+    /// Keys with any retained events in this shard.
+    pub fn tracked_keys(&self) -> usize {
+        self.events.len()
+    }
+}
+
 /// Counts events per key over a sliding time window.
+///
+/// Internally hash-partitioned into [`VelocityShard`]s (1 shard by default,
+/// bit-identical to a flat map); [`VelocityCounter::compact`] stripes shard
+/// by shard and aggregate reads sum over shards in index order.
 ///
 /// # Example
 ///
@@ -30,81 +109,86 @@ use std::hash::Hash;
 /// ```
 #[derive(Clone, Debug)]
 pub struct VelocityCounter<K> {
-    window: SimDuration,
-    // Fx-hashed: keys are already-mixed integers (identity hashes, IPs), and
-    // per-event hashing cost dominates at production rates.
-    events: FxHashMap<K, VecDeque<SimTime>>,
+    shards: ShardedStore<K, VelocityShard<K>>,
 }
 
 impl<K: Eq + Hash + Clone> VelocityCounter<K> {
-    /// Creates a counter with the given sliding window.
+    /// Creates a single-shard counter with the given sliding window.
     ///
     /// # Panics
     ///
     /// Panics if `window` is not positive.
     pub fn new(window: SimDuration) -> Self {
+        Self::with_shards(window, 1)
+    }
+
+    /// Creates a counter hash-partitioned into `shards` partitions (rounded
+    /// up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive.
+    pub fn with_shards(window: SimDuration, shards: usize) -> Self {
         assert!(window.as_millis() > 0, "velocity window must be positive");
         VelocityCounter {
-            window,
-            events: FxHashMap::default(),
+            shards: ShardedStore::new(shards, |_| VelocityShard::new(window)),
         }
     }
 
     /// Records one event for `key` at `now`.
     pub fn record(&mut self, key: K, now: SimTime) {
-        let q = self.events.entry(key).or_default();
-        q.push_back(now);
-        Self::evict(q, now, self.window);
-    }
-
-    fn evict(q: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
-        while let Some(&front) = q.front() {
-            if now - front > window {
-                q.pop_front();
-            } else {
-                break;
-            }
-        }
+        self.shards.shard_mut(&key).record(key, now);
     }
 
     /// Events for `key` inside the window ending at `now`.
     pub fn count(&mut self, key: &K, now: SimTime) -> u64 {
-        match self.events.get_mut(key) {
-            Some(q) => {
-                Self::evict(q, now, self.window);
-                q.len() as u64
-            }
-            None => 0,
-        }
+        self.shards.shard_mut(key).count(key, now)
     }
 
     /// Records and returns the new in-window count in one step — a single
     /// map lookup, no key clone.
     pub fn record_and_count(&mut self, key: K, now: SimTime) -> u64 {
-        let q = self.events.entry(key).or_default();
-        q.push_back(now);
-        Self::evict(q, now, self.window);
-        q.len() as u64
+        self.shards.shard_mut(&key).record_and_count(key, now)
     }
 
     /// Number of keys with any retained events (may include stale keys until
-    /// queried; call [`VelocityCounter::compact`] to trim exactly).
+    /// queried; call [`VelocityCounter::compact`] to trim exactly), summed
+    /// over shards.
     pub fn tracked_keys(&self) -> usize {
-        self.events.len()
+        self.shards.fold(0, |acc, s| acc + s.tracked_keys())
     }
 
-    /// Drops every key whose events all fell out of the window by `now`.
+    /// Drops every key whose events all fell out of the window by `now`,
+    /// striping the scan shard by shard.
     pub fn compact(&mut self, now: SimTime) {
-        let window = self.window;
-        self.events.retain(|_, q| {
-            Self::evict(q, now, window);
-            !q.is_empty()
-        });
+        for shard in self.shards.shards_mut() {
+            shard.compact(now);
+        }
     }
 
     /// The configured window.
     pub fn window(&self) -> SimDuration {
-        self.window
+        self.shards.shards()[0].window
+    }
+
+    /// Number of shards (1 unless built via
+    /// [`VelocityCounter::with_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// The shard index owning `key` — parallel workers partition their key
+    /// streams with this before taking shards from
+    /// [`VelocityCounter::shards_mut`].
+    pub fn shard_index(&self, key: &K) -> usize {
+        self.shards.shard_index(key)
+    }
+
+    /// All shards, mutably, for coordination-free parallel recording: each
+    /// scoped thread takes one `&mut VelocityShard` and records only the
+    /// keys that [`VelocityCounter::shard_index`] routes to it.
+    pub fn shards_mut(&mut self) -> &mut [VelocityShard<K>] {
+        self.shards.shards_mut()
     }
 }
 
@@ -164,7 +248,58 @@ mod tests {
         assert_eq!(v.count(&"new", SimTime::from_secs(100)), 1);
     }
 
+    #[test]
+    fn sharded_counter_matches_single_shard() {
+        let mut sharded: VelocityCounter<u32> =
+            VelocityCounter::with_shards(SimDuration::from_secs(60), 4);
+        let mut flat: VelocityCounter<u32> = VelocityCounter::new(SimDuration::from_secs(60));
+        assert_eq!(sharded.shard_count(), 4);
+        for step in 0..300u32 {
+            let now = SimTime::from_secs(u64::from(step) * 3);
+            let key = step % 13;
+            assert_eq!(
+                sharded.record_and_count(key, now),
+                flat.record_and_count(key, now),
+                "diverged at step {step}"
+            );
+            if step % 9 == 0 {
+                sharded.compact(now);
+                flat.compact(now);
+            }
+        }
+        assert_eq!(sharded.tracked_keys(), flat.tracked_keys());
+    }
+
     proptest! {
+        /// Compacting (striped per-shard eviction) never changes any count a
+        /// caller observes — the velocity-store analogue of the limiter's
+        /// eviction-losslessness property.
+        #[test]
+        fn prop_compaction_preserves_counts(
+            shards in 1usize..9,
+            ops in proptest::collection::vec((0u8..12, 0u64..2_000, any::<bool>()), 1..200),
+        ) {
+            let window = SimDuration::from_secs(500);
+            let mut compacted: VelocityCounter<u8> = VelocityCounter::with_shards(window, shards);
+            let mut reference: VelocityCounter<u8> = VelocityCounter::new(window);
+            let mut now = SimTime::ZERO;
+            for (key, dt, compact) in ops {
+                now += SimDuration::from_secs(dt as i64);
+                if compact {
+                    compacted.compact(now);
+                }
+                prop_assert_eq!(
+                    compacted.record_and_count(key, now),
+                    reference.record_and_count(key, now)
+                );
+            }
+            // After a final compaction pass on both, live-key counts agree
+            // too (compaction only drops keys with zero in-window events).
+            compacted.compact(now);
+            reference.compact(now);
+            prop_assert_eq!(compacted.tracked_keys(), reference.tracked_keys());
+        }
+
         /// Count never exceeds the number of recorded events and is exact
         /// for in-window events.
         #[test]

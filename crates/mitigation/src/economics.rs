@@ -168,6 +168,42 @@ mod tests {
     }
 
     #[test]
+    fn ledger_totals_saturate_instead_of_wrapping() {
+        // Multi-year sim-time runs can peg individual categories; the
+        // derived totals must rail at i64 micros rather than wrap a
+        // catastrophic loss into a profit.
+        let rail = Money::from_micros(i64::MAX);
+        let mut a = AttackerLedger::new();
+        a.proxy_spend = rail;
+        a.solver_spend = rail;
+        assert_eq!(a.total_cost(), rail);
+        assert!(a.unviable(), "pegged cost with no revenue is a loss");
+        assert!(a.roi().unwrap() < 0.0);
+
+        let mut d = DefenderLedger::new();
+        d.sms_cost = rail;
+        d.lost_sales = rail;
+        d.friction_losses = rail;
+        assert_eq!(d.total_loss(), rail);
+        assert!(
+            !d.total_loss().is_negative(),
+            "a loss total can never wrap negative"
+        );
+    }
+
+    #[test]
+    fn profit_of_pegged_revenue_and_cost_stays_in_range() {
+        // revenue − cost at opposite rails is the worst-case subtraction.
+        let mut l = AttackerLedger::new();
+        l.sms_revenue = Money::from_micros(i64::MAX);
+        l.purchase_spend = Money::from_micros(i64::MIN);
+        assert_eq!(l.profit(), Money::from_micros(i64::MAX));
+        l.sms_revenue = Money::from_micros(i64::MIN);
+        l.purchase_spend = Money::from_micros(i64::MAX);
+        assert_eq!(l.profit(), Money::from_micros(i64::MIN));
+    }
+
+    #[test]
     fn display_mentions_profit() {
         let mut l = AttackerLedger::new();
         l.sms_revenue = Money::from_units(5);

@@ -454,16 +454,36 @@ impl PolicyEngine {
     /// [`PolicyConfig::validate`] — a malformed config should die at
     /// construction, not steer a long simulation.
     pub fn new(config: PolicyConfig) -> Self {
+        Self::with_shards(config, 1)
+    }
+
+    /// Creates an engine whose keyed limiters are hash-partitioned into
+    /// `shards` partitions (rounded up to a power of two). Shard count
+    /// changes memory layout and housekeeping striping only — decisions and
+    /// counters are identical at any count. (The per-path limiter is a
+    /// single bucket, not keyed, so it has nothing to shard.)
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when `config` fails
+    /// [`PolicyConfig::validate`] — a malformed config should die at
+    /// construction, not steer a long simulation.
+    pub fn with_shards(config: PolicyConfig, shards: usize) -> Self {
         #[cfg(debug_assertions)]
         if let Err(errors) = config.validate() {
             panic!("invalid PolicyConfig: {}", errors.join("; "));
         }
-        fn mk_keyed<K: Eq + std::hash::Hash>(spec: Option<(f64, f64)>) -> Option<KeyedLimiter<K>> {
-            spec.map(|(burst, per_day)| KeyedLimiter::new(burst, per_day / SECS_PER_DAY))
+        fn mk_keyed<K: Eq + std::hash::Hash>(
+            spec: Option<(f64, f64)>,
+            shards: usize,
+        ) -> Option<KeyedLimiter<K>> {
+            spec.map(|(burst, per_day)| {
+                KeyedLimiter::with_shards(burst, per_day / SECS_PER_DAY, shards)
+            })
         }
         PolicyEngine {
-            booking_sms_limiter: mk_keyed(config.booking_sms_limit),
-            client_hold_limiter: mk_keyed(config.client_hold_limit),
+            booking_sms_limiter: mk_keyed(config.booking_sms_limit, shards),
+            client_hold_limiter: mk_keyed(config.client_hold_limit, shards),
             path_sms_limiter: config
                 .path_sms_limit
                 .map(|(burst, per_day)| TokenBucket::new(burst, per_day / SECS_PER_DAY)),

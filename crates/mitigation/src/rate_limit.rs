@@ -1,6 +1,7 @@
 //! Token-bucket rate limiting.
 
 use fg_core::hash::FxHashMap;
+use fg_core::shard::ShardedStore;
 use fg_core::time::SimTime;
 use std::hash::Hash;
 
@@ -77,10 +78,12 @@ impl TokenBucket {
     }
 }
 
-/// A map of token buckets, one per key — per-booking, per-IP, per-user, or
-/// per-path depending on the key type the caller chooses.
+/// One hash partition of a [`KeyedLimiter`]: a flat bucket map plus its own
+/// grant/reject tallies. Self-contained (it carries the bucket parameters)
+/// so scoped threads can each own one shard and acquire/evict without any
+/// cross-shard coordination.
 #[derive(Clone, Debug)]
-pub struct KeyedLimiter<K> {
+pub struct LimiterShard<K> {
     capacity: f64,
     rate_per_sec: f64,
     // Fx-hashed: keyed by integer client/booking keys on the request path.
@@ -89,17 +92,9 @@ pub struct KeyedLimiter<K> {
     grants: u64,
 }
 
-impl<K: Eq + Hash> KeyedLimiter<K> {
-    /// Creates a limiter whose per-key buckets have `capacity` and refill at
-    /// `rate_per_sec`.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`TokenBucket::new`].
-    pub fn new(capacity: f64, rate_per_sec: f64) -> Self {
-        // Validate eagerly so a bad config fails at construction.
-        let _ = TokenBucket::new(capacity, rate_per_sec);
-        KeyedLimiter {
+impl<K: Eq + Hash> LimiterShard<K> {
+    fn new(capacity: f64, rate_per_sec: f64) -> Self {
+        LimiterShard {
             capacity,
             rate_per_sec,
             buckets: FxHashMap::default(),
@@ -109,6 +104,10 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
     }
 
     /// Attempts to take one token for `key` at `now`.
+    ///
+    /// Correct only for keys this shard owns — the parent limiter routes;
+    /// callers holding a shard directly (parallel workers) must partition
+    /// keys with [`KeyedLimiter::shard_index`] first.
     pub fn try_acquire(&mut self, key: K, now: SimTime) -> bool {
         let (capacity, rate) = (self.capacity, self.rate_per_sec);
         let bucket = self.buckets.entry(key).or_insert_with(|| {
@@ -126,7 +125,71 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
         granted
     }
 
-    /// Drops every bucket that has refilled to capacity by `now`.
+    /// Drops every bucket in this shard that has refilled to capacity.
+    pub fn evict_idle(&mut self, now: SimTime) {
+        let capacity = self.capacity;
+        self.buckets.retain(|_, b| b.available(now) < capacity);
+    }
+
+    /// Granted acquisitions routed to this shard.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Rejected acquisitions routed to this shard.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Keys with a materialized bucket in this shard.
+    pub fn tracked_keys(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// A map of token buckets, one per key — per-booking, per-IP, per-user, or
+/// per-path depending on the key type the caller chooses.
+///
+/// Internally hash-partitioned into [`LimiterShard`]s (1 shard by default,
+/// which is bit-identical to a flat map). Aggregate reads sum over shards in
+/// index order, so totals are independent of the shard count.
+#[derive(Clone, Debug)]
+pub struct KeyedLimiter<K> {
+    shards: ShardedStore<K, LimiterShard<K>>,
+}
+
+impl<K: Eq + Hash> KeyedLimiter<K> {
+    /// Creates a single-shard limiter whose per-key buckets have `capacity`
+    /// and refill at `rate_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TokenBucket::new`].
+    pub fn new(capacity: f64, rate_per_sec: f64) -> Self {
+        Self::with_shards(capacity, rate_per_sec, 1)
+    }
+
+    /// Creates a limiter hash-partitioned into `shards` partitions (rounded
+    /// up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TokenBucket::new`].
+    pub fn with_shards(capacity: f64, rate_per_sec: f64, shards: usize) -> Self {
+        // Validate eagerly so a bad config fails at construction.
+        let _ = TokenBucket::new(capacity, rate_per_sec);
+        KeyedLimiter {
+            shards: ShardedStore::new(shards, |_| LimiterShard::new(capacity, rate_per_sec)),
+        }
+    }
+
+    /// Attempts to take one token for `key` at `now`.
+    pub fn try_acquire(&mut self, key: K, now: SimTime) -> bool {
+        self.shards.shard_mut(&key).try_acquire(key, now)
+    }
+
+    /// Drops every bucket that has refilled to capacity by `now`, striping
+    /// the scan shard by shard.
     ///
     /// A full bucket is indistinguishable from the fresh bucket
     /// [`KeyedLimiter::try_acquire`] would materialize on the key's next
@@ -136,23 +199,43 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
     /// per-request proxy exits) this is what keeps the key map bounded by the
     /// *live* population instead of growing with every identity ever seen.
     pub fn evict_idle(&mut self, now: SimTime) {
-        let capacity = self.capacity;
-        self.buckets.retain(|_, b| b.available(now) < capacity);
+        for shard in self.shards.shards_mut() {
+            shard.evict_idle(now);
+        }
     }
 
-    /// Total granted acquisitions.
+    /// Total granted acquisitions across all shards.
     pub fn grants(&self) -> u64 {
-        self.grants
+        self.shards.fold(0, |acc, s| acc + s.grants)
     }
 
-    /// Total rejected acquisitions.
+    /// Total rejected acquisitions across all shards.
     pub fn rejections(&self) -> u64 {
-        self.rejections
+        self.shards.fold(0, |acc, s| acc + s.rejections)
     }
 
-    /// Number of keys with a materialized bucket.
+    /// Number of keys with a materialized bucket, summed over shards.
     pub fn tracked_keys(&self) -> usize {
-        self.buckets.len()
+        self.shards.fold(0, |acc, s| acc + s.buckets.len())
+    }
+
+    /// Number of shards (1 unless built via [`KeyedLimiter::with_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// The shard index owning `key` — parallel workers partition their key
+    /// streams with this before taking shards from
+    /// [`KeyedLimiter::shards_mut`].
+    pub fn shard_index(&self, key: &K) -> usize {
+        self.shards.shard_index(key)
+    }
+
+    /// All shards, mutably, for coordination-free parallel acquisition:
+    /// each scoped thread takes one `&mut LimiterShard` and drives only the
+    /// keys that [`KeyedLimiter::shard_index`] routes to it.
+    pub fn shards_mut(&mut self) -> &mut [LimiterShard<K>] {
+        self.shards.shards_mut()
     }
 }
 
@@ -263,6 +346,78 @@ mod tests {
         assert!(evicting.tracked_keys() <= reference.tracked_keys());
     }
 
+    #[test]
+    fn sharded_limiter_matches_single_shard() {
+        // The same acquisition stream through a 4-shard and a 1-shard
+        // limiter must grant identically and report identical aggregates —
+        // shard count is a layout choice, not a semantics choice.
+        let mut sharded: KeyedLimiter<u32> = KeyedLimiter::with_shards(2.0, 0.25, 4);
+        let mut flat: KeyedLimiter<u32> = KeyedLimiter::new(2.0, 0.25);
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(flat.shard_count(), 1);
+        let mut now = SimTime::ZERO;
+        for step in 0..500u32 {
+            now += SimDuration::from_secs(i64::from(step % 5));
+            let key = step % 17;
+            assert_eq!(
+                sharded.try_acquire(key, now),
+                flat.try_acquire(key, now),
+                "diverged at step {step}"
+            );
+            if step % 11 == 0 {
+                sharded.evict_idle(now);
+                flat.evict_idle(now);
+            }
+        }
+        assert_eq!(sharded.grants(), flat.grants());
+        assert_eq!(sharded.rejections(), flat.rejections());
+        assert_eq!(sharded.tracked_keys(), flat.tracked_keys());
+    }
+
+    #[test]
+    fn shard_partition_is_exhaustive_and_exclusive() {
+        // Every key routes to exactly one shard, and driving shards
+        // directly (as parallel workers do) reproduces routed behaviour.
+        let mut l: KeyedLimiter<u64> = KeyedLimiter::with_shards(1.0, 0.0, 4);
+        let keys: Vec<u64> = (0..64).collect();
+        let idx: Vec<usize> = keys.iter().map(|k| l.shard_index(k)).collect();
+        for (k, &i) in keys.iter().zip(&idx) {
+            assert!(i < l.shard_count());
+            l.shards_mut()[i].try_acquire(*k, SimTime::ZERO);
+        }
+        // Each key took its shard's single token; the routed path now
+        // rejects every one of them.
+        for k in &keys {
+            assert!(!l.try_acquire(*k, SimTime::ZERO));
+        }
+        assert_eq!(l.grants(), 64);
+        assert_eq!(l.rejections(), 64);
+    }
+
+    #[test]
+    fn multi_year_horizon_does_not_truncate_token_accounting() {
+        // Long-horizon (multi-year sim-time) runs exercise refill arithmetic
+        // with elapsed times around 1e8 seconds; the bucket must neither
+        // overflow nor phantom-refill beyond capacity, and a key first seen
+        // years in still starts at exactly its burst budget.
+        let decade = SimTime::from_days(3650);
+        let mut tb = TokenBucket::new(4.0, 0.5);
+        assert!(
+            (tb.available(decade) - 4.0).abs() < 1e-9,
+            "capped at capacity"
+        );
+        assert!(tb.try_acquire(decade));
+        assert!((tb.available(decade) - 3.0).abs() < 1e-9);
+
+        let mut l: KeyedLimiter<u32> = KeyedLimiter::new(2.0, 1.0 / 86_400.0);
+        assert!(l.try_acquire(7, decade));
+        assert!(l.try_acquire(7, decade));
+        assert!(!l.try_acquire(7, decade), "no phantom refill from epoch");
+        // One more token exactly one refill period later.
+        assert!(l.try_acquire(7, decade + SimDuration::from_days(1)));
+        assert!(!l.try_acquire(7, decade + SimDuration::from_days(1)));
+    }
+
     proptest! {
         /// Within any single instant, grants never exceed burst capacity.
         #[test]
@@ -295,6 +450,34 @@ mod tests {
             }
             prop_assert_eq!(evicting.grants(), reference.grants());
             prop_assert_eq!(evicting.rejections(), reference.rejections());
+        }
+
+        /// Shard count never changes any grant/deny outcome or aggregate,
+        /// for any op stream and any shard count.
+        #[test]
+        fn prop_shard_count_preserves_outcomes(
+            capacity in 1.0f64..5.0,
+            rate in 0.0f64..2.0,
+            shards in 1usize..9,
+            ops in proptest::collection::vec((0u8..12, 0u64..5_000, any::<bool>()), 1..200),
+        ) {
+            let mut sharded: KeyedLimiter<u8> = KeyedLimiter::with_shards(capacity, rate, shards);
+            let mut flat: KeyedLimiter<u8> = KeyedLimiter::new(capacity, rate);
+            let mut now = SimTime::ZERO;
+            for (key, dt, evict) in ops {
+                now += SimDuration::from_secs(dt as i64);
+                if evict {
+                    sharded.evict_idle(now);
+                    flat.evict_idle(now);
+                }
+                prop_assert_eq!(
+                    sharded.try_acquire(key, now),
+                    flat.try_acquire(key, now)
+                );
+            }
+            prop_assert_eq!(sharded.grants(), flat.grants());
+            prop_assert_eq!(sharded.rejections(), flat.rejections());
+            prop_assert_eq!(sharded.tracked_keys(), flat.tracked_keys());
         }
 
         /// Over a long horizon, grants never exceed burst + rate × time.

@@ -4,6 +4,7 @@ use fg_behavior::api::{ApiOutcome, App, ClientRequest};
 use fg_core::ids::{BookingRef, ClientId, FlightId, PhoneNumber};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::{ConcurrencyMode, ShardedStore};
 use fg_core::time::{SimDuration, SimTime};
 use fg_detection::engine::DetectionEngine;
 use fg_detection::engine::Signal;
@@ -45,6 +46,13 @@ pub struct AppConfig {
     pub reputation_feedback_threshold: f64,
     /// Revenue-management pricing; `None` = fixed fare (`seat_revenue`).
     pub pricing: Option<fg_inventory::pricing::DynamicPricer>,
+    /// How the defence-state stores are partitioned.
+    /// [`ConcurrencyMode::Deterministic`] (the default) is the single-shard
+    /// experiment path; [`ConcurrencyMode::Sharded`] hash-partitions every
+    /// keyed store so housekeeping stripes per shard. Replayed
+    /// single-threaded, both modes produce byte-identical artifacts (see
+    /// `tests/shard_independence.rs`).
+    pub concurrency: ConcurrencyMode,
 }
 
 impl AppConfig {
@@ -58,7 +66,16 @@ impl AppConfig {
             seat_revenue: Money::from_units(120),
             reputation_feedback_threshold: 0.8,
             pricing: None,
+            concurrency: ConcurrencyMode::Deterministic,
         }
+    }
+
+    /// Returns the config with its [`ConcurrencyMode`] replaced — the
+    /// experiment modules use this to thread the harness's `--shards`
+    /// setting into the app without disturbing the rest of the posture.
+    pub fn with_concurrency(mut self, concurrency: ConcurrencyMode) -> Self {
+        self.concurrency = concurrency;
+        self
     }
 }
 
@@ -87,7 +104,7 @@ pub struct DefendedApp {
     policy: PolicyEngine,
     honeypot: Honeypot,
     logs: Vec<LogRecord>,
-    fingerprints_seen: HashMap<u64, Fingerprint>,
+    fingerprints_seen: ShardedStore<u64, HashMap<u64, Fingerprint>>,
     solver_spend: HashMap<ClientId, Money>,
     defender: DefenderLedger,
     captcha_rng: StdRng,
@@ -240,9 +257,11 @@ impl DefendedApp {
     /// the `experiments --telemetry` runner) keep access to metrics, audit
     /// trail, and stage profiles after the run.
     pub fn with_telemetry(config: AppConfig, seed: u64, telemetry: Arc<Telemetry>) -> Self {
-        let mut detection = DetectionEngine::with_defaults();
+        let shards = config.concurrency.shard_count();
+        let mut detection =
+            DetectionEngine::with_shards(fg_detection::engine::EngineConfig::default(), shards);
         detection.attach_telemetry(telemetry.clone());
-        let policy = PolicyEngine::new(config.policy.clone());
+        let policy = PolicyEngine::with_shards(config.policy.clone(), shards);
         policy.decision_counters().register_in(telemetry.metrics());
         let mut gateway = Gateway::default_network();
         gateway.attach_telemetry(telemetry.clone());
@@ -254,7 +273,7 @@ impl DefendedApp {
             policy,
             honeypot: Honeypot::new(),
             logs: Vec::new(),
-            fingerprints_seen: HashMap::new(),
+            fingerprints_seen: ShardedStore::new(shards, |_| HashMap::new()),
             solver_spend: HashMap::new(),
             defender: DefenderLedger::new(),
             captcha_rng: SeedFork::new(seed).rng("captcha"),
@@ -365,7 +384,7 @@ impl DefendedApp {
 
     /// The full fingerprint last seen for an identity hash, if any.
     pub fn fingerprint_by_hash(&self, hash: u64) -> Option<&Fingerprint> {
-        self.fingerprints_seen.get(&hash)
+        self.fingerprints_seen.shard(&hash).get(&hash)
     }
 
     /// CAPTCHA-solver fees charged to a client so far.
@@ -472,8 +491,10 @@ impl DefendedApp {
             endpoint,
             ok,
         });
+        let fp_hash = req.fingerprint.identity_hash();
         self.fingerprints_seen
-            .entry(req.fingerprint.identity_hash())
+            .shard_mut(&fp_hash)
+            .entry(fp_hash)
             .or_insert_with(|| req.fingerprint.clone());
     }
 

@@ -16,6 +16,7 @@ use fg_behavior::{
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -99,6 +100,9 @@ pub struct AblationConfig {
     pub days: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for AblationConfig {
@@ -107,6 +111,7 @@ impl Default for AblationConfig {
             seed: 0xAB1A,
             days: 7,
             arrivals_per_day: 250.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -181,6 +186,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 AblationConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -278,7 +284,10 @@ fn run_cell(
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
-    let mut app = DefendedApp::new(AppConfig::airline(posture.policy()), fork.seed("app"));
+    let mut app = DefendedApp::new(
+        AppConfig::airline(posture.policy()).with_concurrency(config.concurrency),
+        fork.seed("app"),
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

@@ -15,6 +15,7 @@ use crate::team::TeamConfig;
 use fg_behavior::{LegitConfig, LegitPopulation, SeatSpinner, SeatSpinnerConfig};
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -38,6 +39,9 @@ pub struct CaseAConfig {
     pub cap_day: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for CaseAConfig {
@@ -48,6 +52,7 @@ impl Default for CaseAConfig {
             reaction_hours: 5.3,
             cap_day: 4,
             arrivals_per_day: 300.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -114,6 +119,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseAConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             let (report, telemetry, alerts) = if p.traces {
                 run_traced(config)
             } else {
@@ -227,7 +233,8 @@ fn run_inner(config: CaseAConfig, traces: bool) -> (CaseAReport, Arc<Telemetry>,
     let end = departure;
 
     let mut app = DefendedApp::with_telemetry(
-        AppConfig::airline(PolicyConfig::traditional_antibot()),
+        AppConfig::airline(PolicyConfig::traditional_antibot())
+            .with_concurrency(config.concurrency),
         config.seed,
         telemetry.clone(),
     );

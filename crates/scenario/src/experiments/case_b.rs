@@ -19,6 +19,7 @@ use fg_behavior::{
 };
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::SimTime;
 use fg_detection::classify::ConfusionMatrix;
 use fg_detection::names::{gibberish_score, NameAbuseAnalyzer};
@@ -41,6 +42,9 @@ pub struct CaseBConfig {
     pub days: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for CaseBConfig {
@@ -49,6 +53,7 @@ impl Default for CaseBConfig {
             seed: 0xCA5EB2,
             days: 5,
             arrivals_per_day: 300.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -104,6 +109,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseBConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             let (report, telemetry, alerts) = if p.traces {
                 run_traced(config)
             } else {
@@ -198,7 +204,7 @@ fn run_inner(config: CaseBConfig, traces: bool) -> (CaseBReport, Arc<Telemetry>,
     let end = SimTime::from_days(config.days);
 
     let mut app = DefendedApp::with_telemetry(
-        AppConfig::airline(PolicyConfig::unprotected()),
+        AppConfig::airline(PolicyConfig::unprotected()).with_concurrency(config.concurrency),
         config.seed,
         telemetry.clone(),
     );

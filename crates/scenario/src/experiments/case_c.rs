@@ -21,6 +21,7 @@ use fg_behavior::{LegitConfig, LegitPopulation, SmsPumper, SmsPumperConfig};
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::SimTime;
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -64,6 +65,9 @@ pub struct CaseCConfig {
     pub pump_per_hour: f64,
     /// Path-wide daily SMS limit as a multiple of normal daily volume.
     pub path_limit_headroom: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for CaseCConfig {
@@ -74,6 +78,7 @@ impl Default for CaseCConfig {
             arrivals_per_day: 400.0,
             pump_per_hour: 3.0,
             path_limit_headroom: 1.02,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -150,6 +155,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 CaseCConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -268,7 +274,10 @@ fn run_posture(
         }
     }
 
-    let mut app = DefendedApp::new(AppConfig::airline(policy), config.seed);
+    let mut app = DefendedApp::new(
+        AppConfig::airline(policy).with_concurrency(config.concurrency),
+        config.seed,
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

@@ -20,6 +20,7 @@ use fg_behavior::{
 };
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::{SimDuration, SimTime};
 use fg_detection::classify::ConfusionMatrix;
 use fg_detection::features::SessionFeatures;
@@ -41,6 +42,9 @@ pub struct DetectorsConfig {
     pub days: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for DetectorsConfig {
@@ -49,6 +53,7 @@ impl Default for DetectorsConfig {
             seed: 0xDE7EC7,
             days: 4,
             arrivals_per_day: 250.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -112,6 +117,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 DetectorsConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -210,7 +216,10 @@ fn run_inner(
     let geo = GeoDatabase::default_world();
     let end = SimTime::from_days(config.days);
 
-    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
+    let mut app = DefendedApp::new(
+        AppConfig::airline(PolicyConfig::unprotected()).with_concurrency(config.concurrency),
+        config.seed,
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

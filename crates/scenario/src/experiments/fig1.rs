@@ -11,6 +11,7 @@ use crate::engine::{share, Simulation};
 use fg_behavior::{LegitConfig, LegitPopulation, SeatSpinner, SeatSpinnerConfig};
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::stats::Histogram;
 use fg_core::time::SimTime;
 use fg_detection::anomaly::NipDistributionMonitor;
@@ -37,6 +38,9 @@ pub struct Fig1Config {
     pub arrivals_per_day: f64,
     /// The NiP cap introduced at the start of week 2.
     pub cap: u32,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for Fig1Config {
@@ -47,6 +51,7 @@ impl Default for Fig1Config {
             capacity: 180,
             arrivals_per_day: 400.0,
             cap: 4,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -115,6 +120,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Fig1Config::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -202,7 +208,8 @@ fn run_inner(
     // The application: Airline A, initially uncapped at NiP 9, with the
     // era-appropriate (traditional) anti-bot posture. The domain uses a
     // multi-hour hold TTL (the paper: "30 minutes to several hours").
-    let mut app_config = AppConfig::airline(PolicyConfig::traditional_antibot());
+    let mut app_config = AppConfig::airline(PolicyConfig::traditional_antibot())
+        .with_concurrency(config.concurrency);
     app_config.hold_ttl = fg_core::time::SimDuration::from_hours(3);
     let mut app = DefendedApp::new(app_config, config.seed);
     app.attach_sentinel(alert_policy());

@@ -16,6 +16,7 @@ use fg_behavior::{LegitConfig, LegitPopulation, SeatSpinner, SeatSpinnerConfig};
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -33,6 +34,9 @@ pub struct HoneypotConfig {
     pub days: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for HoneypotConfig {
@@ -41,6 +45,7 @@ impl Default for HoneypotConfig {
             seed: 0x40E1,
             days: 7,
             arrivals_per_day: 200.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -115,6 +120,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 HoneypotConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -210,7 +216,10 @@ fn run_arm(
     policy.gate.clear(fg_detection::log::Endpoint::Hold);
     policy.client_hold_limit = None;
 
-    let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
+    let mut app = DefendedApp::new(
+        AppConfig::airline(policy).with_concurrency(config.concurrency),
+        fork.seed("app"),
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

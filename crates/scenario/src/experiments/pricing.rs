@@ -13,6 +13,7 @@ use fg_behavior::{FareManipulator, FareManipulatorConfig, LegitConfig, LegitPopu
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::SimTime;
 use fg_inventory::flight::Flight;
 use fg_inventory::pricing::DynamicPricer;
@@ -35,6 +36,9 @@ pub struct PricingConfig {
     pub base_fare: Money,
     /// Suppression holds maintained concurrently.
     pub concurrent_holds: u32,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for PricingConfig {
@@ -45,6 +49,7 @@ impl Default for PricingConfig {
             arrivals_per_day: 14.0,
             base_fare: Money::from_units(100),
             concurrent_holds: 20,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -106,6 +111,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 PricingConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -202,7 +208,8 @@ fn run_arm(
     let geo = GeoDatabase::default_world();
     let departure = SimTime::from_days(config.departure_day);
 
-    let mut app_config = AppConfig::airline(PolicyConfig::unprotected());
+    let mut app_config =
+        AppConfig::airline(PolicyConfig::unprotected()).with_concurrency(config.concurrency);
     app_config.pricing = Some(DynamicPricer::airline(config.base_fare));
     let mut app = DefendedApp::new(app_config, config.seed);
     app.attach_sentinel(alert_policy());

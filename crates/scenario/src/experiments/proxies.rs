@@ -16,6 +16,7 @@ use crate::team::TeamConfig;
 use fg_behavior::{LegitConfig, LegitPopulation, SeatSpinner, SeatSpinnerConfig};
 use fg_core::ids::{ClientId, FlightId};
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::{SimDuration, SimTime};
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -33,6 +34,9 @@ pub struct ProxiesConfig {
     pub days: u64,
     /// Legitimate bookers per day.
     pub arrivals_per_day: f64,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for ProxiesConfig {
@@ -41,6 +45,7 @@ impl Default for ProxiesConfig {
             seed: 0x9120,
             days: 4,
             arrivals_per_day: 100.0,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -102,6 +107,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 ProxiesConfig::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -189,7 +195,10 @@ fn run_arm(
     // block (signal weight 0.8 ≥ threshold 0.75).
     let mut policy = PolicyConfig::traditional_antibot();
     policy.block_threshold = 0.75;
-    let mut app = DefendedApp::new(AppConfig::airline(policy), fork.seed("app"));
+    let mut app = DefendedApp::new(
+        AppConfig::airline(policy).with_concurrency(config.concurrency),
+        fork.seed("app"),
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

@@ -14,6 +14,7 @@ use fg_behavior::{LegitConfig, LegitPopulation, SmsPumper, SmsPumperConfig};
 use fg_core::ids::{ClientId, CountryCode, FlightId};
 use fg_core::money::Money;
 use fg_core::rng::SeedFork;
+use fg_core::shard::ConcurrencyMode;
 use fg_core::time::SimTime;
 use fg_inventory::flight::Flight;
 use fg_mitigation::policy::PolicyConfig;
@@ -33,6 +34,9 @@ pub struct Table1Config {
     pub pump_per_hour: f64,
     /// How many rows to report.
     pub top_n: usize,
+    /// Defence-state partitioning (see [`ConcurrencyMode`]); the report is
+    /// identical in every mode when replayed single-threaded.
+    pub concurrency: ConcurrencyMode,
 }
 
 impl Default for Table1Config {
@@ -42,6 +46,7 @@ impl Default for Table1Config {
             arrivals_per_day: 2_000.0,
             pump_per_hour: 600.0,
             top_n: 10,
+            concurrency: ConcurrencyMode::Deterministic,
         }
     }
 }
@@ -109,6 +114,7 @@ pub fn spec() -> crate::harness::ExperimentSpec {
                 Table1Config::default()
             };
             config.seed = p.seed;
+            config.concurrency = p.concurrency();
             if p.traces {
                 let (report, alerts, traces) = run_traced(config);
                 crate::harness::CellOutput::of(&report)
@@ -218,7 +224,10 @@ fn run_inner(
     let end = SimTime::from_weeks(2);
 
     // Airline D, December 2022: no per-feature limits at all.
-    let mut app = DefendedApp::new(AppConfig::airline(PolicyConfig::unprotected()), config.seed);
+    let mut app = DefendedApp::new(
+        AppConfig::airline(PolicyConfig::unprotected()).with_concurrency(config.concurrency),
+        config.seed,
+    );
     app.attach_sentinel(alert_policy());
     if traces {
         app.telemetry()

@@ -51,6 +51,19 @@ pub struct ExperimentParams {
     /// experiment supports it. Tracing is pure observation: enabling it
     /// never changes any other artifact.
     pub traces: bool,
+    /// Shard count for the defended app's keyed stores (1 = the
+    /// single-shard deterministic layout). Replayed single-threaded, any
+    /// shard count produces byte-identical artifacts — see
+    /// `tests/shard_independence.rs`.
+    pub shards: usize,
+}
+
+impl ExperimentParams {
+    /// The [`fg_core::shard::ConcurrencyMode`] implied by
+    /// [`ExperimentParams::shards`], for handing to `AppConfig`.
+    pub fn concurrency(&self) -> fg_core::shard::ConcurrencyMode {
+        fg_core::shard::ConcurrencyMode::from_shards(self.shards)
+    }
 }
 
 /// What one experiment run hands back to the harness.
@@ -332,6 +345,9 @@ pub struct HarnessConfig {
     /// timeline [`ExperimentRun::alerts_json`] exports) and capture its
     /// trace snapshot.
     pub traces: bool,
+    /// Shard count for every cell's defended-app keyed stores (`--shards`;
+    /// 1 = deterministic single-shard layout).
+    pub shards: usize,
 }
 
 impl Default for HarnessConfig {
@@ -344,6 +360,7 @@ impl Default for HarnessConfig {
             telemetry: false,
             alerts: false,
             traces: false,
+            shards: 1,
         }
     }
 }
@@ -396,6 +413,7 @@ pub fn run_matrix(specs: &[ExperimentSpec], config: &HarnessConfig) -> Vec<Exper
                     // trace per experiment (the replicate whose incident
                     // timeline `alerts_json` exports), not a per-seed sweep.
                     traces: config.traces && replicate == 0,
+                    shards: config.shards.max(1),
                 };
                 let out = (spec.run)(&params);
                 *slots[i].lock().expect("no panics while holding slot") = Some(CellResult {

@@ -20,6 +20,7 @@ fn traced_smoke(jobs: usize) -> HarnessConfig {
         telemetry: false,
         alerts: true,
         traces: true,
+        shards: 1,
     }
 }
 

@@ -105,6 +105,7 @@ pub struct Sentinel {
     evaluations: Counter,
     transitions: [Counter; 4],
     active: Gauge,
+    counter_resets: Counter,
 }
 
 impl std::fmt::Debug for Sentinel {
@@ -133,6 +134,10 @@ impl Sentinel {
             "fg_sentinel_active_alerts",
             "Alerts currently in the firing state",
         );
+        registry.set_help(
+            "fg_sentinel_counter_reset_total",
+            "Cumulative series observed stepping backwards (merged or re-registered counters); the negative delta is clamped to zero",
+        );
         let transitions = [
             AlertTransition::Pending,
             AlertTransition::Firing,
@@ -149,6 +154,7 @@ impl Sentinel {
             evaluations: registry.counter("fg_sentinel_evaluations_total"),
             transitions,
             active: registry.gauge("fg_sentinel_active_alerts"),
+            counter_resets: registry.counter("fg_sentinel_counter_reset_total"),
         }
     }
 
@@ -335,9 +341,14 @@ impl Sentinel {
 
     fn update_rate(&mut self, state_idx: usize, now: SimTime, value: f64) {
         if let SeriesData::Rate { last, window } = &mut self.states[state_idx].data {
-            // Differentiate the cumulative series; clamp decreases (spend
-            // gauges only grow; a reset would otherwise inject a huge
-            // negative delta).
+            // Differentiate the cumulative series; clamp decreases to zero
+            // (spend gauges only grow; a merged or re-registered counter
+            // stepping backwards would otherwise inject a huge negative
+            // rate sample). Resets are counted so operators can see when a
+            // series' baseline was disturbed.
+            if value < *last {
+                self.counter_resets.inc();
+            }
             let delta = (value - *last).max(0.0);
             *last = value;
             window.push(now, delta);
@@ -810,6 +821,55 @@ mod tests {
             snap.counter_value("fg_sentinel_evaluations_total", &[])
                 .unwrap()
                 > 0
+        );
+    }
+
+    #[test]
+    fn counter_reset_clamps_to_zero_and_is_counted() {
+        let telemetry = Telemetry::new();
+        let registry = telemetry.metrics();
+        let g = registry.gauge("fg_sms_owner_cost_units");
+        // High min_spend: the test is about differentiation, not firing.
+        let policy = AlertPolicy::named("t").rule(AlertRule::burn_rate(
+            "burn",
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(2),
+            3.0,
+            1e9,
+        ));
+        let mut s = Sentinel::new(policy, registry);
+        g.set(10.0);
+        s.observe(SimTime::from_mins(1), &registry.snapshot());
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("fg_sentinel_counter_reset_total", &[]),
+            Some(0),
+            "monotone series: no reset yet"
+        );
+        // A merged or re-registered cumulative series steps backwards.
+        g.set(3.0);
+        s.observe(SimTime::from_mins(2), &registry.snapshot());
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("fg_sentinel_counter_reset_total", &[]),
+            Some(1),
+            "the backwards step is counted"
+        );
+        // Differentiation resumes from the new baseline: a forward step
+        // after the reset is a normal positive delta, not another reset.
+        g.set(4.0);
+        s.observe(SimTime::from_mins(3), &registry.snapshot());
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("fg_sentinel_counter_reset_total", &[]),
+            Some(1)
+        );
+        assert!(
+            s.events().is_empty(),
+            "clamped reset must not fire any alert"
         );
     }
 

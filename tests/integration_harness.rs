@@ -17,6 +17,7 @@ fn smoke(seeds: usize, seed_offset: usize, jobs: usize, telemetry: bool) -> Harn
         telemetry,
         alerts: false,
         traces: false,
+        shards: 1,
     }
 }
 
