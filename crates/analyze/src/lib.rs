@@ -75,6 +75,38 @@ pub fn analyze_workspace_alerts() -> Vec<Diagnostic> {
     diags
 }
 
+/// Validates a policy intended for the online decision service (`fg-serve`).
+///
+/// This is the gate behind config hot-reload: a structurally invalid policy
+/// ([`PolicyConfig::validate`]) or one the config pass flags at
+/// [`Severity::Warn`] or above against the default airline serving scenario
+/// is rejected, and the service keeps running on its previous config.
+/// Waived findings never gate, matching the CI `--deny warn` contract.
+pub fn validate_serve_policy(policy: &PolicyConfig) -> Result<(), Vec<Diagnostic>> {
+    let mut diags: Vec<Diagnostic> = match policy.validate() {
+        Ok(()) => Vec::new(),
+        Err(errors) => errors
+            .into_iter()
+            .map(|e| Diagnostic::new("invalid-config", Severity::Deny, "serve:policy", e))
+            .collect(),
+    };
+    // An invalid config cannot safely instantiate a PolicyEngine for the
+    // semantic pass (debug builds panic at construction), so stop here.
+    if diags.is_empty() {
+        let profile = DefenceProfile::airline("serve:policy", policy.clone());
+        diags.extend(
+            config::analyze_profile(&profile)
+                .into_iter()
+                .filter(|d| d.gates_at(Severity::Warn)),
+        );
+    }
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(diags)
+    }
+}
+
 /// Runs all passes: the config pass over all committed deployments, the
 /// alerts pass over all committed alert policies, and the source pass over
 /// the workspace rooted at `root`.
@@ -106,6 +138,32 @@ mod tests {
             "committed workspace must be clean at --deny warn:\n{}",
             render_pretty(&gating.into_iter().cloned().collect::<Vec<_>>())
         );
+    }
+
+    /// The hot-reload gate: the recommended posture loads, a structurally
+    /// broken or semantically misconfigured one is rejected with the
+    /// diagnostics that justify keeping the old config.
+    #[test]
+    fn serve_policy_validation_accepts_recommended_and_rejects_bad_configs() {
+        assert!(validate_serve_policy(&PolicyConfig::recommended()).is_ok());
+
+        // Structural: a NaN threshold fails PolicyConfig::validate.
+        let mut broken = PolicyConfig::recommended();
+        broken.block_threshold = f64::NAN;
+        let diags = validate_serve_policy(&broken).unwrap_err();
+        assert!(diags.iter().any(|d| d.lint == "invalid-config"));
+
+        // Semantic: challenge at/above block makes challenges unreachable —
+        // valid structurally, but the config pass flags it at warn+.
+        let mut shadowed = PolicyConfig::recommended();
+        shadowed.challenge_threshold = shadowed.block_threshold;
+        let diags = validate_serve_policy(&shadowed).unwrap_err();
+        assert!(
+            diags.iter().all(|d| d.gates_at(Severity::Warn)),
+            "only gating findings reject:\n{}",
+            render_pretty(&diags)
+        );
+        assert!(!diags.is_empty());
     }
 
     /// The paper-accurate misconfigurations are still *reported* — waivers

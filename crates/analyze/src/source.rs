@@ -13,7 +13,10 @@
 //!   function of the machine, not the seed; partitioning is configured
 //!   through `ConcurrencyMode` instead.
 //! * **`#![forbid(unsafe_code)]` in every crate root**, workspace and vendor
-//!   alike.
+//!   alike. The single escape hatch is a root carrying both
+//!   `// fg-analyze: allow(missing-forbid-unsafe): <why>` and
+//!   `#![deny(unsafe_code)]` with scoped `#[allow]`s — required only by the
+//!   signal-handler FFI shim, which `forbid` cannot express.
 //! * **No SipHash maps in hot-path crates.** `fg_core::hash` (Fx) is
 //!   mandated where map operations dominate the per-request budget
 //!   (detection, mitigation).
@@ -60,9 +63,13 @@ pub const DETERMINISM_CRITICAL: &[&str] = &[
 pub const HOT_PATH: &[&str] = &["detection", "mitigation"];
 
 /// Workspace crates exempt from the determinism and hashing lints: telemetry
-/// and benchmarking measure wall-clock by design, and the analyzer itself
-/// names the forbidden patterns. (`#![forbid(unsafe_code)]` still applies.)
-pub const EXEMPT: &[&str] = &["analyze", "bench", "telemetry"];
+/// and benchmarking measure wall-clock by design, the analyzer itself names
+/// the forbidden patterns, and the serving layer (`serve`) is where
+/// determinism deliberately stops — request latency, socket timeouts, and
+/// drain deadlines are wall-clock phenomena, while every decision it returns
+/// still comes from the deterministic core underneath.
+/// (`#![forbid(unsafe_code)]` still applies to all of them.)
+pub const EXEMPT: &[&str] = &["analyze", "bench", "serve", "telemetry"];
 
 const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
 const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
@@ -141,7 +148,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 pub fn scan_file(crate_name: &str, path: &str, content: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    if path.ends_with("src/lib.rs") && !content.contains("#![forbid(unsafe_code)]") {
+    // A crate root may trade `forbid` down to `deny` only when it both says
+    // so with an allow-marker and actually carries the `deny` attribute —
+    // the single FFI shim (`vendor/unix-signal`) needs scoped
+    // `#[allow(unsafe_code)]` blocks, which `forbid` cannot coexist with.
+    let unsafe_waived = content.contains("fg-analyze: allow(missing-forbid-unsafe)")
+        && content.contains("#![deny(unsafe_code)]");
+    if path.ends_with("src/lib.rs")
+        && !content.contains("#![forbid(unsafe_code)]")
+        && !unsafe_waived
+    {
         diags.push(Diagnostic::new(
             lints::MISSING_FORBID_UNSAFE,
             Severity::Deny,
@@ -414,6 +430,36 @@ mod tests {
             "#![forbid(unsafe_code)]\npub fn f() {}\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn unsafe_waiver_needs_both_marker_and_deny() {
+        // Marker + deny: the scoped-FFI escape hatch.
+        assert!(scan_file(
+            "unix-signal",
+            "vendor/unix-signal/src/lib.rs",
+            "// fg-analyze: allow(missing-forbid-unsafe): scoped FFI shim\n\
+             #![deny(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        // Marker alone is not enough...
+        assert_eq!(
+            lints_of(&scan_file(
+                "unix-signal",
+                "vendor/unix-signal/src/lib.rs",
+                "// fg-analyze: allow(missing-forbid-unsafe): scoped FFI shim\npub fn f() {}\n"
+            )),
+            vec![lints::MISSING_FORBID_UNSAFE]
+        );
+        // ...and neither is `deny` alone.
+        assert_eq!(
+            lints_of(&scan_file(
+                "unix-signal",
+                "vendor/unix-signal/src/lib.rs",
+                "#![deny(unsafe_code)]\npub fn f() {}\n"
+            )),
+            vec![lints::MISSING_FORBID_UNSAFE]
+        );
     }
 
     #[test]

@@ -1071,6 +1071,73 @@ pub fn cases() -> Vec<PerfCase> {
         ));
     }
 
+    // --- serve: the serving layer's per-request costs — the HTTP parse and
+    // the full in-process decide-handler round trip (JSON in → decision
+    // core → JSON out), i.e. everything `POST /v1/decide` does above the
+    // socket and below it respectively.
+    {
+        use fg_serve::http::{read_request, Limits};
+        let workload = fg_scenario::workload::generate(&fg_scenario::workload::WorkloadConfig {
+            seed: 42,
+            horizon_hours: 1,
+            arrivals_per_day: 200.0,
+            seat_spinner: true,
+            sms_pumper: false,
+        });
+        let raw: Vec<Vec<u8>> = workload
+            .requests
+            .iter()
+            .take(64)
+            .map(|r| {
+                let body = serde_json::to_string(r).expect("request serializes");
+                let mut bytes = format!(
+                    "POST /v1/decide HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .into_bytes();
+                bytes.extend_from_slice(body.as_bytes());
+                bytes
+            })
+            .collect();
+        let limits = Limits::default();
+        let mut t = 0usize;
+        cases.push(PerfCase::new("serve", "request_parse", {
+            move || {
+                t += 1;
+                let bytes = &raw[t % raw.len()];
+                std::hint::black_box(
+                    read_request(&mut std::io::Cursor::new(bytes.as_slice()), &limits)
+                        .expect("canned request parses"),
+                );
+            }
+        }));
+
+        use fg_serve::{DecisionService, ServeConfig};
+        let service = DecisionService::new(
+            &ServeConfig::recommended(),
+            fg_telemetry::Telemetry::shared(),
+        );
+        let requests: Vec<fg_scenario::workload::WireRequest> =
+            workload.requests.into_iter().take(256).collect();
+        let mut t = 0u64;
+        cases.push(PerfCase::new("serve", "decide_handler", {
+            move || {
+                t += 1;
+                let mut req = requests[t as usize % requests.len()].clone();
+                // Monotone session clock: housekeeping ticks fire on cadence
+                // and per-key windows stay bounded over long measurements.
+                req.now_ms = t * 50;
+                let body = serde_json::to_string(&req).expect("request serializes");
+                let wire: fg_scenario::workload::WireRequest =
+                    serde_json::from_str(&body).expect("request parses");
+                let decision = service.decide(&wire);
+                std::hint::black_box(
+                    serde_json::to_string(&decision).expect("decision serializes"),
+                );
+            }
+        }));
+    }
+
     // --- simulation: end-to-end defended-app throughput on a small Case A.
     let case_a_config = case_a::CaseAConfig {
         departure_day: 3,
@@ -1288,6 +1355,7 @@ mod tests {
             "telemetry",
             "tracing",
             "sentinel",
+            "serve",
             "simulation",
             "scaling",
         ] {

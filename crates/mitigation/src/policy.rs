@@ -545,6 +545,15 @@ impl PolicyEngine {
         &self.counters
     }
 
+    /// Replaces this engine's decision counters with shared handles carried
+    /// over from a previous engine. [`Counter`]s clone as handles to the
+    /// same cell, so a rebuilt engine (e.g. after a config hot-swap in the
+    /// decision service) keeps incrementing the `fg_decisions_total` cells
+    /// already adopted into a registry instead of resetting the series.
+    pub fn adopt_counters(&mut self, counters: DecisionCounters) {
+        self.counters = counters;
+    }
+
     /// Decides one request.
     pub fn decide(&mut self, ctx: &RequestContext<'_>) -> Decision {
         self.decide_traced(ctx).decision

@@ -116,6 +116,30 @@ pub struct DefendedApp {
     /// Monotone per-app request counter; with the client id it derives the
     /// deterministic `trace_id` stamped on audit records and span traces.
     request_seq: u64,
+    /// When recording, every gated request is appended here as a
+    /// [`WireRequest`](crate::workload::WireRequest) — the replayable workload the serving layer's load
+    /// generator and parity tests feed back through `/v1/decide`.
+    recorder: Option<Vec<crate::workload::WireRequest>>,
+}
+
+/// The wire-visible outcome of one trip through the defence pipeline: what
+/// `/v1/decide` returns and what the audit trail records. Produced by
+/// [`DefendedApp::decide_request`] and, internally, by the simulator's gate —
+/// both paths share one implementation, which is what makes wire/sim
+/// decision parity hold by construction.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GateDecision {
+    /// Deterministic trace id (`hash::trace_id(client, request_seq)`).
+    pub trace_id: u64,
+    /// The policy decision.
+    pub decision: Decision,
+    /// The reason chain, in evaluation order.
+    pub reasons: Vec<String>,
+    /// The detection verdict score (0.0 for sticky honeypot sessions, which
+    /// never reach detection).
+    pub score: f64,
+    /// Scored detection signals behind `score`.
+    pub signals: Vec<SignalScore>,
 }
 
 /// Pre-registered handles for everything the gate increments per request,
@@ -283,8 +307,37 @@ impl DefendedApp {
             metrics,
             sentinel: None,
             request_seq: 0,
+            recorder: None,
             config,
         }
+    }
+
+    /// Starts recording every gated request as a replayable
+    /// [`WireRequest`](crate::workload::WireRequest) stream. Recording is pure observation: it never
+    /// changes decisions or any other artifact.
+    pub fn record_workload(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Takes the recorded request stream (empty when recording was never
+    /// enabled) and stops recording.
+    pub fn take_workload(&mut self) -> Vec<crate::workload::WireRequest> {
+        self.recorder.take().unwrap_or_default()
+    }
+
+    /// Swaps the policy config in place, preserving decision-counter
+    /// continuity (the rebuilt engine keeps incrementing the same
+    /// `fg_decisions_total` cells). Block rules and limiter buckets reset —
+    /// a hot-swap is a posture change, and stale per-key debt under the old
+    /// posture must not leak into the new one. Callers are expected to have
+    /// validated `policy` (see `fg_analyze::validate_serve_policy`);
+    /// in debug builds an invalid config panics at engine construction.
+    pub fn replace_policy(&mut self, policy: PolicyConfig) {
+        let shards = self.config.concurrency.shard_count();
+        let mut engine = PolicyEngine::with_shards(policy.clone(), shards);
+        engine.adopt_counters(self.policy.decision_counters().clone());
+        self.policy = engine;
+        self.config.policy = policy;
     }
 
     /// The telemetry hub this app reports into.
@@ -498,17 +551,28 @@ impl DefendedApp {
             .or_insert_with(|| req.fingerprint.clone());
     }
 
-    /// Runs the defence pipeline. `Ok(true)` means "proceed against the real
-    /// application", `Ok(false)` means "the honeypot serves this request",
-    /// `Err(outcome)` is the refusal to surface to the client.
-    fn gate<T>(
+    /// The decision pipeline shared by the simulator gate and the serving
+    /// layer: honeypot stickiness → detection → reputation feedback →
+    /// policy → audit record, plus honeypot diversion when that is the
+    /// decision. Returns the wire-visible [`GateDecision`] and the
+    /// still-open span trace (`None` when tracing is off or the sticky
+    /// honeypot path already finished it). CAPTCHA resolution is *not* part
+    /// of this: it consumes randomness and belongs to the simulator's
+    /// behaviour model, not the decision — which is why the audit record is
+    /// written here, before any challenge is resolved.
+    fn decide_inner(
         &mut self,
         req: &ClientRequest,
         endpoint: Endpoint,
         booking: Option<BookingRef>,
         now: SimTime,
-    ) -> Result<bool, ApiOutcome<T>> {
+    ) -> (GateDecision, Option<RequestTrace>) {
         self.metrics.endpoint_counter(endpoint).inc();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(crate::workload::WireRequest::from_parts(
+                req, endpoint, booking, now,
+            ));
+        }
         self.request_seq += 1;
         let trace_id = fg_core::hash::trace_id(req.client.as_u64(), self.request_seq);
         // Span tracing is pure observation over sim-time: building the
@@ -545,7 +609,16 @@ impl DefendedApp {
                 tr.finish(&Decision::Honeypot.to_string());
                 self.telemetry.record_trace(tr);
             }
-            return Ok(false);
+            return (
+                GateDecision {
+                    trace_id,
+                    decision: Decision::Honeypot,
+                    reasons: vec!["honeypot:session-diverted".to_owned()],
+                    score: 0.0,
+                    signals: Vec::new(),
+                },
+                None,
+            );
         }
 
         let t = Instant::now(); // fg-analyze: allow(wall-clock): stage profiling only
@@ -596,6 +669,14 @@ impl DefendedApp {
                 tr.attr(decide, "limiter_booking", booking);
             }
         }
+        let signal_scores: Vec<SignalScore> = verdict
+            .signals
+            .iter()
+            .map(|s| SignalScore {
+                signal: s.to_string(),
+                weight: s.weight(),
+            })
+            .collect();
         self.telemetry.record_audit(AuditRecord {
             at: now,
             endpoint: endpoint.to_string(),
@@ -603,19 +684,68 @@ impl DefendedApp {
             fingerprint: req.fingerprint.identity_hash(),
             ip: req.ip.to_string(),
             score: verdict.score,
-            signals: verdict
-                .signals
-                .iter()
-                .map(|s| SignalScore {
-                    signal: s.to_string(),
-                    weight: s.weight(),
-                })
-                .collect(),
+            signals: signal_scores.clone(),
             decision: decision.to_string(),
             reasons: trace.reason_strings(),
             trace_id,
         });
 
+        // Honeypot diversion is part of the decision's effect on defence
+        // state (the session turns sticky), so it is applied here — on the
+        // wire path as much as in the simulator.
+        if decision == Decision::Honeypot {
+            self.honeypot.divert(req.client, now);
+            self.metrics.honeypot_diversions.inc();
+            if let Some(tr) = span_trace.as_mut() {
+                let divert = tr.stage("mitigation.honeypot-divert");
+                tr.attr(divert, "sticky", true);
+            }
+        }
+
+        (
+            GateDecision {
+                trace_id,
+                decision,
+                reasons: trace.reason_strings(),
+                score: verdict.score,
+                signals: signal_scores,
+            },
+            span_trace,
+        )
+    }
+
+    /// Runs the decision pipeline for one wire request and returns the
+    /// outcome the serving layer puts on the wire. Identical decision, audit
+    /// record, and reason chain to the simulator path under the same
+    /// request stream, config, seed, and shard count — the parity the
+    /// `decision_parity` integration test asserts.
+    pub fn decide_request(
+        &mut self,
+        req: &ClientRequest,
+        endpoint: Endpoint,
+        booking: Option<BookingRef>,
+        now: SimTime,
+    ) -> GateDecision {
+        let (gated, span_trace) = self.decide_inner(req, endpoint, booking, now);
+        if let Some(mut tr) = span_trace {
+            tr.finish(&gated.decision.to_string());
+            self.telemetry.record_trace(tr);
+        }
+        gated
+    }
+
+    /// Runs the defence pipeline. `Ok(true)` means "proceed against the real
+    /// application", `Ok(false)` means "the honeypot serves this request",
+    /// `Err(outcome)` is the refusal to surface to the client.
+    fn gate<T>(
+        &mut self,
+        req: &ClientRequest,
+        endpoint: Endpoint,
+        booking: Option<BookingRef>,
+        now: SimTime,
+    ) -> Result<bool, ApiOutcome<T>> {
+        let (gated, mut span_trace) = self.decide_inner(req, endpoint, booking, now);
+        let decision = gated.decision;
         let result = match decision {
             Decision::Allow => Ok(true),
             Decision::Challenge => {
@@ -660,15 +790,9 @@ impl DefendedApp {
                 }
                 result
             }
-            Decision::Honeypot => {
-                self.honeypot.divert(req.client, now);
-                self.metrics.honeypot_diversions.inc();
-                if let Some(tr) = span_trace.as_mut() {
-                    let divert = tr.stage("mitigation.honeypot-divert");
-                    tr.attr(divert, "sticky", true);
-                }
-                Ok(false)
-            }
+            // Diversion itself already happened in `decide_inner`; the
+            // sticky-session outcome is all that is left to surface.
+            Decision::Honeypot => Ok(false),
             Decision::RateLimited => Err(ApiOutcome::RateLimited),
             Decision::TierDenied => Err(ApiOutcome::TierDenied),
             Decision::Block => Err(ApiOutcome::Blocked),

@@ -39,8 +39,9 @@ pub mod harness;
 pub mod monitor;
 pub mod report;
 pub mod team;
+pub mod workload;
 
-pub use app::{AppConfig, DefendedApp};
+pub use app::{AppConfig, DefendedApp, GateDecision};
 pub use engine::{share, Simulation};
 pub use harness::{run_matrix, ExperimentRun, ExperimentSpec, HarnessConfig};
 pub use team::SecurityTeam;

@@ -1,0 +1,207 @@
+//! Serve configuration: a JSON file split into boot-only topology and
+//! hot-reloadable posture.
+//!
+//! Boot-only fields (`listen`, `workers`, `queue_depth`, `shards`, `seed`)
+//! shape threads and store partitioning; changing them requires a restart
+//! and a hot-reload that touches them is rejected. Hot fields (`policy`,
+//! `limits`, `breaker`) swap atomically after validation: the policy must
+//! pass `fg_analyze::validate_serve_policy` (structural validity plus the
+//! semantic config lints at warn+), or the running service keeps its
+//! previous config — reject-and-keep-old, never reject-and-die.
+
+use crate::breaker::BreakerConfig;
+use fg_mitigation::policy::PolicyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp on the serialized config format.
+pub const SERVE_CONFIG_SCHEMA: u32 = 1;
+
+/// Per-endpoint concurrency ceilings. A request arriving while its
+/// endpoint is at its ceiling is shed with `429` rather than queued — under
+/// overload the service degrades by refusing crisply, not by stalling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointLimits {
+    /// Concurrent `POST /v1/decide` handlers.
+    pub decide: usize,
+    /// Concurrent `POST /v1/report` handlers.
+    pub report: usize,
+    /// Concurrent observability reads (`/metrics`, health probes).
+    pub observe: usize,
+}
+
+impl Default for EndpointLimits {
+    fn default() -> Self {
+        EndpointLimits {
+            decide: 64,
+            report: 32,
+            observe: 8,
+        }
+    }
+}
+
+/// The full service configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Format version ([`SERVE_CONFIG_SCHEMA`]).
+    pub schema: u32,
+    /// Bind address, e.g. `"127.0.0.1:8080"` (boot-only).
+    pub listen: String,
+    /// Worker threads handling connections (boot-only).
+    pub workers: usize,
+    /// Bounded accept-queue depth; a full queue sheds with 429 (boot-only).
+    pub queue_depth: usize,
+    /// Defence-store shard count, as in the simulator's `ConcurrencyMode`
+    /// (boot-only — decisions are identical at any count).
+    pub shards: usize,
+    /// Master seed for the decision core (boot-only).
+    pub seed: u64,
+    /// The defensive posture (hot-reloadable, fg-analyze-gated).
+    pub policy: PolicyConfig,
+    /// Per-endpoint concurrency ceilings (hot-reloadable).
+    pub limits: EndpointLimits,
+    /// Circuit-breaker tunables (hot-reloadable).
+    pub breaker: BreakerConfig,
+}
+
+impl ServeConfig {
+    /// The recommended posture on loopback with a small worker pool.
+    pub fn recommended() -> Self {
+        ServeConfig {
+            schema: SERVE_CONFIG_SCHEMA,
+            listen: "127.0.0.1:8080".to_owned(),
+            workers: 4,
+            queue_depth: 128,
+            shards: 1,
+            seed: 42,
+            policy: PolicyConfig::recommended(),
+            limits: EndpointLimits::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serve config serializes")
+    }
+
+    /// Parses JSON without validating; callers follow with
+    /// [`ServeConfig::validate`].
+    pub fn from_json(s: &str) -> Result<ServeConfig, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Full validation: schema and topology sanity, then the fg-analyze
+    /// policy gate. Returns every problem, not just the first.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        if self.schema != SERVE_CONFIG_SCHEMA {
+            errors.push(format!(
+                "unsupported config schema {} (expected {SERVE_CONFIG_SCHEMA})",
+                self.schema
+            ));
+        }
+        if self.workers == 0 {
+            errors.push("workers must be >= 1".to_owned());
+        }
+        if self.queue_depth == 0 {
+            errors.push("queue_depth must be >= 1".to_owned());
+        }
+        if self.shards == 0 {
+            errors.push("shards must be >= 1".to_owned());
+        }
+        if self.limits.decide == 0 || self.limits.report == 0 || self.limits.observe == 0 {
+            errors.push("endpoint limits must be >= 1".to_owned());
+        }
+        if self.breaker.failure_threshold == 0 {
+            errors.push("breaker.failure_threshold must be >= 1".to_owned());
+        }
+        if let Err(diags) = fg_analyze::validate_serve_policy(&self.policy) {
+            errors.extend(
+                diags
+                    .into_iter()
+                    .map(|d| format!("policy {}: {} ({})", d.lint, d.message, d.source)),
+            );
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Whether `next` may be hot-applied over `self` (boot-only fields
+    /// unchanged).
+    pub fn hot_compatible(&self, next: &ServeConfig) -> Result<(), String> {
+        let mut frozen = Vec::new();
+        if self.listen != next.listen {
+            frozen.push("listen");
+        }
+        if self.workers != next.workers {
+            frozen.push("workers");
+        }
+        if self.queue_depth != next.queue_depth {
+            frozen.push("queue_depth");
+        }
+        if self.shards != next.shards {
+            frozen.push("shards");
+        }
+        if self.seed != next.seed {
+            frozen.push("seed");
+        }
+        if frozen.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "boot-only fields changed (restart required): {}",
+                frozen.join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_round_trips_and_validates() {
+        let c = ServeConfig::recommended();
+        assert!(c.validate().is_ok());
+        let parsed = ServeConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn analyze_gate_rejects_a_semantically_broken_policy() {
+        let mut c = ServeConfig::recommended();
+        // Challenge at the block threshold: structurally valid, but the
+        // config pass flags challenges as unreachable — the exact shape the
+        // CI hot-reload rejection step feeds the watcher.
+        c.policy.challenge_threshold = c.policy.block_threshold;
+        let errors = c.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("unreachable-challenge")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn topology_zeroes_are_rejected() {
+        let mut c = ServeConfig::recommended();
+        c.workers = 0;
+        c.queue_depth = 0;
+        let errors = c.validate().unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn hot_compat_freezes_topology_fields() {
+        let boot = ServeConfig::recommended();
+        let mut next = boot.clone();
+        next.limits.decide = 16;
+        assert!(boot.hot_compatible(&next).is_ok());
+        next.workers = 8;
+        let err = boot.hot_compatible(&next).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Unified process exit codes for the serving binaries.
+//!
+//! Matches the convention the `experiments` binary established (0/2/3/4),
+//! so CI can assert outcomes by code instead of scraping output:
+//!
+//! | code | `fg-serve`                      | `fg-loadgen`                      |
+//! |-----:|---------------------------------|-----------------------------------|
+//! | 0    | clean start and graceful drain  | run completed, SLO asserts passed |
+//! | 2    | usage error (flags, arguments)  | usage error                       |
+//! | 3    | bind / IO failure at startup    | target unreachable                |
+//! | 4    | initial config rejected         | SLO assertion failed / no decisions |
+
+use std::process::ExitCode;
+
+/// Exit disposition for `fg-serve` and `fg-loadgen`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exit {
+    /// Clean completion.
+    Success = 0,
+    /// Bad command line.
+    Usage = 2,
+    /// The environment failed us: bind error, connect failure.
+    Unavailable = 3,
+    /// The run completed but its contract failed: rejected config,
+    /// violated SLO assertion, zero successful decisions.
+    ContractFailed = 4,
+}
+
+impl From<Exit> for ExitCode {
+    fn from(e: Exit) -> ExitCode {
+        ExitCode::from(e as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Exit::Success as u8, 0);
+        assert_eq!(Exit::Usage as u8, 2);
+        assert_eq!(Exit::Unavailable as u8, 3);
+        assert_eq!(Exit::ContractFailed as u8, 4);
+    }
+}

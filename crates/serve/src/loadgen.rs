@@ -1,0 +1,399 @@
+//! The wire-replay load generator behind `fg-loadgen`.
+//!
+//! Generates a deterministic fg-behavior workload from a seed (see
+//! [`fg_scenario::workload::generate`]), then replays it over HTTP/1.1
+//! keep-alive connections against a running `fg-serve` — configurable
+//! connection count, target rate, and duration — and reports sustained
+//! decisions/sec with p50/p90/p99/p999 latency as a schema-versioned
+//! `BENCH_serve.json`.
+//!
+//! Request *content* is deterministic per seed; measured latency is
+//! wall-clock by nature. The report separates the two: `seed` pins what was
+//! sent, the latency block describes this run of this machine.
+
+use fg_scenario::workload::{generate, Workload, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Version stamp on `BENCH_serve.json`.
+pub const SERVE_BENCH_SCHEMA: u32 = 1;
+
+/// Loadgen parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target `host:port`.
+    pub addr: String,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Aggregate target request rate (requests/sec); `0` = as fast as
+    /// possible.
+    pub rate: f64,
+    /// How long to drive load.
+    pub duration: Duration,
+    /// Workload seed (what gets sent is a pure function of this).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8080".to_owned(),
+            connections: 4,
+            rate: 0.0,
+            duration: Duration::from_secs(10),
+            seed: 42,
+        }
+    }
+}
+
+/// The measured outcome, serialized as `BENCH_serve.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Format version ([`SERVE_BENCH_SCHEMA`]).
+    pub schema: u32,
+    /// Workload seed driven.
+    pub seed: u64,
+    /// Connections driven.
+    pub connections: usize,
+    /// Wall-clock duration actually driven, seconds.
+    pub duration_secs: f64,
+    /// Requests put on the wire.
+    pub sent: u64,
+    /// `200` decisions received.
+    pub ok: u64,
+    /// Non-200 responses by status code.
+    pub errors: BTreeMap<u16, u64>,
+    /// Transport failures (connect resets, short reads).
+    pub transport_errors: u64,
+    /// Sustained successful decisions per second.
+    pub decisions_per_sec: f64,
+    /// Response latency percentiles, milliseconds.
+    pub latency_ms: LatencySummary,
+    /// Decision kinds observed (allow/challenge/…) with counts.
+    pub decisions: BTreeMap<String, u64>,
+}
+
+/// Latency percentiles in milliseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+impl LoadReport {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("load report serializes")
+    }
+
+    /// Parses a report, rejecting unknown schema versions.
+    pub fn from_json(s: &str) -> Result<LoadReport, String> {
+        let r: LoadReport = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if r.schema != SERVE_BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported serve bench schema {} (expected {SERVE_BENCH_SCHEMA})",
+                r.schema
+            ));
+        }
+        Ok(r)
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64 / 1_000_000.0
+}
+
+struct WorkerOutcome {
+    sent: u64,
+    ok: u64,
+    errors: BTreeMap<u16, u64>,
+    transport_errors: u64,
+    latencies_ns: Vec<u64>,
+    decisions: BTreeMap<String, u64>,
+}
+
+/// Drives the configured load and measures. Fails fast (`Err`) only when
+/// the target is unreachable at start; per-request transport errors during
+/// the run are counted, not fatal.
+pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
+    // Probe first so "nothing is listening" is a crisp failure.
+    TcpStream::connect(&config.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+
+    let workload = generate(&WorkloadConfig {
+        seed: config.seed,
+        ..WorkloadConfig::default()
+    });
+    if workload.requests.is_empty() {
+        return Err("generated workload is empty".to_owned());
+    }
+    let workload = Arc::new(workload);
+    let connections = config.connections.max(1);
+    let next_index = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let per_conn_interval = if config.rate > 0.0 {
+        Some(Duration::from_secs_f64(connections as f64 / config.rate))
+    } else {
+        None
+    };
+
+    let mut handles = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let addr = config.addr.clone();
+        let workload = workload.clone();
+        let next_index = next_index.clone();
+        handles.push(std::thread::spawn(move || {
+            drive_connection(&addr, &workload, &next_index, deadline, per_conn_interval)
+        }));
+    }
+
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut errors: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut transport_errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut decisions: BTreeMap<String, u64> = BTreeMap::new();
+    for h in handles {
+        let outcome = h.join().map_err(|_| "load worker panicked".to_owned())?;
+        sent += outcome.sent;
+        ok += outcome.ok;
+        transport_errors += outcome.transport_errors;
+        for (k, v) in outcome.errors {
+            *errors.entry(k).or_default() += v;
+        }
+        for (k, v) in outcome.decisions {
+            *decisions.entry(k).or_default() += v;
+        }
+        latencies.extend(outcome.latencies_ns);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    Ok(LoadReport {
+        schema: SERVE_BENCH_SCHEMA,
+        seed: config.seed,
+        connections,
+        duration_secs: elapsed,
+        sent,
+        ok,
+        errors,
+        transport_errors,
+        decisions_per_sec: ok as f64 / elapsed,
+        latency_ms: LatencySummary {
+            p50: percentile(&latencies, 0.50),
+            p90: percentile(&latencies, 0.90),
+            p99: percentile(&latencies, 0.99),
+            p999: percentile(&latencies, 0.999),
+            max: latencies.last().map_or(0.0, |&n| n as f64 / 1_000_000.0),
+        },
+        decisions,
+    })
+}
+
+fn drive_connection(
+    addr: &str,
+    workload: &Workload,
+    next_index: &AtomicU64,
+    deadline: Instant,
+    interval: Option<Duration>,
+) -> WorkerOutcome {
+    let mut outcome = WorkerOutcome {
+        sent: 0,
+        ok: 0,
+        errors: BTreeMap::new(),
+        transport_errors: 0,
+        latencies_ns: Vec::new(),
+        decisions: BTreeMap::new(),
+    };
+    let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    let mut next_send = Instant::now();
+    while Instant::now() < deadline {
+        if let Some(iv) = interval {
+            let now = Instant::now();
+            if now < next_send {
+                std::thread::sleep(next_send - now);
+            }
+            next_send += iv;
+        }
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                    let read_half = match s.try_clone() {
+                        Ok(r) => r,
+                        Err(_) => {
+                            outcome.transport_errors += 1;
+                            continue;
+                        }
+                    };
+                    conn = Some((BufReader::new(read_half), s));
+                }
+                Err(_) => {
+                    outcome.transport_errors += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            }
+        }
+        let idx = next_index.fetch_add(1, Ordering::Relaxed) as usize % workload.requests.len();
+        let body = serde_json::to_string(&workload.requests[idx])
+            .expect("request serializes")
+            .into_bytes();
+        let (reader, writer) = conn.as_mut().expect("connection just ensured");
+        let t0 = Instant::now();
+        match exchange(reader, writer, &body) {
+            Ok((status, resp_body)) => {
+                outcome.sent += 1;
+                outcome.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                if status == 200 {
+                    outcome.ok += 1;
+                    if let Some(d) = std::str::from_utf8(&resp_body)
+                        .ok()
+                        .and_then(|t| serde_json::from_str::<serde_json::Value>(t).ok())
+                        .as_ref()
+                        .and_then(|v| v.get("decision"))
+                        .and_then(|d| d.as_str())
+                    {
+                        *outcome.decisions.entry(d.to_owned()).or_default() += 1;
+                    }
+                } else {
+                    *outcome.errors.entry(status).or_default() += 1;
+                    if status == 429 || status == 503 {
+                        // Shed or breaker-open: back off a beat.
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            Err(_) => {
+                outcome.transport_errors += 1;
+                conn = None; // reconnect next iteration
+            }
+        }
+    }
+    outcome
+}
+
+/// One POST /v1/decide round trip over an established connection.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    write!(
+        writer,
+        "POST /v1/decide HTTP/1.1\r\nHost: fg-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    read_response(reader)
+}
+
+/// Minimal HTTP/1.1 response reader: status line, headers (Content-Length
+/// framing only — matching what fg-serve emits), body.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed in headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let ns: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect(); // 1..=1000 ms
+        assert!((percentile(&ns, 0.50) - 500.0).abs() <= 1.0);
+        assert!((percentile(&ns, 0.99) - 990.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_gates_schema() {
+        let report = LoadReport {
+            schema: SERVE_BENCH_SCHEMA,
+            seed: 42,
+            connections: 2,
+            duration_secs: 1.0,
+            sent: 10,
+            ok: 9,
+            errors: BTreeMap::from([(429, 1)]),
+            transport_errors: 0,
+            decisions_per_sec: 9.0,
+            latency_ms: LatencySummary {
+                p50: 1.0,
+                p90: 2.0,
+                p99: 3.0,
+                p999: 4.0,
+                max: 5.0,
+            },
+            decisions: BTreeMap::from([("allow".to_owned(), 9)]),
+        };
+        let parsed = LoadReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let mut wrong = report;
+        wrong.schema = 9;
+        assert!(LoadReport::from_json(&wrong.to_json()).is_err());
+    }
+
+    #[test]
+    fn response_reader_handles_a_canned_exchange() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let (status, body) = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{}");
+    }
+}

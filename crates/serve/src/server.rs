@@ -1,0 +1,662 @@
+//! The HTTP server: accept loop, fixed worker pool, bounded hand-off
+//! queue, per-endpoint load shedding, config watcher, and graceful drain.
+//!
+//! Threading model: one accept thread pushes connections into a bounded
+//! `sync_channel`; `workers` threads pull and drive keep-alive sessions.
+//! A full queue sheds the connection with `429` instead of letting it
+//! queue invisibly. Workers poll the drain flag between requests (reads
+//! time out every 250 ms), so a `SIGTERM` finishes in-flight exchanges,
+//! answers nothing new, and exits once the pool is idle.
+
+use crate::breaker::CircuitBreaker;
+use crate::config::{EndpointLimits, ServeConfig};
+use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::service::{DecisionService, OutcomeReport};
+use fg_scenario::workload::WireRequest;
+use fg_telemetry::metrics::Counter;
+use fg_telemetry::Telemetry;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake to poll the drain flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// Idle keep-alive connections are closed after this long without a byte.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
+/// Config watcher poll cadence.
+const WATCH_POLL: Duration = Duration::from_millis(300);
+
+/// Endpoint classes for metrics and concurrency accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    Decide,
+    Report,
+    Observe,
+    Other,
+}
+
+impl Class {
+    fn label(self) -> &'static str {
+        match self {
+            Class::Decide => "decide",
+            Class::Report => "report",
+            Class::Observe => "observe",
+            Class::Other => "other",
+        }
+    }
+}
+
+/// Pre-registered per-endpoint/status counters plus the shed/reload
+/// tallies — the serving layer's additions to the Prometheus export.
+struct HttpMetrics {
+    /// `fg_http_requests_total{endpoint, status}`; see `counter()` for the
+    /// registered status buckets.
+    requests: Vec<((&'static str, u16), Counter)>,
+    shed: Counter,
+    connections: Counter,
+    reload_applied: Counter,
+    reload_rejected: Counter,
+}
+
+const STATUS_BUCKETS: &[u16] = &[200, 400, 404, 405, 408, 413, 429, 431, 500, 503];
+
+impl HttpMetrics {
+    fn register(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.metrics();
+        registry.set_help(
+            "fg_http_requests_total",
+            "HTTP responses sent, by endpoint class and status",
+        );
+        registry.set_help(
+            "fg_http_shed_total",
+            "Connections shed on a full accept queue",
+        );
+        registry.set_help("fg_http_connections_total", "Connections accepted");
+        registry.set_help(
+            "fg_config_reload_total",
+            "Config hot-reload attempts, by outcome",
+        );
+        let mut requests = Vec::new();
+        for class in [Class::Decide, Class::Report, Class::Observe, Class::Other] {
+            for &status in STATUS_BUCKETS {
+                let status_str = status.to_string();
+                requests.push((
+                    (class.label(), status),
+                    registry.counter_with(
+                        "fg_http_requests_total",
+                        &[("endpoint", class.label()), ("status", status_str.as_str())],
+                    ),
+                ));
+            }
+        }
+        HttpMetrics {
+            requests,
+            shed: registry.counter("fg_http_shed_total"),
+            connections: registry.counter("fg_http_connections_total"),
+            reload_applied: registry
+                .counter_with("fg_config_reload_total", &[("outcome", "applied")]),
+            reload_rejected: registry
+                .counter_with("fg_config_reload_total", &[("outcome", "rejected")]),
+        }
+    }
+
+    fn on_response(&self, class: Class, status: u16) {
+        // Unlisted codes fold into the nearest registered bucket's class
+        // row via exact match only — every code the server emits is listed.
+        if let Some((_, c)) = self
+            .requests
+            .iter()
+            .find(|((l, s), _)| *l == class.label() && *s == status)
+        {
+            c.inc();
+        }
+    }
+}
+
+/// One endpoint's concurrency gate: an atomic in-flight count against a
+/// hot-reloadable ceiling.
+struct Gate {
+    in_flight: AtomicUsize,
+    limit: AtomicUsize,
+}
+
+impl Gate {
+    fn new(limit: usize) -> Self {
+        Gate {
+            in_flight: AtomicUsize::new(0),
+            limit: AtomicUsize::new(limit),
+        }
+    }
+
+    /// Acquires a slot or reports saturation. Release by decrementing.
+    fn try_acquire(&self) -> bool {
+        let limit = self.limit.load(Ordering::Relaxed);
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Gates {
+    decide: Gate,
+    report: Gate,
+    observe: Gate,
+}
+
+impl Gates {
+    fn new(limits: EndpointLimits) -> Self {
+        Gates {
+            decide: Gate::new(limits.decide),
+            report: Gate::new(limits.report),
+            observe: Gate::new(limits.observe),
+        }
+    }
+
+    fn set(&self, limits: EndpointLimits) {
+        self.decide.limit.store(limits.decide, Ordering::Relaxed);
+        self.report.limit.store(limits.report, Ordering::Relaxed);
+        self.observe.limit.store(limits.observe, Ordering::Relaxed);
+    }
+
+    fn for_class(&self, class: Class) -> Option<&Gate> {
+        match class {
+            Class::Decide => Some(&self.decide),
+            Class::Report => Some(&self.report),
+            Class::Observe => Some(&self.observe),
+            Class::Other => None,
+        }
+    }
+}
+
+/// Everything the workers and watcher share.
+pub struct ServeState {
+    service: DecisionService,
+    telemetry: Arc<Telemetry>,
+    metrics: HttpMetrics,
+    breaker: CircuitBreaker,
+    gates: Gates,
+    limits: Limits,
+    draining: AtomicBool,
+    /// Monotone config generation; bumped on every applied hot-reload.
+    generation: AtomicU64,
+    /// Human-readable outcome of the last reload attempt.
+    last_reload: Mutex<String>,
+    /// The currently effective config (hot fields updated on apply).
+    active: Mutex<ServeConfig>,
+}
+
+impl ServeState {
+    fn new(config: ServeConfig, telemetry: Arc<Telemetry>) -> Self {
+        ServeState {
+            service: DecisionService::new(&config, telemetry.clone()),
+            metrics: HttpMetrics::register(&telemetry),
+            telemetry,
+            breaker: CircuitBreaker::new(config.breaker),
+            gates: Gates::new(config.limits),
+            limits: Limits::default(),
+            draining: AtomicBool::new(false),
+            generation: AtomicU64::new(1),
+            last_reload: Mutex::new("boot".to_owned()),
+            active: Mutex::new(config),
+        }
+    }
+
+    /// The decision core (for in-process tests and benches).
+    pub fn service(&self) -> &DecisionService {
+        &self.service
+    }
+
+    /// Applied-config generation (1 at boot).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Outcome of the last hot-reload attempt.
+    pub fn last_reload(&self) -> String {
+        self.last_reload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to hot-apply `candidate`; returns the outcome string that
+    /// `/readyz` surfaces. Validation failures leave everything untouched.
+    pub fn try_reload(&self, raw: &str) -> Result<u64, String> {
+        let outcome = self.reload_inner(raw);
+        let mut last = self.last_reload.lock().unwrap_or_else(|e| e.into_inner());
+        match &outcome {
+            Ok(generation) => {
+                self.metrics.reload_applied.inc();
+                *last = format!("applied (generation {generation})");
+            }
+            Err(why) => {
+                self.metrics.reload_rejected.inc();
+                *last = format!("rejected: {why}");
+            }
+        }
+        outcome
+    }
+
+    fn reload_inner(&self, raw: &str) -> Result<u64, String> {
+        let candidate = ServeConfig::from_json(raw).map_err(|e| format!("parse: {e}"))?;
+        candidate
+            .validate()
+            .map_err(|errors| format!("validation: {}", errors.join("; ")))?;
+        let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+        active.hot_compatible(&candidate)?;
+        // Point of no return: apply hot fields atomically under the lock.
+        self.service.replace_policy(candidate.policy.clone());
+        self.gates.set(candidate.limits);
+        self.breaker.reconfigure(candidate.breaker);
+        active.policy = candidate.policy;
+        active.limits = candidate.limits;
+        active.breaker = candidate.breaker;
+        Ok(self.generation.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        let (class, response) = self.route_inner(req);
+        self.metrics.on_response(class, response.status);
+        response
+    }
+
+    fn route_inner(&self, req: &Request) -> (Class, Response) {
+        let class = match req.target.as_str() {
+            "/v1/decide" => Class::Decide,
+            "/v1/report" => Class::Report,
+            "/metrics" | "/healthz" | "/readyz" => Class::Observe,
+            _ => Class::Other,
+        };
+        if let Some(gate) = self.gates.for_class(class) {
+            if !gate.try_acquire() {
+                return (class, Response::error(429, "endpoint concurrency limit"));
+            }
+        }
+        let response = self.dispatch(class, req);
+        if let Some(gate) = self.gates.for_class(class) {
+            gate.release();
+        }
+        (class, response)
+    }
+
+    fn dispatch(&self, class: Class, req: &Request) -> Response {
+        match (req.method.as_str(), req.target.as_str()) {
+            ("GET", "/healthz") => Response::json(200, &b"{\"ok\":true}"[..]),
+            ("GET", "/readyz") => self.readyz(),
+            ("GET", "/metrics") => Response::text(200, self.telemetry.snapshot().to_prometheus()),
+            ("POST", "/v1/decide") => self.decide(req),
+            ("POST", "/v1/report") => self.report(req),
+            (_, "/healthz" | "/readyz" | "/metrics" | "/v1/decide" | "/v1/report") => {
+                Response::error(405, "method not allowed")
+            }
+            _ => {
+                let _ = class;
+                Response::error(404, "no such endpoint")
+            }
+        }
+    }
+
+    fn readyz(&self) -> Response {
+        use serde_json::Value;
+        let draining = self.draining();
+        let body = Value::Object(vec![
+            ("ready".to_owned(), Value::Bool(!draining)),
+            ("draining".to_owned(), Value::Bool(draining)),
+            (
+                "config_generation".to_owned(),
+                Value::UInt(self.generation()),
+            ),
+            ("last_reload".to_owned(), Value::String(self.last_reload())),
+            (
+                "breaker".to_owned(),
+                Value::String(self.breaker.state_name().to_owned()),
+            ),
+            (
+                "decisions".to_owned(),
+                Value::UInt(self.service.decisions()),
+            ),
+        ]);
+        let status = if draining { 503 } else { 200 };
+        Response::json(
+            status,
+            serde_json::to_string(&body)
+                .unwrap_or_default()
+                .into_bytes(),
+        )
+    }
+
+    fn decide(&self, req: &Request) -> Response {
+        if !self.breaker.try_acquire() {
+            return Response::error(503, "decision path circuit open");
+        }
+        let wire: WireRequest = match std::str::from_utf8(&req.body)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+        {
+            Ok(w) => {
+                self.breaker.record(true);
+                w
+            }
+            Err(e) => {
+                // A bad request body is the client's failure, not the
+                // decision path's: record success so 400s never trip the
+                // breaker.
+                self.breaker.record(true);
+                return Response::error(400, &format!("bad decide body: {e}"));
+            }
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.service.decide(&wire)))
+        {
+            Ok(decision) => match serde_json::to_string(&decision) {
+                Ok(body) => {
+                    self.breaker.record(true);
+                    Response::json(200, body.into_bytes())
+                }
+                Err(e) => {
+                    self.breaker.record(false);
+                    Response::error(500, &format!("serialize: {e}"))
+                }
+            },
+            Err(_) => {
+                self.breaker.record(false);
+                Response::error(500, "decision handler panicked")
+            }
+        }
+    }
+
+    fn report(&self, req: &Request) -> Response {
+        let outcome: OutcomeReport = match std::str::from_utf8(&req.body)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+        {
+            Ok(o) => o,
+            Err(e) => return Response::error(400, &format!("bad report body: {e}")),
+        };
+        match self.service.report(&outcome) {
+            Ok(ack) => Response::json(
+                200,
+                serde_json::to_string(&ack).unwrap_or_default().into_bytes(),
+            ),
+            Err(why) => Response::error(400, &why),
+        }
+    }
+}
+
+/// A drain summary, for the shutdown log line and exit-code decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// All workers exited before the deadline.
+    pub clean: bool,
+    /// Workers still busy at the deadline (0 when `clean`).
+    pub stragglers: usize,
+}
+
+/// A running server: accept thread + worker pool (+ optional watcher).
+pub struct Server {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+    finished_workers: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds `config.listen` and starts the pool. When `watch` names a
+    /// file, it is polled for hot-reloads (the file's current content is
+    /// the baseline — only *changes* trigger a reload attempt).
+    pub fn start(
+        config: ServeConfig,
+        telemetry: Arc<Telemetry>,
+        watch: Option<PathBuf>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers_n = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let state = Arc::new(ServeState::new(config, telemetry));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let finished_workers = Arc::new(AtomicUsize::new(0));
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let rx = rx.clone();
+            let state = state.clone();
+            let finished = finished_workers.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fg-serve-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&rx, &state);
+                        finished.fetch_add(1, Ordering::Release);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept = {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name("fg-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &tx, &state))
+                .expect("spawn accept loop")
+        };
+
+        let watcher = watch.map(|path| {
+            let state = state.clone();
+            // Read the baseline *before* returning from start(): anything
+            // written to the file after boot is then reliably a change,
+            // even if the watcher thread is scheduled late.
+            let baseline = std::fs::read_to_string(&path).ok();
+            std::thread::Builder::new()
+                .name("fg-serve-watch".to_owned())
+                .spawn(move || watch_loop(&path, baseline, &state))
+                .expect("spawn config watcher")
+        });
+
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+            workers,
+            watcher,
+            finished_workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process tests.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Flags the drain: accepting stops, keep-alive connections close
+    /// after their in-flight exchange. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.state.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits up to `deadline` for the pool to finish, then reports. Call
+    /// after [`Server::begin_shutdown`]; also safe on a failed boot.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        self.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join(); // exits within one accept poll
+        }
+        // Accept thread gone → its queue sender is dropped → workers see
+        // the channel close once drained. Poll their exit count.
+        let start = Instant::now();
+        let total = self.workers.len();
+        while self.finished_workers.load(Ordering::Acquire) < total && start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let finished = self.finished_workers.load(Ordering::Acquire);
+        for w in self.workers.drain(..) {
+            if self.finished_workers.load(Ordering::Acquire) >= total {
+                let _ = w.join();
+            } else {
+                // Straggler past deadline: abandon the join; the process
+                // is exiting anyway and the report says so.
+                drop(w);
+            }
+        }
+        if let Some(watch) = self.watcher.take() {
+            let _ = watch.join(); // watcher polls the drain flag too
+        }
+        DrainReport {
+            clean: finished >= total,
+            stragglers: total - finished.min(total),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Arc<ServeState>) {
+    loop {
+        if state.draining() {
+            return; // drops tx → workers drain the queue and exit
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.connections.inc();
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => shed(stream, state),
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Queue full: answer 429 from the accept thread and close. Short write
+/// timeout so a slow-reading client cannot stall accepting.
+fn shed(stream: TcpStream, state: &Arc<ServeState>) {
+    state.metrics.shed.inc();
+    state.metrics.on_response(Class::Other, 429);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut stream = stream;
+    let _ = Response::error(429, "server saturated, retry later")
+        .closing()
+        .write_to(&mut stream);
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<ServeState>) {
+    loop {
+        // Hold the lock only for the dequeue itself. A blocking recv would
+        // pin the mutex while idle, so poll with a timeout: other workers
+        // get their turn and everyone notices channel close / drain.
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match conn {
+            Ok(stream) => handle_connection(stream, state),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if state.draining() {
+                    // Queue may still hold work; only exit once empty.
+                    let empty = {
+                        let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        match rx.try_recv() {
+                            Ok(stream) => {
+                                drop(rx);
+                                handle_connection(stream, state);
+                                false
+                            }
+                            Err(_) => true,
+                        }
+                    };
+                    if empty {
+                        return;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = Instant::now();
+    loop {
+        match http::read_request(&mut reader, &state.limits) {
+            Ok(request) => {
+                idle_since = Instant::now();
+                let mut response = state.route(&request);
+                let draining = state.draining();
+                if !request.wants_keep_alive() || draining {
+                    response.close = true;
+                }
+                if response.write_to(&mut writer).is_err() {
+                    return;
+                }
+                if response.close {
+                    return;
+                }
+            }
+            Err(ParseError::IdleTimeout) => {
+                if state.draining() || idle_since.elapsed() >= KEEP_ALIVE_IDLE {
+                    return;
+                }
+            }
+            Err(ParseError::IdleEof) => return,
+            Err(err) => {
+                if let Some((status, why)) = err.status() {
+                    state.metrics.on_response(Class::Other, status);
+                    let _ = Response::error(status, why).closing().write_to(&mut writer);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn watch_loop(path: &std::path::Path, baseline: Option<String>, state: &Arc<ServeState>) {
+    let mut last_seen = baseline;
+    while !state.draining() {
+        std::thread::sleep(WATCH_POLL);
+        let Ok(current) = std::fs::read_to_string(path) else {
+            continue; // transient: editor mid-swap, file momentarily gone
+        };
+        if last_seen.as_deref() == Some(current.as_str()) {
+            continue;
+        }
+        last_seen = Some(current.clone());
+        let _ = state.try_reload(&current);
+    }
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end gate for the serving layer.
+#
+# Boots fg-serve from a watched config file, drives it with fg-loadgen,
+# exercises /metrics, proves hot-reload reject-and-keep-old, drains on
+# SIGTERM, and asserts the unified exit-code contract (0/2/3/4) for both
+# binaries. Run from the repository root after
+# `cargo build --release -p fg-serve --bins`; CI calls it verbatim.
+#
+# Tunables (env): BIN_DIR, SERVE_PORT, LOAD_DURATION, SERVE_BENCH_OUT.
+set -euo pipefail
+
+BIN=${BIN_DIR:-target/release}
+PORT=${SERVE_PORT:-8787}
+ADDR=127.0.0.1:$PORT
+CONFIG=serve-config.json
+OUT=${SERVE_BENCH_OUT:-BENCH_serve.json}
+LOG=serve-smoke.log
+SERVE_PID=""
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  [ -f "$LOG" ] && tail -40 "$LOG" >&2
+  exit 1
+}
+
+# expect_exit CODE cmd... — the exit-code contract is part of the interface
+# (fg_serve::Exit): 0 success, 2 usage, 3 unavailable, 4 contract failed.
+expect_exit() {
+  local want=$1
+  shift
+  set +e
+  "$@" >/dev/null 2>&1
+  local got=$?
+  set -e
+  [ "$got" -eq "$want" ] || fail "expected exit $want from '$*', got $got"
+  echo "serve-smoke: exit-code contract ok: '$*' -> $got"
+}
+
+readyz() { curl -sf "http://$ADDR/readyz"; }
+
+# --- config bootstrap -------------------------------------------------
+"$BIN/fg-serve" --print-config > "$CONFIG"
+python3 - "$CONFIG" "$ADDR" <<'EOF'
+import json, sys
+path, addr = sys.argv[1], sys.argv[2]
+c = json.load(open(path))
+c["listen"] = addr
+json.dump(c, open(path, "w"), indent=2)
+EOF
+"$BIN/fg-serve" --check --config "$CONFIG"
+cp "$CONFIG" serve-config.good.json
+
+# A structurally valid config the fg-analyze gate must reject: challenging
+# at the block threshold makes every challenge unreachable.
+python3 - "$CONFIG" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))
+c["policy"]["challenge_threshold"] = c["policy"]["block_threshold"]
+json.dump(c, open("serve-config.bad.json", "w"), indent=2)
+EOF
+
+# --- exit-code contract, no server needed -----------------------------
+expect_exit 2 "$BIN/fg-serve" --no-such-flag
+expect_exit 2 "$BIN/fg-loadgen" --no-such-flag
+expect_exit 4 "$BIN/fg-serve" --check --config serve-config.bad.json
+expect_exit 3 "$BIN/fg-loadgen" --addr 127.0.0.1:9 --duration 1s --connections 1 --out /dev/null
+
+# --- boot -------------------------------------------------------------
+"$BIN/fg-serve" --config "$CONFIG" --final-metrics serve-final-metrics.prom > "$LOG" 2>&1 &
+SERVE_PID=$!
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  readyz > /dev/null 2>&1 && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "fg-serve died during boot"
+  sleep 0.2
+done
+readyz | grep -q '"ready":true' || fail "/readyz never reported ready"
+curl -sf "http://$ADDR/healthz" | grep -q '"ok":true' || fail "/healthz wrong"
+echo "serve-smoke: fg-serve ready on $ADDR"
+
+# A second instance on the occupied port must refuse with 3, not clobber.
+expect_exit 3 "$BIN/fg-serve" --config "$CONFIG"
+
+# --- load -------------------------------------------------------------
+"$BIN/fg-loadgen" --addr "$ADDR" --connections 4 --duration "${LOAD_DURATION:-10s}" --seed 42 \
+  --assert-min-rate 50 --assert-max-p99-ms 250 --out "$OUT"
+python3 - "$OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == 1, r
+assert r["ok"] > 0 and r["decisions_per_sec"] > 0, r
+EOF
+echo "serve-smoke: load OK -> $OUT"
+
+# An impossible SLO bound must exit 4 (violation), not 0.
+expect_exit 4 "$BIN/fg-loadgen" --addr "$ADDR" --connections 1 --duration 1s --seed 43 \
+  --assert-min-rate 100000000 --out /dev/null
+
+# --- metrics ----------------------------------------------------------
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'fg_decisions_total' || fail "metrics missing fg_decisions_total"
+echo "$METRICS" | grep -q 'fg_http_requests_total' || fail "metrics missing fg_http_requests_total"
+echo "serve-smoke: /metrics OK"
+
+# --- hot reload: rejected edit keeps the old config -------------------
+GEN_BEFORE=$(readyz | python3 -c 'import json,sys; print(json.load(sys.stdin)["config_generation"])')
+cp serve-config.bad.json "$CONFIG"
+for _ in $(seq 1 50); do
+  readyz | grep -q 'rejected' && break
+  sleep 0.2
+done
+readyz | grep -q 'rejected' || fail "watcher never rejected the bad config"
+GEN_AFTER=$(readyz | python3 -c 'import json,sys; print(json.load(sys.stdin)["config_generation"])')
+[ "$GEN_BEFORE" = "$GEN_AFTER" ] || fail "generation moved on a rejected reload ($GEN_BEFORE -> $GEN_AFTER)"
+# The surviving config must still serve decisions.
+"$BIN/fg-loadgen" --addr "$ADDR" --connections 2 --duration 2s --seed 44 --out /dev/null
+echo "serve-smoke: hot-reload rejection OK (old config survived)"
+
+# --- hot reload: a valid edit applies ---------------------------------
+python3 - <<'EOF'
+import json
+c = json.load(open("serve-config.good.json"))
+c["limits"]["decide"] = 48
+json.dump(c, open("serve-config.json", "w"), indent=2)
+EOF
+for _ in $(seq 1 50); do
+  readyz | grep -q "\"config_generation\":$((GEN_BEFORE + 1))" && break
+  sleep 0.2
+done
+readyz | grep -q "\"config_generation\":$((GEN_BEFORE + 1))" || fail "valid hot reload never applied"
+echo "serve-smoke: hot-reload apply OK (generation $((GEN_BEFORE + 1)))"
+
+# --- SIGTERM drain ----------------------------------------------------
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+DRAIN=$?
+set -e
+trap - EXIT
+[ "$DRAIN" -eq 0 ] || fail "drain exited $DRAIN, wanted 0"
+grep -q 'drained cleanly' "$LOG" || fail "no clean-drain line in the server log"
+[ -s serve-final-metrics.prom ] || fail "final metrics snapshot missing"
+grep -q 'fg_decisions_total' serve-final-metrics.prom || fail "final metrics snapshot missing counters"
+echo "serve-smoke: SIGTERM drain OK"
+echo "serve-smoke: PASS"

@@ -1,0 +1,248 @@
+//! End-to-end integration of the serving layer: endpoints, load shedding,
+//! config hot-reload (reject-and-keep-old), and graceful drain — all over
+//! real sockets on an ephemeral port.
+
+use fg_scenario::workload::{generate, WorkloadConfig};
+use fg_serve::{ServeConfig, Server};
+use fg_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn test_config() -> ServeConfig {
+    let mut config = ServeConfig::recommended();
+    config.listen = "127.0.0.1:0".to_owned();
+    config.workers = 2;
+    config.queue_depth = 16;
+    config
+}
+
+/// One full HTTP exchange on a fresh connection; returns (status, body).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status present")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("numeric length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn sample_decide_body() -> String {
+    let workload = generate(&WorkloadConfig {
+        seed: 5,
+        horizon_hours: 1,
+        arrivals_per_day: 50.0,
+        seat_spinner: false,
+        sms_pumper: false,
+    });
+    serde_json::to_string(workload.requests.first().expect("non-empty workload"))
+        .expect("request serializes")
+}
+
+#[test]
+fn endpoints_answer_with_correct_statuses() {
+    let server = Server::start(test_config(), Telemetry::shared(), None).expect("boot");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+
+    let (status, body) = request(addr, "GET", "/readyz", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"config_generation\":1"), "{body}");
+
+    let decide_body = sample_decide_body();
+    let (status, body) = request(addr, "POST", "/v1/decide", decide_body.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"decision\""), "{body}");
+    assert!(body.contains("\"reasons\""), "{body}");
+
+    let (status, _) = request(addr, "POST", "/v1/decide", b"{not json");
+    assert_eq!(status, 400);
+
+    let outcome = fg_serve::OutcomeReport {
+        ip: fg_netsim::ip::IpAddress::from_octets(10, 1, 2, 3),
+        score: 0.9,
+        now_ms: 1_000,
+    };
+    let report = serde_json::to_string(&outcome).expect("report serializes");
+    let (status, body) = request(addr, "POST", "/v1/report", report.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"reports\":1"), "{body}");
+
+    let bad_outcome = fg_serve::OutcomeReport {
+        score: 7.0,
+        ..outcome
+    };
+    let bad = serde_json::to_string(&bad_outcome).expect("report serializes");
+    let (status, _) = request(addr, "POST", "/v1/report", bad.as_bytes());
+    assert_eq!(status, 400);
+
+    let (status, body) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("fg_decisions_total"),
+        "metrics must include decision counters"
+    );
+    assert!(
+        body.contains("fg_http_requests_total"),
+        "metrics must include HTTP counters"
+    );
+
+    let (status, _) = request(addr, "GET", "/v1/decide", b"");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/healthz", b"");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/no/such/path", b"");
+    assert_eq!(status, 404);
+
+    let report = server.drain(Duration::from_secs(10));
+    assert!(report.clean, "{report:?}");
+}
+
+/// A unique temp path for this test process (no wall-clock naming needed).
+fn temp_config_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fg-serve-test-{}-{tag}.json", std::process::id()))
+}
+
+fn wait_for<F: FnMut() -> bool>(mut ready: F, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if ready() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn hot_reload_rejects_bad_configs_and_applies_good_ones() {
+    let path = temp_config_path("reload");
+    let config = test_config();
+    std::fs::write(&path, config.to_json()).expect("write initial config");
+
+    let server =
+        Server::start(config.clone(), Telemetry::shared(), Some(path.clone())).expect("boot");
+    let addr = server.addr();
+    let state = server.state().clone();
+    assert_eq!(state.generation(), 1);
+
+    // 1. A semantically broken policy (challenge at the block threshold —
+    //    structurally valid, rejected by the fg-analyze gate) must be
+    //    refused, and the old config must keep serving.
+    let mut bad = config.clone();
+    bad.policy.challenge_threshold = bad.policy.block_threshold;
+    std::fs::write(&path, bad.to_json()).expect("write bad config");
+    assert!(
+        wait_for(
+            || state.last_reload().contains("rejected"),
+            Duration::from_secs(5)
+        ),
+        "watcher never rejected the bad config: {}",
+        state.last_reload()
+    );
+    assert_eq!(
+        state.generation(),
+        1,
+        "rejected reload must not bump the generation"
+    );
+    let decide_body = sample_decide_body();
+    let (status, _) = request(addr, "POST", "/v1/decide", decide_body.as_bytes());
+    assert_eq!(
+        status, 200,
+        "old config must keep serving after a rejected reload"
+    );
+
+    // 2. A boot-only field change is also rejected (restart required).
+    let mut frozen = config.clone();
+    frozen.workers = 7;
+    std::fs::write(&path, frozen.to_json()).expect("write frozen-field config");
+    assert!(
+        wait_for(
+            || state.last_reload().contains("restart required"),
+            Duration::from_secs(5)
+        ),
+        "boot-only change not refused: {}",
+        state.last_reload()
+    );
+    assert_eq!(state.generation(), 1);
+
+    // 3. A valid hot change (tightened limits) applies and bumps the
+    //    generation, visible through /readyz.
+    let mut good = config.clone();
+    good.limits.decide = 8;
+    std::fs::write(&path, good.to_json()).expect("write good config");
+    assert!(
+        wait_for(|| state.generation() == 2, Duration::from_secs(5)),
+        "valid reload never applied: {}",
+        state.last_reload()
+    );
+    let (status, body) = request(addr, "GET", "/readyz", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"config_generation\":2"), "{body}");
+
+    let report = server.drain(Duration::from_secs(10));
+    assert!(report.clean, "{report:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_stops_accepting() {
+    let server = Server::start(test_config(), Telemetry::shared(), None).expect("boot");
+    let addr = server.addr();
+
+    // Serve something first so the drain has real state behind it.
+    let decide_body = sample_decide_body();
+    let (status, _) = request(addr, "POST", "/v1/decide", decide_body.as_bytes());
+    assert_eq!(status, 200);
+
+    server.begin_shutdown();
+    // Draining is visible on /readyz as 503 until the workers exit — but
+    // only if a worker picks the connection up before the pool drains, so
+    // accept either answer and require the drain itself to be clean.
+    let probe = TcpStream::connect(addr);
+    let report = server.drain(Duration::from_secs(10));
+    assert!(report.clean, "{report:?}");
+    assert_eq!(report.stragglers, 0);
+    drop(probe);
+
+    // The listener is gone: new connections must fail.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be closed after drain"
+    );
+}

@@ -1,0 +1,145 @@
+//! Minimal POSIX signal-flag shim.
+//!
+//! `fg-serve` needs exactly one thing from the operating system's signal
+//! machinery: "has anyone asked this process to shut down?" This crate
+//! installs handlers for `SIGTERM` and `SIGINT` that set a process-wide
+//! atomic flag, which the serving loop polls between requests to begin a
+//! graceful drain. Nothing else — no handler chaining, no masks, no
+//! self-pipe — so the whole libc surface is the classic `signal(2)` entry
+//! point.
+//!
+//! The handler body is a single relaxed atomic store, which is
+//! async-signal-safe. The two FFI call sites are the only `unsafe` code in
+//! the workspace; the crate root pins `#![deny(unsafe_code)]` and scopes
+//! `#[allow]` to the shim module so nothing else can grow one silently.
+//!
+//! On non-Unix targets [`install`] is a no-op that still returns the flag,
+//! so callers compile everywhere and simply never observe a signal.
+
+// fg-analyze: allow(missing-forbid-unsafe): signal(2) FFI requires two scoped unsafe call sites
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a `SIGTERM` or `SIGINT` has been delivered (or [`notify`] ran).
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` — polite termination request, the orchestration default.
+pub const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+mod shim {
+    /// Handlers take the signal number; ours ignores it.
+    type SigHandler = extern "C" fn(i32);
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            /// POSIX `signal(2)`. Returns the previous disposition (opaque
+            /// here); `usize::MAX` is `SIG_ERR`.
+            pub fn signal(signum: i32, handler: super::SigHandler) -> usize;
+        }
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A relaxed store is async-signal-safe: no allocation, no locks.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[allow(unsafe_code)]
+    mod raise_ffi {
+        extern "C" {
+            /// C89 `raise(3)`: deliver a signal to the calling process.
+            pub fn raise(signum: i32) -> i32;
+        }
+    }
+
+    #[allow(unsafe_code)]
+    pub fn install_handlers() {
+        // Safety: `signal` is called with a valid signal number and a
+        // handler that only performs an atomic store. Replacing the
+        // disposition for SIGTERM/SIGINT is this shim's documented purpose.
+        unsafe {
+            ffi::signal(super::SIGTERM, on_signal);
+            ffi::signal(super::SIGINT, on_signal);
+        }
+    }
+
+    #[allow(unsafe_code)]
+    pub fn raise(signum: i32) -> i32 {
+        // Safety: raise(3) with a valid signal number; with our handler
+        // installed the only effect is the atomic store above.
+        unsafe { raise_ffi::raise(signum) }
+    }
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handlers (idempotent) and returns the
+/// shutdown flag to poll. On non-Unix targets the flag is returned without
+/// installing anything.
+pub fn install() -> &'static AtomicBool {
+    #[cfg(unix)]
+    shim::install_handlers();
+    &SHUTDOWN
+}
+
+/// `true` once a shutdown signal has been delivered.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Sets the flag as if a signal had arrived — the safe, in-process path the
+/// integration tests and programmatic shutdowns use.
+pub fn notify() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (test isolation between cases in one process).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// Delivers `signum` to this process (Unix only) — the safe wrapper the
+/// drain tests use to exercise the real `SIGTERM` path in-process. Call
+/// [`install`] first, or the process takes the signal's default action
+/// (for `SIGTERM`, termination). Returns `false` on failure or non-Unix.
+pub fn raise_self(signum: i32) -> bool {
+    #[cfg(unix)]
+    {
+        shim::raise(signum) == 0
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = signum;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_follows_notify_reset() {
+        reset();
+        assert!(!shutdown_requested());
+        notify();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installed_handler_catches_a_real_sigterm() {
+        reset();
+        let flag = install();
+        assert!(!flag.load(Ordering::Relaxed));
+        assert!(raise_self(SIGTERM), "raise(3) failed");
+        // Signal delivery to the calling thread is synchronous for raise().
+        assert!(shutdown_requested(), "handler did not set the flag");
+        reset();
+    }
+}
