@@ -1,0 +1,199 @@
+//! The committed diagnostics baseline and its "no new diagnostics" comparator.
+//!
+//! `--deny warn` already keeps the workspace free of unwaived warn/deny
+//! findings, but Info-level findings (`partial-op`, `nip-cap-friction`) are
+//! advisory by design and would be noise as a hard gate. The baseline makes
+//! them ratchet instead: `ANALYZE_baseline.json` records how many findings of
+//! each lint exist **per file**, and CI fails only when a file gains findings
+//! it did not have at the last bless.
+//!
+//! Entries are keyed on `(lint, file)` with line numbers stripped
+//! ([`crate::sarif::split_source`]), so moving code within a file — or an
+//! unrelated edit shifting line numbers — never trips the comparator. Counts
+//! still do: adding a second `.unwrap()`-adjacent slice index to a file that
+//! had one is a new finding, even though the key already existed.
+//!
+//! Regenerate with `fg-analyze --bless-baseline ANALYZE_baseline.json` after
+//! deliberately adding or burning down findings; the comparator also names
+//! stale entries (recorded findings that no longer exist) so burn-downs
+//! shrink the file rather than fossilise it.
+
+use crate::diag::Diagnostic;
+use crate::sarif::split_source;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Current schema version of `ANALYZE_baseline.json`.
+pub const VERSION: u32 = 1;
+
+/// One `(lint, file)` bucket and how many findings it held at bless time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Stable lint id.
+    pub lint: String,
+    /// Source file (or logical source), line number stripped.
+    pub file: String,
+    /// Findings in this bucket at bless time.
+    pub count: usize,
+}
+
+/// The committed baseline: a sorted list of [`Entry`] buckets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Schema version (currently [`VERSION`]).
+    pub version: u32,
+    /// Buckets, sorted by `(lint, file)` for stable diffs.
+    pub entries: Vec<Entry>,
+}
+
+/// What [`Baseline::compare`] found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Buckets that grew (or appeared) since the bless — these fail CI.
+    pub regressions: Vec<String>,
+    /// Buckets that shrank or vanished — advisory, re-bless to shed them.
+    pub stale: Vec<String>,
+}
+
+fn buckets(diags: &[Diagnostic]) -> BTreeMap<(String, String), usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        let (file, _) = split_source(&d.source);
+        *map.entry((d.lint.clone(), file.to_owned())).or_insert(0) += 1;
+    }
+    map
+}
+
+impl Baseline {
+    /// Builds a baseline from the current report (every diagnostic, waived
+    /// included — a new waived finding is still a new finding).
+    pub fn from_diags(diags: &[Diagnostic]) -> Baseline {
+        Baseline {
+            version: VERSION,
+            entries: buckets(diags)
+                .into_iter()
+                .map(|((lint, file), count)| Entry { lint, file, count })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the committed JSON form (stable ordering).
+    pub fn render(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("baseline serializes infallibly");
+        text.push('\n');
+        text
+    }
+
+    /// Parses a committed baseline, rejecting unknown schema versions.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let baseline: Baseline =
+            serde_json::from_str(text).map_err(|e| format!("malformed baseline: {e}"))?;
+        if baseline.version != VERSION {
+            return Err(format!(
+                "baseline schema version {} (this binary understands {VERSION})",
+                baseline.version
+            ));
+        }
+        Ok(baseline)
+    }
+
+    /// Compares the current report against this baseline.
+    pub fn compare(&self, diags: &[Diagnostic]) -> Comparison {
+        let recorded: BTreeMap<(String, String), usize> = self
+            .entries
+            .iter()
+            .map(|e| ((e.lint.clone(), e.file.clone()), e.count))
+            .collect();
+        let current = buckets(diags);
+        let mut cmp = Comparison::default();
+        for ((lint, file), &count) in &current {
+            let was = recorded
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count > was {
+                cmp.regressions.push(format!(
+                    "{lint} in {file}: {count} finding(s), baseline {was}"
+                ));
+            }
+        }
+        for ((lint, file), &was) in &recorded {
+            let now = current
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if now < was {
+                cmp.stale.push(format!(
+                    "{lint} in {file}: {now} finding(s), baseline {was}"
+                ));
+            }
+        }
+        cmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(lint: &str, source: &str) -> Diagnostic {
+        Diagnostic::new(lint, Severity::Info, source, "msg")
+    }
+
+    #[test]
+    fn baseline_round_trips_and_buckets_by_file() {
+        let diags = vec![
+            d("partial-op", "crates/a/src/x.rs:10"),
+            d("partial-op", "crates/a/src/x.rs:99"),
+            d("partial-op", "crates/b/src/y.rs:1"),
+        ];
+        let baseline = Baseline::from_diags(&diags);
+        assert_eq!(baseline.entries.len(), 2);
+        assert_eq!(baseline.entries[0].count, 2);
+        let back = Baseline::parse(&baseline.render()).expect("self-render parses");
+        assert_eq!(back, baseline);
+    }
+
+    #[test]
+    fn line_moves_do_not_regress_but_new_findings_do() {
+        let blessed = Baseline::from_diags(&[d("partial-op", "crates/a/src/x.rs:10")]);
+        // Same finding on a different line: clean.
+        let moved = [d("partial-op", "crates/a/src/x.rs:42")];
+        assert_eq!(blessed.compare(&moved), Comparison::default());
+        // A second finding in the same file: regression.
+        let grown = [
+            d("partial-op", "crates/a/src/x.rs:42"),
+            d("partial-op", "crates/a/src/x.rs:50"),
+        ];
+        let cmp = blessed.compare(&grown);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("2 finding(s), baseline 1"));
+        // A new lint in a new file: regression.
+        let novel = [
+            d("partial-op", "crates/a/src/x.rs:42"),
+            d("nested-shard-borrow", "crates/c/src/z.rs:7"),
+        ];
+        assert_eq!(blessed.compare(&novel).regressions.len(), 1);
+    }
+
+    #[test]
+    fn burned_down_findings_surface_as_stale() {
+        let blessed = Baseline::from_diags(&[
+            d("partial-op", "crates/a/src/x.rs:10"),
+            d("partial-op", "crates/b/src/y.rs:3"),
+        ]);
+        let cmp = blessed.compare(&[d("partial-op", "crates/a/src/x.rs:10")]);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.stale.len(), 1);
+        assert!(cmp.stale[0].contains("crates/b/src/y.rs"));
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_rejected() {
+        let mut baseline = Baseline::from_diags(&[]);
+        baseline.version = 99;
+        let err = Baseline::parse(&baseline.render()).unwrap_err();
+        assert!(err.contains("99"), "{err}");
+    }
+}

@@ -226,9 +226,9 @@ fn check_channel(
         SmsOrHolds::Holds => policy.gate.requirement(Endpoint::Hold).is_some(),
     };
 
-    let configured: Vec<_> = limiters
+    let configured: Vec<(&str, (f64, f64), f64)> = limiters
         .iter()
-        .filter(|(_, spec, _)| spec.is_some())
+        .filter_map(|&(name, spec, demand)| spec.map(|s| (name, s, demand)))
         .collect();
     if configured.is_empty() {
         if !gated {
@@ -254,8 +254,7 @@ fn check_channel(
 
     let mut firing = Vec::new();
     let mut silent = Vec::new();
-    for &(name, spec, demand) in configured.iter().copied() {
-        let (burst, per_day) = spec.expect("filtered to Some above");
+    for &(name, (burst, per_day), demand) in &configured {
         match days_to_first_reject(burst, per_day, demand) {
             Some(days) if days <= horizon_days => firing.push((name, days)),
             Some(days) => silent.push((name, burst, per_day, demand, Some(days))),

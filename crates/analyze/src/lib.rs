@@ -22,13 +22,23 @@
 #![warn(missing_docs)]
 
 pub mod alerts;
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod items;
+pub mod lexer;
+pub mod locks;
+pub mod panic_path;
+pub mod sarif;
 pub mod source;
+pub mod taint;
 
+pub use baseline::Baseline;
 pub use diag::{render_json, render_pretty, Diagnostic, Severity};
 use fg_mitigation::policy::PolicyConfig;
 use fg_mitigation::profile::DefenceProfile;
+pub use sarif::render_sarif;
 
 /// Every defence deployment committed to this workspace: the three built-in
 /// presets (judged against the default airline scenario) plus each profile
@@ -107,13 +117,27 @@ pub fn validate_serve_policy(policy: &PolicyConfig) -> Result<(), Vec<Diagnostic
     }
 }
 
+/// Runs the three call-graph dataflow passes (determinism taint, fg-serve
+/// panic surface, shard/lock discipline) over the workspace rooted at
+/// `root`.
+pub fn analyze_workspace_dataflow(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
+    let ws = callgraph::Workspace::load(root)?;
+    let graph = callgraph::CallGraph::build(&ws);
+    let mut diags = taint::run(&ws, &graph);
+    diags.extend(panic_path::run(&ws, &graph));
+    diags.extend(locks::run(&ws, &graph));
+    Ok(diags)
+}
+
 /// Runs all passes: the config pass over all committed deployments, the
-/// alerts pass over all committed alert policies, and the source pass over
-/// the workspace rooted at `root`.
+/// alerts pass over all committed alert policies, the line-oriented source
+/// pass, and the call-graph dataflow passes over the workspace rooted at
+/// `root`.
 pub fn full_report(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut diags = analyze_workspace_configs();
     diags.extend(analyze_workspace_alerts());
     diags.extend(source::scan_workspace(root)?);
+    diags.extend(analyze_workspace_dataflow(root)?);
     Ok(diags)
 }
 
@@ -137,6 +161,31 @@ mod tests {
             gating.is_empty(),
             "committed workspace must be clean at --deny warn:\n{}",
             render_pretty(&gating.into_iter().cloned().collect::<Vec<_>>())
+        );
+    }
+
+    /// The committed `ANALYZE_baseline.json` matches the current report
+    /// exactly — no regressions (new findings) and no stale entries (burned
+    /// down but still recorded). Re-bless with
+    /// `fg-analyze --bless-baseline ANALYZE_baseline.json` when findings
+    /// change deliberately.
+    #[test]
+    fn committed_baseline_matches_current_report() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = full_report(&root).expect("workspace sources readable");
+        let text = std::fs::read_to_string(root.join("ANALYZE_baseline.json"))
+            .expect("ANALYZE_baseline.json is committed at the workspace root");
+        let committed = Baseline::parse(&text).expect("committed baseline parses");
+        let cmp = committed.compare(&diags);
+        assert!(
+            cmp.regressions.is_empty(),
+            "new diagnostics over the committed baseline:\n{}",
+            cmp.regressions.join("\n")
+        );
+        assert!(
+            cmp.stale.is_empty(),
+            "stale baseline entries (findings burned down — re-bless):\n{}",
+            cmp.stale.join("\n")
         );
     }
 

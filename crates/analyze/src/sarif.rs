@@ -1,0 +1,253 @@
+//! SARIF 2.1.0 rendering of [`Diagnostic`]s.
+//!
+//! CI uploads the `fg-analyze --sarif` output as an artifact so findings can
+//! be browsed by any SARIF viewer (editors, code-scanning UIs) without
+//! knowing this workspace's diagnostic model. The mapping is deliberately
+//! small:
+//!
+//! * each distinct lint id becomes one `rule` in the tool's driver, with the
+//!   lint's worst observed severity as its `defaultConfiguration.level`;
+//! * each diagnostic becomes one `result` — `deny` → `error`, `warn` →
+//!   `warning`, `info` → `note`;
+//! * a `path:line` source becomes a `physicalLocation` with a `startLine`
+//!   region; a logical source (`spec:ablation/traditional`) becomes a
+//!   `logicalLocations` entry;
+//! * waived findings carry a `suppressions` entry (kind `inSource`) with the
+//!   waiver reason as its justification, so viewers show them as suppressed
+//!   rather than open;
+//! * the explanation map lands verbatim under `properties`, preserving the
+//!   machine-readable facts behind each verdict.
+
+use crate::diag::{Diagnostic, Severity};
+use serde::value::Value;
+
+/// Splits a diagnostic source into its file part and an optional line
+/// number. `"crates/x/src/y.rs:12"` → `("crates/x/src/y.rs", Some(12))`;
+/// logical sources like `"spec:ablation/traditional"` have no numeric
+/// suffix and come back whole.
+pub fn split_source(source: &str) -> (&str, Option<usize>) {
+    match source.rsplit_once(':') {
+        Some((file, line)) => match line.parse::<usize>() {
+            Ok(n) => (file, Some(n)),
+            Err(_) => (source, None),
+        },
+        None => (source, None),
+    }
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+        Severity::Info => "note",
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_owned())
+}
+
+fn rules(diags: &[Diagnostic]) -> Value {
+    // One rule per lint id, at the worst severity observed for that lint.
+    let mut worst: Vec<(&str, Severity)> = Vec::new();
+    for d in diags {
+        match worst.iter_mut().find(|(lint, _)| *lint == d.lint) {
+            Some((_, sev)) => *sev = (*sev).max(d.severity),
+            None => worst.push((&d.lint, d.severity)),
+        }
+    }
+    worst.sort_by_key(|&(lint, _)| lint);
+    Value::Array(
+        worst
+            .into_iter()
+            .map(|(lint, sev)| {
+                obj(vec![
+                    ("id", s(lint)),
+                    ("defaultConfiguration", obj(vec![("level", s(level(sev)))])),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn location(source: &str) -> Value {
+    let (file, line) = split_source(source);
+    match line {
+        Some(n) => obj(vec![(
+            "physicalLocation",
+            obj(vec![
+                ("artifactLocation", obj(vec![("uri", s(file))])),
+                ("region", obj(vec![("startLine", Value::Int(n as i64))])),
+            ]),
+        )]),
+        None => obj(vec![(
+            "logicalLocations",
+            Value::Array(vec![obj(vec![("fullyQualifiedName", s(source))])]),
+        )]),
+    }
+}
+
+fn result(d: &Diagnostic) -> Value {
+    let mut fields = vec![
+        ("ruleId", s(&d.lint)),
+        ("level", s(level(d.severity))),
+        ("message", obj(vec![("text", s(&d.message))])),
+        ("locations", Value::Array(vec![location(&d.source)])),
+    ];
+    if d.waived {
+        let justification = d.waive_reason.as_deref().unwrap_or("no reason given");
+        fields.push((
+            "suppressions",
+            Value::Array(vec![obj(vec![
+                ("kind", s("inSource")),
+                ("justification", s(justification)),
+            ])]),
+        ));
+    }
+    if !d.explanation.is_empty() {
+        fields.push((
+            "properties",
+            Value::Object(
+                d.explanation
+                    .iter()
+                    .map(|(k, v)| (k.clone(), s(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    obj(fields)
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, stable ordering).
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let driver = obj(vec![
+        ("name", s("fg-analyze")),
+        (
+            "informationUri",
+            s("https://github.com/featureguard/featureguard"),
+        ),
+        ("rules", rules(diags)),
+    ]);
+    let run = obj(vec![
+        ("tool", obj(vec![("driver", driver)])),
+        ("results", Value::Array(diags.iter().map(result).collect())),
+    ]);
+    let log = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        ("runs", Value::Array(vec![run])),
+    ]);
+    serde_json::to_string_pretty(&log).expect("SARIF tree serializes infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "panic-path",
+                Severity::Deny,
+                "crates/serve/src/server.rs:12",
+                "unwrap on the request path",
+            )
+            .note("operation", ".unwrap()"),
+            Diagnostic::new(
+                "limiter-never-fires",
+                Severity::Warn,
+                "spec:ablation/traditional",
+                "rate limit cannot fire",
+            )
+            .waived("paper-accurate misconfiguration"),
+            Diagnostic::new(
+                "partial-op",
+                Severity::Info,
+                "crates/core/src/lib.rs:3",
+                "slice index",
+            ),
+        ]
+    }
+
+    #[test]
+    fn source_splitting_distinguishes_spans_from_logical_names() {
+        assert_eq!(
+            split_source("crates/x/src/y.rs:12"),
+            ("crates/x/src/y.rs", Some(12))
+        );
+        assert_eq!(
+            split_source("spec:ablation/traditional"),
+            ("spec:ablation/traditional", None)
+        );
+        assert_eq!(split_source("serve:policy"), ("serve:policy", None));
+    }
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_mapped_levels() {
+        let sarif = render_sarif(&sample());
+        let v: Value = serde_json::from_str(&sarif).expect("self-produced SARIF parses");
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = &v.get("runs").unwrap().as_array().unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(rules.len(), 3, "one rule per distinct lint id");
+        let results = run.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].get("level").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            results[2].get("level").and_then(Value::as_str),
+            Some("note")
+        );
+    }
+
+    #[test]
+    fn physical_and_logical_locations_are_both_emitted() {
+        let sarif = render_sarif(&sample());
+        let v: Value = serde_json::from_str(&sarif).unwrap();
+        let results = v.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap();
+        let physical = &results[0].get("locations").unwrap().as_array().unwrap()[0];
+        let region = physical
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .unwrap();
+        assert_eq!(region.get("startLine").and_then(Value::as_i64), Some(12));
+        let logical = &results[1].get("locations").unwrap().as_array().unwrap()[0];
+        assert!(logical.get("logicalLocations").is_some());
+    }
+
+    #[test]
+    fn waived_findings_become_suppressions() {
+        let sarif = render_sarif(&sample());
+        let v: Value = serde_json::from_str(&sarif).unwrap();
+        let results = v.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap();
+        let supp = results[1]
+            .get("suppressions")
+            .and_then(Value::as_array)
+            .expect("waived result is suppressed");
+        assert_eq!(
+            supp[0].get("justification").and_then(Value::as_str),
+            Some("paper-accurate misconfiguration")
+        );
+        assert!(results[0].get("suppressions").is_none());
+    }
+}

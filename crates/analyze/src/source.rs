@@ -71,6 +71,18 @@ pub const HOT_PATH: &[&str] = &["detection", "mitigation"];
 /// (`#![forbid(unsafe_code)]` still applies to all of them.)
 pub const EXEMPT: &[&str] = &["analyze", "bench", "serve", "telemetry"];
 
+/// The per-lint pattern classes shared with the taint pass ([`crate::taint`]),
+/// which uses them both to seed direct taint and to verify that inline allow
+/// markers still match the line they waive.
+pub fn pattern_classes() -> [(&'static str, &'static [&'static str]); 4] {
+    [
+        (lints::WALL_CLOCK, WALL_CLOCK_PATTERNS),
+        (lints::ENTROPY_RNG, ENTROPY_PATTERNS),
+        (lints::MACHINE_DEPENDENT, MACHINE_DEPENDENT_PATTERNS),
+        (lints::STD_HASH_COLLECTIONS, STD_HASH_PATTERNS),
+    ]
+}
+
 const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
 const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
 // Host-topology queries make shard/worker counts follow the machine, so the
@@ -172,10 +184,9 @@ pub fn scan_file(crate_name: &str, path: &str, content: &str) -> Vec<Diagnostic>
         return diags;
     }
 
-    let mut in_block_comment = 0usize;
-    for (idx, raw_line) in content.lines().enumerate() {
+    for (idx, view) in crate::lexer::strip_lines(content).iter().enumerate() {
         let line_no = idx + 1;
-        let (code, comment) = split_code_comment(raw_line, &mut in_block_comment);
+        let (code, comment) = (&view.code, &view.comment);
         let allow = |lint: &str| comment.contains(&format!("fg-analyze: allow({lint})"));
 
         if critical {
@@ -257,89 +268,6 @@ pub fn scan_file(crate_name: &str, path: &str, content: &str) -> Vec<Diagnostic>
         }
     }
     diags
-}
-
-/// Splits one line into (code, comment) with string-literal contents blanked
-/// out of the code part. Tracks nested `/* */` depth across lines via
-/// `block_depth`. A heuristic, not a parser — good enough for the small,
-/// conventional pattern set above.
-fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
-    let chars: Vec<char> = line.chars().collect();
-    let starts = |i: usize, pat: &str| {
-        pat.chars()
-            .enumerate()
-            .all(|(k, c)| chars.get(i + k) == Some(&c))
-    };
-    let mut code = String::with_capacity(line.len());
-    let mut comment = String::new();
-    let mut i = 0;
-    let mut in_str = false;
-    let mut in_char = false;
-    while i < chars.len() {
-        if *block_depth > 0 {
-            if starts(i, "*/") {
-                *block_depth -= 1;
-                i += 2;
-            } else if starts(i, "/*") {
-                *block_depth += 1;
-                i += 2;
-            } else {
-                comment.push(chars[i]);
-                i += 1;
-            }
-            continue;
-        }
-        if in_str {
-            if chars[i] == '\\' {
-                i += 2; // skip the escaped character
-            } else {
-                if chars[i] == '"' {
-                    in_str = false;
-                    code.push('"');
-                }
-                i += 1;
-            }
-            continue;
-        }
-        if in_char {
-            if chars[i] == '\\' {
-                i += 2;
-            } else {
-                if chars[i] == '\'' {
-                    in_char = false;
-                    code.push('\'');
-                }
-                i += 1;
-            }
-            continue;
-        }
-        if starts(i, "//") {
-            comment.extend(&chars[i..]);
-            break;
-        }
-        if starts(i, "/*") {
-            *block_depth += 1;
-            i += 2;
-            continue;
-        }
-        if chars[i] == '"' {
-            in_str = true;
-            code.push('"');
-            i += 1;
-            continue;
-        }
-        // A lifetime (`'a`) is not a char literal; only treat `'` as one when
-        // it closes within a few characters.
-        if chars[i] == '\'' && (starts(i + 1, "\\") || starts(i + 2, "'")) {
-            in_char = true;
-            code.push('\'');
-            i += 1;
-            continue;
-        }
-        code.push(chars[i]);
-        i += 1;
-    }
-    (code, comment)
 }
 
 #[cfg(test)]
@@ -472,6 +400,41 @@ mod tests {
         assert!(
             scan_file("detection", "x.rs", code).is_empty(),
             "prose is not code"
+        );
+    }
+
+    #[test]
+    fn raw_strings_do_not_trip_patterns() {
+        // The pass-1 stripper treated `r#"..."#` like a plain string and got
+        // derailed by the unescaped interior quote; pattern text smuggled in a
+        // raw string must stay invisible, and real code after it must not.
+        let code = "let doc = r#\"call Instant::now() to \"time\" it\"#;\n\
+                    let multi = r##\"thread_rng\n\
+                    spans \"lines\" too\"##;\n\
+                    let ok = 1;\n";
+        assert!(
+            scan_file("detection", "x.rs", code).is_empty(),
+            "raw-string contents are not code"
+        );
+        let trailing = "let doc = r#\"no \"clock\" here\"#; let t = Instant::now();\n";
+        assert_eq!(
+            lints_of(&scan_file("detection", "x.rs", trailing)),
+            vec![lints::WALL_CLOCK],
+            "code after a raw string on the same line is still scanned"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_trip_patterns() {
+        // Rust block comments nest; a naive depth counter that misses the
+        // inner `/*` would resurface the tail of the outer comment as code.
+        let code = "/* outer /* Instant::now() inner */ still comment */\n\
+                    let ok = 1;\n\
+                    /* a /* b /* SystemTime::now() */ c */ d */ let t = Instant::now();\n";
+        assert_eq!(
+            lints_of(&scan_file("detection", "x.rs", code)),
+            vec![lints::WALL_CLOCK],
+            "only the real call after the fully closed comment fires"
         );
     }
 

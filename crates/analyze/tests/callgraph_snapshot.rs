@@ -1,0 +1,106 @@
+//! Snapshot test: the call graph extracted from a small fixture crate.
+//!
+//! The fixture exercises every resolution rule the dataflow passes depend
+//! on — free calls, `Self::` calls inside an impl, method calls on a local
+//! type, fully-qualified `Type::method` calls, cross-crate `fg_`-aliased
+//! calls, and a nested fn whose body must not leak into its parent (it
+//! becomes its own crate-level node). The
+//! expected edge list is committed inline; any change to extraction or
+//! resolution shows up as a readable diff, not a silent behaviour shift.
+
+use fg_analyze::callgraph::{crate_edges, CallGraph, Workspace};
+
+const APP: &str = r#"
+pub struct Store {
+    items: Vec<u64>,
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store { items: Vec::new() }
+    }
+
+    pub fn admit(&mut self, item: u64) {
+        self.items.push(item);
+        Self::audit(item);
+    }
+
+    fn audit(_item: u64) {}
+}
+
+pub fn boot() -> Store {
+    let mut store = Store::new();
+    store.admit(seed_value());
+    store
+}
+
+fn seed_value() -> u64 {
+    fn nested_helper() -> u64 {
+        fg_util::stamp()
+    }
+    nested_helper()
+}
+"#;
+
+const UTIL: &str = r#"
+pub fn stamp() -> u64 {
+    7
+}
+
+pub fn unused() -> u64 {
+    stamp()
+}
+"#;
+
+fn fixture() -> Workspace {
+    Workspace::from_sources(vec![
+        ("app", "crates/app/src/lib.rs", APP),
+        ("util", "crates/util/src/lib.rs", UTIL),
+    ])
+}
+
+#[test]
+fn fixture_crate_edges_match_snapshot() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let expected = "\
+app::Store::admit -> app::Store::audit
+app::boot -> app::Store::admit
+app::boot -> app::Store::new
+app::boot -> app::seed_value
+app::nested_helper -> util::stamp
+app::seed_value -> app::nested_helper
+util::unused -> util::stamp
+";
+    assert_eq!(graph.snapshot(&ws), expected);
+}
+
+#[test]
+fn crate_edges_group_by_caller_and_cross_crate_targets_resolve() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let edges = crate_edges(&ws, &graph, "app");
+    let helper = edges
+        .get("app::nested_helper")
+        .expect("nested helper is its own node");
+    assert_eq!(
+        helper,
+        &vec!["util::stamp".to_owned()],
+        "`fg_util::stamp()` resolves across the crate boundary"
+    );
+    assert!(
+        !edges.contains_key("util::unused"),
+        "crate filter excludes other crates' callers"
+    );
+}
+
+#[test]
+fn nested_fn_bodies_do_not_leak_into_the_parent() {
+    let ws = fixture();
+    let graph = CallGraph::build(&ws);
+    let snapshot = graph.snapshot(&ws);
+    assert!(
+        !snapshot.contains("app::seed_value -> util::stamp"),
+        "the nested fn's call must belong to the nested fn:\n{snapshot}"
+    );
+}

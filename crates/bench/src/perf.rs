@@ -1195,6 +1195,7 @@ pub fn cases() -> Vec<PerfCase> {
                 let now = SimTime::from_millis(t);
                 let round = t;
                 thread::scope(|s| {
+                    // fg-analyze: allow(shard-discipline): disjoint per-worker hand-out — each thread owns exactly one shard
                     for (shard, keys) in limiter.shards_mut().iter_mut().zip(&keys) {
                         s.spawn(move || {
                             for &k in keys {
@@ -1227,6 +1228,7 @@ pub fn cases() -> Vec<PerfCase> {
                 let now = SimTime::from_millis(t * 20);
                 let round = t;
                 thread::scope(|s| {
+                    // fg-analyze: allow(shard-discipline): disjoint per-worker hand-out — each thread owns exactly one shard
                     for (shard, keys) in counter.shards_mut().iter_mut().zip(&keys) {
                         s.spawn(move || {
                             for &k in keys {

@@ -113,7 +113,7 @@ impl Summary {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])

@@ -154,11 +154,7 @@ impl NipDistributionMonitor {
             .iter()
             .zip(&self.baseline_shares)
             .enumerate()
-            .max_by(|(_, (sa, ba)), (_, (sb, bb))| {
-                (*sa - *ba)
-                    .partial_cmp(&(*sb - *bb))
-                    .expect("shares are finite")
-            })
+            .max_by(|(_, (sa, ba)), (_, (sb, bb))| (*sa - *ba).total_cmp(&(*sb - *bb)))
             .map(|(i, _)| i)
     }
 

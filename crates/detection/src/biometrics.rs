@@ -247,7 +247,7 @@ impl MotionFeatures {
         let roughness = turn_sum / (headings.len() - 1).max(1) as f64;
 
         let mut sorted_gaps = gaps.clone();
-        sorted_gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+        sorted_gaps.sort_by(f64::total_cmp);
         let median_gap = sorted_gaps[sorted_gaps.len() / 2];
         let pauses = gaps.iter().filter(|&&g| g >= 3.0 * median_gap).count();
 

@@ -68,6 +68,13 @@ impl Endpoint {
         Endpoint::TrapFile,
     ];
 
+    /// The position of this endpoint in [`Endpoint::ALL`]. Total by
+    /// construction (`ALL` lists variants in declaration order), so lookup
+    /// tables sized by `ALL.len()` can be indexed without a fallible search.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// The URL path depth a request to this endpoint typically has.
     pub const fn typical_depth(self) -> u32 {
         match self {

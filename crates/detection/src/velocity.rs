@@ -161,6 +161,7 @@ impl<K: Eq + Hash + Clone> VelocityCounter<K> {
     /// Drops every key whose events all fell out of the window by `now`,
     /// striping the scan shard by shard.
     pub fn compact(&mut self, now: SimTime) {
+        // fg-analyze: allow(shard-discipline): full-sweep maintenance — every shard is compacted in one pass
         for shard in self.shards.shards_mut() {
             shard.compact(now);
         }

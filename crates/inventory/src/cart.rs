@@ -208,6 +208,7 @@ impl CartStore {
                 *self
                     .available
                     .get_mut(&line.product)
+                    // fg-analyze: allow(panic-path): ledger invariant — every product gets a ledger at registration, before any line can reference it
                     .expect("ledger exists per product") += line.quantity;
                 count += 1;
             }

@@ -286,6 +286,7 @@ impl ReservationSystem {
                 let ledger = self
                     .ledgers
                     .get_mut(&flight)
+                    // fg-analyze: allow(panic-path): ledger invariant — bookings are only created against flights registered with a ledger
                     .expect("ledger exists per flight");
                 ledger.held -= nip;
                 ledger.available += nip;

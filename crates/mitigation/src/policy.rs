@@ -471,6 +471,7 @@ impl PolicyEngine {
     pub fn with_shards(config: PolicyConfig, shards: usize) -> Self {
         #[cfg(debug_assertions)]
         if let Err(errors) = config.validate() {
+            // fg-analyze: allow(panic-path): debug-only guard — the serve reload path validates via validate_serve_policy before any engine is built
             panic!("invalid PolicyConfig: {}", errors.join("; "));
         }
         fn mk_keyed<K: Eq + std::hash::Hash>(

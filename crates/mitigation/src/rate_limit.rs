@@ -199,6 +199,7 @@ impl<K: Eq + Hash> KeyedLimiter<K> {
     /// per-request proxy exits) this is what keeps the key map bounded by the
     /// *live* population instead of growing with every identity ever seen.
     pub fn evict_idle(&mut self, now: SimTime) {
+        // fg-analyze: allow(shard-discipline): full-sweep maintenance — idle eviction visits every shard
         for shard in self.shards.shards_mut() {
             shard.evict_idle(now);
         }

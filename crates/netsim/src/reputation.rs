@@ -211,6 +211,7 @@ impl ReputationLedger {
         self.score_floor = self.score_floor.max(floor);
         let half_life = self.half_life.as_millis() as f64;
         let mut purged = 0;
+        // fg-analyze: allow(shard-discipline): full-sweep maintenance — decay-and-purge walks every shard
         for shard in self.evidence.shards_mut() {
             let before = shard.len();
             shard.retain(|_, e| {

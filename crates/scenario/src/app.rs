@@ -254,11 +254,7 @@ impl AppMetrics {
     }
 
     fn endpoint_counter(&self, endpoint: Endpoint) -> &Counter {
-        let i = Endpoint::ALL
-            .iter()
-            .position(|e| *e == endpoint)
-            .expect("every endpoint is pre-registered");
-        &self.requests[i]
+        &self.requests[endpoint.index()]
     }
 
     fn signal_counter(&self, kind: &str) -> Option<&Counter> {

@@ -449,6 +449,7 @@ impl Server {
                         worker_loop(&rx, &state);
                         finished.fetch_add(1, Ordering::Release);
                     })
+                    // fg-analyze: allow(panic-path): boot-only — worker threads spawn once in start(), before any request is accepted
                     .expect("spawn worker"),
             );
         }
@@ -458,6 +459,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("fg-serve-accept".to_owned())
                 .spawn(move || accept_loop(&listener, &tx, &state))
+                // fg-analyze: allow(panic-path): boot-only — the accept loop spawns once in start()
                 .expect("spawn accept loop")
         };
 
@@ -470,6 +472,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("fg-serve-watch".to_owned())
                 .spawn(move || watch_loop(&path, baseline, &state))
+                // fg-analyze: allow(panic-path): boot-only — the config watcher spawns once in start()
                 .expect("spawn config watcher")
         });
 
