@@ -139,6 +139,10 @@ fn never_fires(rule: &AlertRule, traffic: &ChannelTraffic, horizon_days: f64) ->
                 )
             })
         }
+        // A level rule reads an instantaneous gauge, not event volume; the
+        // channel-traffic model says nothing about what values the gauge can
+        // reach, so the pass cannot judge it.
+        RuleKind::Level { .. } => None,
     }
 }
 

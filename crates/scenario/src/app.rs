@@ -722,12 +722,30 @@ impl DefendedApp {
         booking: Option<BookingRef>,
         now: SimTime,
     ) -> GateDecision {
-        let (gated, span_trace) = self.decide_inner(req, endpoint, booking, now);
-        if let Some(mut tr) = span_trace {
-            tr.finish(&gated.decision.to_string());
+        let (gated, span_trace) = self.decide_request_traced(req, endpoint, booking, now);
+        if let Some(tr) = span_trace {
             self.telemetry.record_trace(tr);
         }
         gated
+    }
+
+    /// Like [`DefendedApp::decide_request`], but hands the finished (not yet
+    /// submitted) trace back to the caller, so a serving layer can append
+    /// its own transport spans — wire trace correlation, response status,
+    /// measured latency — and pin slow requests before submission. The
+    /// decision itself is identical to [`DefendedApp::decide_request`].
+    pub fn decide_request_traced(
+        &mut self,
+        req: &ClientRequest,
+        endpoint: Endpoint,
+        booking: Option<BookingRef>,
+        now: SimTime,
+    ) -> (GateDecision, Option<RequestTrace>) {
+        let (gated, mut span_trace) = self.decide_inner(req, endpoint, booking, now);
+        if let Some(tr) = span_trace.as_mut() {
+            tr.finish(&gated.decision.to_string());
+        }
+        (gated, span_trace)
     }
 
     /// Runs the defence pipeline. `Ok(true)` means "proceed against the real

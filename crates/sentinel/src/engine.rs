@@ -168,6 +168,14 @@ impl Sentinel {
         &self.events
     }
 
+    /// Alerts currently in the firing state.
+    pub fn active_alerts(&self) -> u64 {
+        self.states
+            .iter()
+            .filter(|s| s.status == Status::Firing)
+            .count() as u64
+    }
+
     /// Sim-time of the first `firing` transition, if any.
     pub fn first_firing(&self) -> Option<SimTime> {
         self.events
@@ -191,8 +199,12 @@ impl Sentinel {
             let selector = self.policy.rules[rule_idx].selector.clone();
             let source = match self.policy.rules[rule_idx].kind {
                 RuleKind::Threshold { source, .. } | RuleKind::Surge { source, .. } => Some(source),
+                // Level rules read gauges, but instantaneously rather than
+                // differentiated — dispatched below like gauges.
+                RuleKind::Level { .. } => Some(MetricSource::Gauge),
                 RuleKind::Drift { .. } => None,
             };
+            let level = matches!(self.policy.rules[rule_idx].kind, RuleKind::Level { .. });
             match source {
                 None => {
                     for h in snap.histograms.iter().filter(|h| selector.matches(&h.name)) {
@@ -211,7 +223,11 @@ impl Sentinel {
                 Some(MetricSource::Gauge) => {
                     for g in snap.gauges.iter().filter(|g| selector.matches(&g.name)) {
                         let state_idx = self.ensure_rate_state(rule_idx, &g.name);
-                        self.update_rate(state_idx, now, g.value);
+                        if level {
+                            self.update_level(state_idx, now, g.value);
+                        } else {
+                            self.update_rate(state_idx, now, g.value);
+                        }
                         self.evaluate(state_idx, now);
                     }
                 }
@@ -278,6 +294,7 @@ impl Sentinel {
                 baseline_window,
                 ..
             } => *current_window + *baseline_window + GRANULARITY,
+            RuleKind::Level { .. } => GRANULARITY,
             RuleKind::Drift { window, .. } => *window + GRANULARITY,
         }
     }
@@ -352,6 +369,15 @@ impl Sentinel {
             let delta = (value - *last).max(0.0);
             *last = value;
             window.push(now, delta);
+        }
+    }
+
+    /// Stores a level signal's current value without differentiation;
+    /// `last` *is* the evaluated statistic for [`RuleKind::Level`].
+    fn update_level(&mut self, state_idx: usize, now: SimTime, value: f64) {
+        if let SeriesData::Rate { last, window } = &mut self.states[state_idx].data {
+            *last = value;
+            window.push(now, 0.0); // keep the window clock aligned
         }
     }
 
@@ -433,6 +459,9 @@ impl Sentinel {
                     let ratio = cur_rate / base_rate.max(*floor_per_hour);
                     (cur >= *min_count && ratio >= *factor, ratio, *factor)
                 }
+            }
+            (RuleKind::Level { min_value }, SeriesData::Rate { last, .. }) => {
+                (*last >= *min_value, *last, *min_value)
             }
             (
                 RuleKind::Drift {
@@ -643,6 +672,34 @@ mod tests {
         c.add(6);
         s.observe(SimTime::from_mins(35), &registry.snapshot());
         assert_eq!(s.first_firing(), Some(SimTime::from_mins(35)));
+    }
+
+    #[test]
+    fn level_rule_tracks_the_instantaneous_gauge() {
+        let telemetry = Telemetry::new();
+        let registry = telemetry.metrics();
+        let g = registry.gauge_with("fg_http_request_p99_seconds", &[("endpoint", "decide")]);
+        let policy = AlertPolicy::named("t").rule(AlertRule::level(
+            "p99-slo",
+            MetricSelector::any("fg_http_request_p99_seconds"),
+            0.25,
+        ));
+        let mut s = Sentinel::new(policy, registry);
+        g.set(0.01);
+        s.observe(SimTime::from_mins(5), &registry.snapshot());
+        assert!(s.first_firing().is_none(), "under the SLO, no alert");
+        g.set(0.40);
+        s.observe(SimTime::from_mins(10), &registry.snapshot());
+        assert_eq!(s.first_firing(), Some(SimTime::from_mins(10)));
+        // A level rule reads the gauge, not a delta: dropping back under the
+        // threshold resolves even though the cumulative "rate" never drained.
+        g.set(0.05);
+        s.observe(SimTime::from_mins(15), &registry.snapshot());
+        let kinds: Vec<AlertTransition> = s.events().iter().map(|e| e.event).collect();
+        assert_eq!(
+            kinds,
+            vec![AlertTransition::Firing, AlertTransition::Resolved]
+        );
     }
 
     #[test]

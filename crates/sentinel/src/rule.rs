@@ -136,6 +136,15 @@ pub enum RuleKind {
         /// with no legitimate traffic alertable without dividing by zero.
         floor_per_hour: f64,
     },
+    /// Fires while a gauge's *instantaneous* value is at or above
+    /// `min_value` — no differentiation, no window. This is the SLO-style
+    /// rule for level signals such as a served p99 latency gauge, which
+    /// fluctuates rather than accumulates (a windowed delta of it would be
+    /// meaningless).
+    Level {
+        /// Trigger level in gauge units.
+        min_value: f64,
+    },
     /// Fires when a histogram's windowed distribution drifts from the
     /// baseline by more than `threshold` under `stat`.
     Drift {
@@ -238,6 +247,19 @@ impl AlertRule {
                 min_count: min_spend,
                 floor_per_hour: 0.05,
             },
+            for_duration: SimDuration::ZERO,
+            cooldown: SimDuration::from_hours(1),
+        }
+    }
+
+    /// An instantaneous-level rule over a gauge series ("served p99 is
+    /// above the SLO right now"). Pair with [`AlertRule::hold_for`] to
+    /// require the level to persist before firing.
+    pub fn level(id: &str, selector: MetricSelector, min_value: f64) -> Self {
+        AlertRule {
+            id: id.to_owned(),
+            selector,
+            kind: RuleKind::Level { min_value },
             for_duration: SimDuration::ZERO,
             cooldown: SimDuration::from_hours(1),
         }

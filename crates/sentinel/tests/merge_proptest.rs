@@ -59,6 +59,7 @@ fn snapshot_from(counters: &[(u8, u8)], gauges: &[(u8, u8)], hist: &[u8]) -> Tel
             count: hist.iter().map(|&b| b as u64).sum(),
             sum: hist.iter().map(|&b| b as f64).sum(),
         }],
+        latencies: Vec::new(),
         help: vec![("fg_nip_hold".to_owned(), "NiP of accepted holds".to_owned())],
     };
     TelemetrySnapshot {

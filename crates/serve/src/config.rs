@@ -39,6 +39,39 @@ impl Default for EndpointLimits {
     }
 }
 
+/// Live-observability tunables (boot-only: the tracer ring, flight
+/// recorder, and sentinel thread are shaped at start).
+///
+/// A config file without an `observe` block parses with these defaults, so
+/// pre-observability config files keep working unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveConfig {
+    /// Requests at or above this wall-clock latency are pinned into the
+    /// trace ring and flagged `slow` in the flight recorder.
+    pub slow_request_ms: u64,
+    /// Flight-recorder ring size (last N request summaries).
+    pub flight_recorder_entries: usize,
+    /// Request-trace retention budget for the live tracer ring.
+    pub trace_capacity: usize,
+    /// How often the embedded sentinel evaluates the SLO policy and the
+    /// p99 gauges refresh, milliseconds.
+    pub sentinel_poll_ms: u64,
+    /// The served-p99 SLO the `serve-p99-slo` alert enforces, milliseconds.
+    pub p99_slo_ms: u64,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            slow_request_ms: 250,
+            flight_recorder_entries: 256,
+            trace_capacity: 4096,
+            sentinel_poll_ms: 500,
+            p99_slo_ms: 250,
+        }
+    }
+}
+
 /// The full service configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -61,6 +94,8 @@ pub struct ServeConfig {
     pub limits: EndpointLimits,
     /// Circuit-breaker tunables (hot-reloadable).
     pub breaker: BreakerConfig,
+    /// Live-observability tunables (boot-only).
+    pub observe: ObserveConfig,
 }
 
 impl ServeConfig {
@@ -76,6 +111,7 @@ impl ServeConfig {
             policy: PolicyConfig::recommended(),
             limits: EndpointLimits::default(),
             breaker: BreakerConfig::default(),
+            observe: ObserveConfig::default(),
         }
     }
 
@@ -85,9 +121,19 @@ impl ServeConfig {
     }
 
     /// Parses JSON without validating; callers follow with
-    /// [`ServeConfig::validate`].
+    /// [`ServeConfig::validate`]. A missing `observe` block is filled with
+    /// defaults so configs written before the observability layer existed
+    /// keep parsing.
     pub fn from_json(s: &str) -> Result<ServeConfig, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let mut value: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if let serde_json::Value::Object(fields) = &mut value {
+            if !fields.iter().any(|(k, _)| k == "observe") {
+                let defaults =
+                    serde_json::to_value(&ObserveConfig::default()).map_err(|e| e.to_string())?;
+                fields.push(("observe".to_owned(), defaults));
+            }
+        }
+        serde_json::from_value(value).map_err(|e| e.to_string())
     }
 
     /// Full validation: schema and topology sanity, then the fg-analyze
@@ -114,6 +160,15 @@ impl ServeConfig {
         }
         if self.breaker.failure_threshold == 0 {
             errors.push("breaker.failure_threshold must be >= 1".to_owned());
+        }
+        if self.observe.flight_recorder_entries == 0 || self.observe.trace_capacity == 0 {
+            errors.push("observe ring sizes must be >= 1".to_owned());
+        }
+        if self.observe.sentinel_poll_ms < 50 {
+            errors.push("observe.sentinel_poll_ms must be >= 50".to_owned());
+        }
+        if self.observe.slow_request_ms == 0 || self.observe.p99_slo_ms == 0 {
+            errors.push("observe latency thresholds must be >= 1 ms".to_owned());
         }
         if let Err(diags) = fg_analyze::validate_serve_policy(&self.policy) {
             errors.extend(
@@ -147,6 +202,9 @@ impl ServeConfig {
         }
         if self.seed != next.seed {
             frozen.push("seed");
+        }
+        if self.observe != next.observe {
+            frozen.push("observe");
         }
         if frozen.is_empty() {
             Ok(())
@@ -192,6 +250,40 @@ mod tests {
         c.queue_depth = 0;
         let errors = c.validate().unwrap_err();
         assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn pre_observability_configs_parse_with_defaults() {
+        let c = ServeConfig::recommended();
+        // Strip the observe block to simulate a config written before the
+        // observability layer existed.
+        let json = c.to_json();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "observe");
+        }
+        let old = serde_json::to_string(&v).unwrap();
+        let parsed = ServeConfig::from_json(&old).unwrap();
+        assert_eq!(parsed.observe, ObserveConfig::default());
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn observe_bounds_are_validated() {
+        let mut c = ServeConfig::recommended();
+        c.observe.trace_capacity = 0;
+        c.observe.sentinel_poll_ms = 0;
+        let errors = c.validate().unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn hot_compat_freezes_observe() {
+        let boot = ServeConfig::recommended();
+        let mut next = boot.clone();
+        next.observe.slow_request_ms = 10;
+        let err = boot.hot_compatible(&next).unwrap_err();
+        assert!(err.contains("observe"), "{err}");
     }
 
     #[test]

@@ -284,6 +284,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// When `true`, advertise and perform `Connection: close`.
     pub close: bool,
+    /// Additional response headers (name, value), written after
+    /// `Content-Length` — the `traceparent` echo rides here.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -294,6 +297,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             close: false,
+            headers: Vec::new(),
         }
     }
 
@@ -304,7 +308,15 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             close: false,
+            headers: Vec::new(),
         }
+    }
+
+    /// Appends one extra response header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// A JSON error envelope: `{"error":"<why>"}`.
@@ -330,6 +342,9 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
         if self.close {
             write!(w, "Connection: close\r\n")?;
         }
@@ -449,5 +464,18 @@ mod tests {
         assert!(s.contains("Content-Length: 2\r\n"));
         assert!(s.contains("Connection: close\r\n"));
         assert!(s.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn extra_headers_land_in_the_head_not_the_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("traceparent", "00-abc-def-01".to_owned())
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let (head, body) = s.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("traceparent: 00-abc-def-01"), "{head}");
+        assert_eq!(body, "{}");
     }
 }

@@ -14,6 +14,10 @@
 //! * [`config`] — boot-only vs hot-reloadable config split; hot swaps are
 //!   gated by `fg_analyze::validate_serve_policy` (reject-and-keep-old).
 //! * [`breaker`] — a three-state circuit breaker around the decision path.
+//! * [`observe`] — live observability plumbing: W3C `traceparent` parsing
+//!   and echo, the flight-recorder ring (frozen on breaker trips and
+//!   sheds), per-request summaries, and the serve SLO alert policy the
+//!   embedded sentinel evaluates.
 //! * [`loadgen`] — deterministic wire replay of fg-behavior workloads,
 //!   reporting p50/p90/p99/p999 latency and sustained decisions/sec as
 //!   schema-versioned `BENCH_serve.json`.
@@ -39,12 +43,14 @@ pub mod config;
 pub mod exit;
 pub mod http;
 pub mod loadgen;
+pub mod observe;
 pub mod server;
 pub mod service;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use config::{EndpointLimits, ServeConfig, SERVE_CONFIG_SCHEMA};
 pub use exit::Exit;
-pub use loadgen::{LoadReport, LoadgenConfig, SERVE_BENCH_SCHEMA};
+pub use loadgen::{LoadReport, LoadgenConfig, SlowRequest, SERVE_BENCH_SCHEMA};
+pub use observe::{FlightRecorder, RequestSummary, TraceParent};
 pub use server::{DrainReport, ServeState, Server};
 pub use service::{DecisionService, OutcomeReport, ReportAck};

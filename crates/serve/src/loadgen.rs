@@ -21,7 +21,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Version stamp on `BENCH_serve.json`.
-pub const SERVE_BENCH_SCHEMA: u32 = 1;
+///
+/// * v1 — counts, decisions/sec, latency percentiles.
+/// * v2 — adds `statuses` (every status code seen, including 200) and
+///   `slowest` (the k slowest exchanges with their decision trace ids, for
+///   cross-referencing against the server's `/debug/traces`).
+pub const SERVE_BENCH_SCHEMA: u32 = 2;
+
+/// How many slowest exchanges the report retains.
+pub const SLOW_SAMPLES: usize = 10;
 
 /// Loadgen parameters.
 #[derive(Clone, Debug)]
@@ -76,6 +84,23 @@ pub struct LoadReport {
     pub latency_ms: LatencySummary,
     /// Decision kinds observed (allow/challenge/…) with counts.
     pub decisions: BTreeMap<String, u64>,
+    /// Every status code seen with counts, including 200 (schema ≥ 2).
+    pub statuses: BTreeMap<u16, u64>,
+    /// The [`SLOW_SAMPLES`] slowest exchanges, worst first (schema ≥ 2).
+    pub slowest: Vec<SlowRequest>,
+}
+
+/// One of the slowest exchanges of the run: how slow, what came back, and
+/// the decision trace id to look up in the server's `/debug/traces`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Round-trip latency, milliseconds.
+    pub latency_ms: f64,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// The decision's trace id (16 lowercase hex), when the response was a
+    /// 200 decision; `None` for errors and sheds.
+    pub trace_id: Option<String>,
 }
 
 /// Latency percentiles in milliseconds.
@@ -99,14 +124,39 @@ impl LoadReport {
         serde_json::to_string_pretty(self).expect("load report serializes")
     }
 
-    /// Parses a report, rejecting unknown schema versions.
+    /// Parses a report, rejecting unknown schema versions. Schema-1
+    /// reports (no `statuses`/`slowest`) are migrated forward: statuses
+    /// are reconstructed from `ok` + `errors`, the slowest list is empty.
     pub fn from_json(s: &str) -> Result<LoadReport, String> {
-        let r: LoadReport = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if r.schema != SERVE_BENCH_SCHEMA {
-            return Err(format!(
-                "unsupported serve bench schema {} (expected {SERVE_BENCH_SCHEMA})",
-                r.schema
-            ));
+        let mut value: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        let schema = value.get("schema").and_then(|v| v.as_u64());
+        match schema {
+            Some(1) => {
+                if let serde_json::Value::Object(fields) = &mut value {
+                    fields.push(("statuses".to_owned(), serde_json::Value::Object(Vec::new())));
+                    fields.push(("slowest".to_owned(), serde_json::Value::Array(Vec::new())));
+                    for (k, v) in fields.iter_mut() {
+                        if k == "schema" {
+                            *v = serde_json::Value::UInt(u64::from(SERVE_BENCH_SCHEMA));
+                        }
+                    }
+                }
+            }
+            Some(v) if v == u64::from(SERVE_BENCH_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "unsupported serve bench schema {other:?} (expected {SERVE_BENCH_SCHEMA})"
+                ));
+            }
+        }
+        let mut r: LoadReport = serde_json::from_value(value).map_err(|e| e.to_string())?;
+        if schema == Some(1) && r.statuses.is_empty() {
+            if r.ok > 0 {
+                r.statuses.insert(200, r.ok);
+            }
+            for (&status, &n) in &r.errors {
+                r.statuses.insert(status, n);
+            }
         }
         Ok(r)
     }
@@ -120,6 +170,25 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)] as f64 / 1_000_000.0
 }
 
+/// SplitMix64 mixing step — the deterministic trace-id derivation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The W3C `traceparent` injected with the `n`-th request of `seed`'s
+/// workload. A pure function of `(seed, n)`, so two replays of the same
+/// seed put identical trace ids on the wire and server-side traces can be
+/// correlated run-to-run.
+pub fn traceparent_for(seed: u64, n: u64) -> String {
+    let hi = splitmix64(seed ^ splitmix64(n));
+    let lo = splitmix64(hi.wrapping_add(n)).max(1); // all-zero trace id is invalid
+    let parent = splitmix64(lo).max(1);
+    format!("00-{hi:016x}{lo:016x}-{parent:016x}-01")
+}
+
 struct WorkerOutcome {
     sent: u64,
     ok: u64,
@@ -127,6 +196,17 @@ struct WorkerOutcome {
     transport_errors: u64,
     latencies_ns: Vec<u64>,
     decisions: BTreeMap<String, u64>,
+    statuses: BTreeMap<u16, u64>,
+    slowest: Vec<SlowRequest>,
+}
+
+/// Keeps `slowest` bounded: compact to the worst [`SLOW_SAMPLES`] once the
+/// buffer grows past a small multiple of the target.
+fn compact_slowest(slowest: &mut Vec<SlowRequest>) {
+    if slowest.len() >= SLOW_SAMPLES * 8 {
+        slowest.sort_by(|a, b| b.latency_ms.total_cmp(&a.latency_ms));
+        slowest.truncate(SLOW_SAMPLES);
+    }
 }
 
 /// Drives the configured load and measures. Fails fast (`Err`) only when
@@ -160,8 +240,16 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
         let addr = config.addr.clone();
         let workload = workload.clone();
         let next_index = next_index.clone();
+        let seed = config.seed;
         handles.push(std::thread::spawn(move || {
-            drive_connection(&addr, &workload, &next_index, deadline, per_conn_interval)
+            drive_connection(
+                &addr,
+                &workload,
+                &next_index,
+                seed,
+                deadline,
+                per_conn_interval,
+            )
         }));
     }
 
@@ -171,6 +259,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
     let mut transport_errors = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     let mut decisions: BTreeMap<String, u64> = BTreeMap::new();
+    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut slowest: Vec<SlowRequest> = Vec::new();
     for h in handles {
         let outcome = h.join().map_err(|_| "load worker panicked".to_owned())?;
         sent += outcome.sent;
@@ -182,10 +272,16 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
         for (k, v) in outcome.decisions {
             *decisions.entry(k).or_default() += v;
         }
+        for (k, v) in outcome.statuses {
+            *statuses.entry(k).or_default() += v;
+        }
         latencies.extend(outcome.latencies_ns);
+        slowest.extend(outcome.slowest);
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     latencies.sort_unstable();
+    slowest.sort_by(|a, b| b.latency_ms.total_cmp(&a.latency_ms));
+    slowest.truncate(SLOW_SAMPLES);
     Ok(LoadReport {
         schema: SERVE_BENCH_SCHEMA,
         seed: config.seed,
@@ -204,6 +300,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
             max: latencies.last().map_or(0.0, |&n| n as f64 / 1_000_000.0),
         },
         decisions,
+        statuses,
+        slowest,
     })
 }
 
@@ -211,6 +309,7 @@ fn drive_connection(
     addr: &str,
     workload: &Workload,
     next_index: &AtomicU64,
+    seed: u64,
     deadline: Instant,
     interval: Option<Duration>,
 ) -> WorkerOutcome {
@@ -221,6 +320,8 @@ fn drive_connection(
         transport_errors: 0,
         latencies_ns: Vec::new(),
         decisions: BTreeMap::new(),
+        statuses: BTreeMap::new(),
+        slowest: Vec::new(),
     };
     let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
     let mut next_send = Instant::now();
@@ -253,27 +354,38 @@ fn drive_connection(
                 }
             }
         }
-        let idx = next_index.fetch_add(1, Ordering::Relaxed) as usize % workload.requests.len();
+        let n = next_index.fetch_add(1, Ordering::Relaxed);
+        let idx = n as usize % workload.requests.len();
         let body = serde_json::to_string(&workload.requests[idx])
             .expect("request serializes")
             .into_bytes();
+        let traceparent = traceparent_for(seed, n);
         let (reader, writer) = conn.as_mut().expect("connection just ensured");
         let t0 = Instant::now();
-        match exchange(reader, writer, &body) {
+        match exchange(reader, writer, &body, &traceparent) {
             Ok((status, resp_body)) => {
+                let elapsed_ns = t0.elapsed().as_nanos() as u64;
                 outcome.sent += 1;
-                outcome.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                outcome.latencies_ns.push(elapsed_ns);
+                *outcome.statuses.entry(status).or_default() += 1;
+                let mut trace_id = None;
                 if status == 200 {
                     outcome.ok += 1;
-                    if let Some(d) = std::str::from_utf8(&resp_body)
+                    let parsed = std::str::from_utf8(&resp_body)
                         .ok()
-                        .and_then(|t| serde_json::from_str::<serde_json::Value>(t).ok())
+                        .and_then(|t| serde_json::from_str::<serde_json::Value>(t).ok());
+                    if let Some(d) = parsed
                         .as_ref()
                         .and_then(|v| v.get("decision"))
                         .and_then(|d| d.as_str())
                     {
                         *outcome.decisions.entry(d.to_owned()).or_default() += 1;
                     }
+                    trace_id = parsed
+                        .as_ref()
+                        .and_then(|v| v.get("trace_id"))
+                        .and_then(|t| t.as_u64())
+                        .map(|id| format!("{id:016x}"));
                 } else {
                     *outcome.errors.entry(status).or_default() += 1;
                     if status == 429 || status == 503 {
@@ -281,6 +393,12 @@ fn drive_connection(
                         std::thread::sleep(Duration::from_millis(5));
                     }
                 }
+                outcome.slowest.push(SlowRequest {
+                    latency_ms: elapsed_ns as f64 / 1_000_000.0,
+                    status,
+                    trace_id,
+                });
+                compact_slowest(&mut outcome.slowest);
             }
             Err(_) => {
                 outcome.transport_errors += 1;
@@ -291,15 +409,18 @@ fn drive_connection(
     outcome
 }
 
-/// One POST /v1/decide round trip over an established connection.
+/// One POST /v1/decide round trip over an established connection, carrying
+/// a deterministic `traceparent` so server-side spans correlate to the
+/// replay position.
 fn exchange(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     body: &[u8],
+    traceparent: &str,
 ) -> std::io::Result<(u16, Vec<u8>)> {
     write!(
         writer,
-        "POST /v1/decide HTTP/1.1\r\nHost: fg-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "POST /v1/decide HTTP/1.1\r\nHost: fg-serve\r\nContent-Type: application/json\r\nTraceparent: {traceparent}\r\nContent-Length: {}\r\n\r\n",
         body.len()
     )?;
     writer.write_all(body)?;
@@ -360,9 +481,8 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
-    #[test]
-    fn report_json_round_trips_and_gates_schema() {
-        let report = LoadReport {
+    fn sample_report() -> LoadReport {
+        LoadReport {
             schema: SERVE_BENCH_SCHEMA,
             seed: 42,
             connections: 2,
@@ -380,12 +500,61 @@ mod tests {
                 max: 5.0,
             },
             decisions: BTreeMap::from([("allow".to_owned(), 9)]),
-        };
+            statuses: BTreeMap::from([(200, 9), (429, 1)]),
+            slowest: vec![SlowRequest {
+                latency_ms: 5.0,
+                status: 200,
+                trace_id: Some("00000000000000aa".to_owned()),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_and_gates_schema() {
+        let report = sample_report();
         let parsed = LoadReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
         let mut wrong = report;
         wrong.schema = 9;
         assert!(LoadReport::from_json(&wrong.to_json()).is_err());
+    }
+
+    #[test]
+    fn schema_one_reports_migrate_forward() {
+        // A v1 report has neither `statuses` nor `slowest`; strip them and
+        // stamp schema 1 to reproduce what an old fg-loadgen wrote.
+        let mut v: serde_json::Value = serde_json::from_str(&sample_report().to_json()).unwrap();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "statuses" && k != "slowest");
+            for (k, val) in fields.iter_mut() {
+                if k == "schema" {
+                    *val = serde_json::Value::UInt(1);
+                }
+            }
+        }
+        let old = serde_json::to_string(&v).unwrap();
+        let parsed = LoadReport::from_json(&old).unwrap();
+        assert_eq!(parsed.schema, SERVE_BENCH_SCHEMA);
+        // Statuses are reconstructed from ok + errors; the slowest list
+        // cannot be recovered and stays empty.
+        assert_eq!(parsed.statuses, BTreeMap::from([(200, 9), (429, 1)]));
+        assert!(parsed.slowest.is_empty());
+    }
+
+    #[test]
+    fn traceparent_is_deterministic_and_well_formed() {
+        let a = traceparent_for(42, 7);
+        assert_eq!(a, traceparent_for(42, 7));
+        assert_ne!(a, traceparent_for(42, 8));
+        assert_ne!(a, traceparent_for(43, 7));
+        let parts: Vec<&str> = a.split('-').collect();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], "00");
+        assert_eq!(parts[1].len(), 32);
+        assert_eq!(parts[2].len(), 16);
+        assert_eq!(parts[3], "01");
+        assert!(parts[1].bytes().all(|b| b.is_ascii_hexdigit()));
+        assert!(crate::observe::TraceParent::parse(&a).is_some());
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //! answers nothing new, and exits once the pool is idle.
 
 use crate::breaker::CircuitBreaker;
-use crate::config::{EndpointLimits, ServeConfig};
+use crate::config::{EndpointLimits, ObserveConfig, ServeConfig};
 use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::observe::{
+    path_of, query_param, serve_slo_policy, FlightRecorder, RequestSummary, TraceParent,
+};
 use crate::service::{DecisionService, OutcomeReport};
+use fg_core::time::SimTime;
 use fg_scenario::workload::WireRequest;
-use fg_telemetry::metrics::Counter;
-use fg_telemetry::Telemetry;
+use fg_sentinel::Sentinel;
+use fg_telemetry::metrics::{Counter, Gauge, Latency};
+use fg_telemetry::trace::TraceConfig;
+use fg_telemetry::{HistSnapshot, RequestTrace, Telemetry};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -57,6 +63,19 @@ struct HttpMetrics {
     /// `fg_http_requests_total{endpoint, status}`; see `counter()` for the
     /// registered status buckets.
     requests: Vec<((&'static str, u16), Counter)>,
+    /// `fg_http_request_duration_seconds{endpoint, status}` — log-linear
+    /// latency histograms, same (class, status) grid as the counters.
+    latency: Vec<((&'static str, u16), Latency)>,
+    /// `fg_http_request_p99_seconds{endpoint}` — refreshed by the sentinel
+    /// tick from the merged per-endpoint histograms.
+    p99: Vec<(&'static str, Gauge)>,
+    /// Aggregate 5xx counter the `serve-5xx-burn` alert watches.
+    errors_5xx: Counter,
+    /// Breaker trips mirrored as a counter for the sentinel (the breaker
+    /// itself only exposes a load-time value).
+    breaker_trips: Counter,
+    /// Alerts currently firing in the embedded sentinel.
+    active_alerts: Gauge,
     shed: Counter,
     connections: Counter,
     reload_applied: Counter,
@@ -81,7 +100,26 @@ impl HttpMetrics {
             "fg_config_reload_total",
             "Config hot-reload attempts, by outcome",
         );
+        registry.set_help(
+            "fg_http_request_duration_seconds",
+            "Request service latency by endpoint class and status (log-linear histogram)",
+        );
+        registry.set_help(
+            "fg_http_request_p99_seconds",
+            "Served p99 latency per endpoint class over the process lifetime",
+        );
+        registry.set_help("fg_http_5xx_total", "Server-error (5xx) responses sent");
+        registry.set_help(
+            "fg_serve_breaker_trips_total",
+            "Circuit-breaker open transitions since boot",
+        );
+        registry.set_help(
+            "fg_serve_active_alerts",
+            "Serve-SLO alerts currently firing in the embedded sentinel",
+        );
         let mut requests = Vec::new();
+        let mut latency = Vec::new();
+        let mut p99 = Vec::new();
         for class in [Class::Decide, Class::Report, Class::Observe, Class::Other] {
             for &status in STATUS_BUCKETS {
                 let status_str = status.to_string();
@@ -92,10 +130,29 @@ impl HttpMetrics {
                         &[("endpoint", class.label()), ("status", status_str.as_str())],
                     ),
                 ));
+                latency.push((
+                    (class.label(), status),
+                    registry.latency_with(
+                        "fg_http_request_duration_seconds",
+                        &[("endpoint", class.label()), ("status", status_str.as_str())],
+                    ),
+                ));
             }
+            p99.push((
+                class.label(),
+                registry.gauge_with(
+                    "fg_http_request_p99_seconds",
+                    &[("endpoint", class.label())],
+                ),
+            ));
         }
         HttpMetrics {
             requests,
+            latency,
+            p99,
+            errors_5xx: registry.counter("fg_http_5xx_total"),
+            breaker_trips: registry.counter("fg_serve_breaker_trips_total"),
+            active_alerts: registry.gauge("fg_serve_active_alerts"),
             shed: registry.counter("fg_http_shed_total"),
             connections: registry.counter("fg_http_connections_total"),
             reload_applied: registry
@@ -115,6 +172,17 @@ impl HttpMetrics {
         {
             c.inc();
         }
+        if status >= 500 {
+            self.errors_5xx.inc();
+        }
+    }
+
+    /// The latency histogram for this (class, status) cell, when registered.
+    fn latency_for(&self, class: Class, status: u16) -> Option<&Latency> {
+        self.latency
+            .iter()
+            .find(|((l, s), _)| *l == class.label() && *s == status)
+            .map(|(_, h)| h)
     }
 }
 
@@ -188,6 +256,15 @@ pub struct ServeState {
     breaker: CircuitBreaker,
     gates: Gates,
     limits: Limits,
+    observe: ObserveConfig,
+    /// Wall-clock origin every `boot_ms` timestamp is relative to.
+    boot: Instant,
+    /// Monotone per-boot request sequence (flight-recorder ordering).
+    request_seq: AtomicU64,
+    /// Breaker trip count at the last request, for freeze-on-trip edges.
+    seen_trips: AtomicU64,
+    flight: Mutex<FlightRecorder>,
+    sentinel: Mutex<Sentinel>,
     draining: AtomicBool,
     /// Monotone config generation; bumped on every applied hot-reload.
     generation: AtomicU64,
@@ -197,20 +274,47 @@ pub struct ServeState {
     active: Mutex<ServeConfig>,
 }
 
+/// What `decide()` hands to the response observer: the decision identity
+/// plus the still-open request trace to append transport spans to.
+struct DecideMeta {
+    trace_id: u64,
+    decision: String,
+    trace: Option<RequestTrace>,
+}
+
 impl ServeState {
     fn new(config: ServeConfig, telemetry: Arc<Telemetry>) -> Self {
+        // The live tracer ring: bounded, always on for the serving layer so
+        // `/debug/traces` and the `/metrics` exemplars resolve from boot.
+        telemetry.enable_tracing(TraceConfig {
+            capacity: config.observe.trace_capacity,
+            ..TraceConfig::default()
+        });
+        let sentinel = Sentinel::new(serve_slo_policy(&config.observe), telemetry.metrics());
         ServeState {
             service: DecisionService::new(&config, telemetry.clone()),
             metrics: HttpMetrics::register(&telemetry),
+            sentinel: Mutex::new(sentinel),
             telemetry,
             breaker: CircuitBreaker::new(config.breaker),
             gates: Gates::new(config.limits),
             limits: Limits::default(),
+            observe: config.observe,
+            boot: Instant::now(),
+            request_seq: AtomicU64::new(0),
+            seen_trips: AtomicU64::new(0),
+            flight: Mutex::new(FlightRecorder::new(config.observe.flight_recorder_entries)),
             draining: AtomicBool::new(false),
             generation: AtomicU64::new(1),
             last_reload: Mutex::new("boot".to_owned()),
             active: Mutex::new(config),
         }
+    }
+
+    /// Milliseconds since boot — the serve sentinel's sim-time axis and
+    /// every flight-recorder timestamp.
+    fn boot_ms(&self) -> u64 {
+        self.boot.elapsed().as_millis() as u64
     }
 
     /// The decision core (for in-process tests and benches).
@@ -271,44 +375,226 @@ impl ServeState {
     }
 
     fn route(&self, req: &Request) -> Response {
-        let (class, response) = self.route_inner(req);
+        let started = Instant::now();
+        let (class, response, meta) = self.route_inner(req);
         self.metrics.on_response(class, response.status);
-        response
+        self.observe_response(class, req, response, started.elapsed(), meta)
     }
 
-    fn route_inner(&self, req: &Request) -> (Class, Response) {
-        let class = match req.target.as_str() {
+    fn route_inner(&self, req: &Request) -> (Class, Response, Option<DecideMeta>) {
+        let class = match path_of(&req.target) {
             "/v1/decide" => Class::Decide,
             "/v1/report" => Class::Report,
-            "/metrics" | "/healthz" | "/readyz" => Class::Observe,
+            "/metrics"
+            | "/healthz"
+            | "/readyz"
+            | "/debug/traces"
+            | "/debug/flightrecorder"
+            | "/debug/alerts" => Class::Observe,
             _ => Class::Other,
         };
         if let Some(gate) = self.gates.for_class(class) {
             if !gate.try_acquire() {
-                return (class, Response::error(429, "endpoint concurrency limit"));
+                return (
+                    class,
+                    Response::error(429, "endpoint concurrency limit"),
+                    None,
+                );
             }
         }
-        let response = self.dispatch(class, req);
+        let (response, meta) = self.dispatch(class, req);
         if let Some(gate) = self.gates.for_class(class) {
             gate.release();
         }
-        (class, response)
+        (class, response, meta)
     }
 
-    fn dispatch(&self, class: Class, req: &Request) -> Response {
-        match (req.method.as_str(), req.target.as_str()) {
+    fn dispatch(&self, class: Class, req: &Request) -> (Response, Option<DecideMeta>) {
+        let response = match (req.method.as_str(), path_of(&req.target)) {
             ("GET", "/healthz") => Response::json(200, &b"{\"ok\":true}"[..]),
             ("GET", "/readyz") => self.readyz(),
             ("GET", "/metrics") => Response::text(200, self.telemetry.snapshot().to_prometheus()),
-            ("POST", "/v1/decide") => self.decide(req),
+            ("GET", "/debug/traces") => self.debug_traces(req),
+            ("GET", "/debug/flightrecorder") => self.debug_flightrecorder(),
+            ("GET", "/debug/alerts") => self.debug_alerts(),
+            ("POST", "/v1/decide") => return self.decide(req),
             ("POST", "/v1/report") => self.report(req),
-            (_, "/healthz" | "/readyz" | "/metrics" | "/v1/decide" | "/v1/report") => {
-                Response::error(405, "method not allowed")
-            }
+            (
+                _,
+                "/healthz"
+                | "/readyz"
+                | "/metrics"
+                | "/v1/decide"
+                | "/v1/report"
+                | "/debug/traces"
+                | "/debug/flightrecorder"
+                | "/debug/alerts",
+            ) => Response::error(405, "method not allowed"),
             _ => {
                 let _ = class;
                 Response::error(404, "no such endpoint")
             }
+        };
+        (response, None)
+    }
+
+    /// Everything observability learns from one finished exchange: the
+    /// latency histogram cell (with an exemplar when the request is worth
+    /// retrieving), the flight-recorder ring, breaker-trip freezes, the
+    /// trace submission with its transport span, and the `traceparent`
+    /// echo.
+    fn observe_response(
+        &self,
+        class: Class,
+        req: &Request,
+        mut response: Response,
+        elapsed: Duration,
+        meta: Option<DecideMeta>,
+    ) -> Response {
+        let status = response.status;
+        let slow = elapsed >= Duration::from_millis(self.observe.slow_request_ms);
+        let decision_label = meta.as_ref().map(|m| m.decision.clone());
+        let important =
+            slow || status >= 500 || decision_label.as_deref().is_some_and(|d| d != "allow");
+        let trace_id = meta.as_ref().map_or(0, |m| m.trace_id);
+
+        if let Some(hist) = self.metrics.latency_for(class, status) {
+            if important {
+                // trace_id 0 (untraced request) is ignored by the recorder.
+                hist.record_with_exemplar(elapsed, trace_id);
+            } else {
+                hist.record(elapsed);
+            }
+        }
+
+        // Wire trace correlation: parse the caller's traceparent, echo the
+        // same trace id back with our decision trace id as the parent span,
+        // and stamp the wire ids onto the submitted trace. The decision
+        // core's own trace id is never derived from the wire — decisions
+        // stay byte-identical with and without the header.
+        let wire = req.header("traceparent").and_then(TraceParent::parse);
+        if let Some(w) = &wire {
+            let seq_hint = self.request_seq.load(Ordering::Relaxed);
+            let span = if trace_id != 0 { trace_id } else { seq_hint };
+            response = response.with_header("traceparent", w.echo(span));
+        }
+
+        if let Some(mut tr) = meta.and_then(|m| m.trace) {
+            let span = tr.stage("serve.http");
+            tr.attr(span, "status", status);
+            tr.attr(span, "latency_us", elapsed.as_micros());
+            tr.attr(span, "endpoint", class.label());
+            if let Some(w) = &wire {
+                tr.attr(span, "wire.trace_id", &w.trace_id_hex);
+                tr.attr(span, "wire.parent_id", format_args!("{:016x}", w.parent_id));
+            }
+            if slow || status >= 500 {
+                tr.pin();
+            }
+            self.telemetry.record_trace(tr);
+        }
+
+        let seq = self.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let summary = RequestSummary {
+            seq,
+            boot_ms: self.boot_ms(),
+            endpoint: class.label().to_owned(),
+            request: format!("{} {}", req.method, path_of(&req.target)),
+            status,
+            decision: decision_label,
+            trace_id: (trace_id != 0).then(|| format!("{trace_id:016x}")),
+            latency_us: elapsed.as_micros() as u64,
+            slow,
+        };
+        {
+            let mut flight = self.flight.lock().unwrap_or_else(|e| e.into_inner());
+            flight.record(summary);
+            // Freeze on the breaker-open edge, so the requests that tripped
+            // it stay retrievable.
+            let trips = self.breaker.trips();
+            let seen = self.seen_trips.swap(trips, Ordering::Relaxed);
+            if trips > seen {
+                flight.freeze("breaker-open", self.boot_ms());
+            }
+        }
+        response
+    }
+
+    /// `GET /debug/traces[?trace_id=<16 hex>]`: the live tracer ring —
+    /// sampling accounting, retained trace ids, and the spans themselves
+    /// (optionally restricted to one trace).
+    fn debug_traces(&self, req: &Request) -> Response {
+        use serde_json::Value;
+        let snapshot = self.telemetry.trace_snapshot();
+        let filter = query_param(&req.target, "trace_id")
+            .map(|raw| u64::from_str_radix(raw, 16).map_err(|_| raw));
+        let wanted = match filter {
+            None => None,
+            Some(Ok(id)) => Some(id),
+            Some(Err(raw)) => {
+                return Response::error(400, &format!("trace_id must be hex, got {raw:?}"))
+            }
+        };
+        let retained: Vec<Value> = snapshot
+            .request_trace_ids()
+            .iter()
+            .map(|id| Value::String(format!("{id:016x}")))
+            .collect();
+        let spans: Vec<&fg_telemetry::SpanRecord> = snapshot
+            .spans
+            .iter()
+            .filter(|s| wanted.is_none_or(|id| s.trace_id == id))
+            .collect();
+        let body = Value::Object(vec![
+            ("submitted".to_owned(), Value::UInt(snapshot.submitted)),
+            ("kept".to_owned(), Value::UInt(snapshot.kept)),
+            ("sampled_out".to_owned(), Value::UInt(snapshot.sampled_out)),
+            ("evicted".to_owned(), Value::UInt(snapshot.evicted)),
+            ("retained".to_owned(), Value::Array(retained)),
+            (
+                "spans".to_owned(),
+                serde_json::to_value(&spans).unwrap_or(Value::Null),
+            ),
+        ]);
+        match serde_json::to_string(&body) {
+            Ok(json) => Response::json(200, json.into_bytes()),
+            Err(e) => Response::error(500, &format!("serialize: {e}")),
+        }
+    }
+
+    /// `GET /debug/flightrecorder`: the rolling last-N request ring plus
+    /// the frozen copy captured at the first breaker-trip/shed incident.
+    fn debug_flightrecorder(&self) -> Response {
+        let snapshot = {
+            let flight = self.flight.lock().unwrap_or_else(|e| e.into_inner());
+            flight.snapshot()
+        };
+        match serde_json::to_string(&snapshot) {
+            Ok(json) => Response::json(200, json.into_bytes()),
+            Err(e) => Response::error(500, &format!("serialize: {e}")),
+        }
+    }
+
+    /// `GET /debug/alerts`: the embedded sentinel's policy, currently
+    /// firing count, and full lifecycle event history.
+    fn debug_alerts(&self) -> Response {
+        use serde_json::Value;
+        let (policy, active, events) = {
+            let sentinel = self.sentinel.lock().unwrap_or_else(|e| e.into_inner());
+            (
+                serde_json::to_value(sentinel.policy()).unwrap_or(Value::Null),
+                sentinel.active_alerts(),
+                serde_json::to_value(&sentinel.events().to_vec()).unwrap_or(Value::Null),
+            )
+        };
+        let body = Value::Object(vec![
+            ("active".to_owned(), Value::UInt(active)),
+            ("events".to_owned(), events),
+            ("policy".to_owned(), policy),
+        ]);
+        match serde_json::to_string(&body) {
+            Ok(json) => Response::json(200, json.into_bytes()),
+            Err(e) => Response::error(500, &format!("serialize: {e}")),
         }
     }
 
@@ -341,9 +627,9 @@ impl ServeState {
         )
     }
 
-    fn decide(&self, req: &Request) -> Response {
+    fn decide(&self, req: &Request) -> (Response, Option<DecideMeta>) {
         if !self.breaker.try_acquire() {
-            return Response::error(503, "decision path circuit open");
+            return (Response::error(503, "decision path circuit open"), None);
         }
         let wire: WireRequest = match std::str::from_utf8(&req.body)
             .map_err(|e| e.to_string())
@@ -358,24 +644,30 @@ impl ServeState {
                 // decision path's: record success so 400s never trip the
                 // breaker.
                 self.breaker.record(true);
-                return Response::error(400, &format!("bad decide body: {e}"));
+                return (Response::error(400, &format!("bad decide body: {e}")), None);
             }
         };
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.service.decide(&wire)))
-        {
-            Ok(decision) => match serde_json::to_string(&decision) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.service.decide_traced(&wire)
+        })) {
+            Ok((decision, trace)) => match serde_json::to_string(&decision) {
                 Ok(body) => {
                     self.breaker.record(true);
-                    Response::json(200, body.into_bytes())
+                    let meta = DecideMeta {
+                        trace_id: decision.trace_id,
+                        decision: decision.decision.to_string(),
+                        trace,
+                    };
+                    (Response::json(200, body.into_bytes()), Some(meta))
                 }
                 Err(e) => {
                     self.breaker.record(false);
-                    Response::error(500, &format!("serialize: {e}"))
+                    (Response::error(500, &format!("serialize: {e}")), None)
                 }
             },
             Err(_) => {
                 self.breaker.record(false);
-                Response::error(500, "decision handler panicked")
+                (Response::error(500, "decision handler panicked"), None)
             }
         }
     }
@@ -414,6 +706,7 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
+    sentinel: Option<JoinHandle<()>>,
     finished_workers: Arc<AtomicUsize>,
 }
 
@@ -463,6 +756,15 @@ impl Server {
                 .expect("spawn accept loop")
         };
 
+        let sentinel = {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name("fg-serve-sentinel".to_owned())
+                .spawn(move || sentinel_loop(&state))
+                // fg-analyze: allow(panic-path): boot-only — the SLO sentinel spawns once in start()
+                .expect("spawn sentinel")
+        };
+
         let watcher = watch.map(|path| {
             let state = state.clone();
             // Read the baseline *before* returning from start(): anything
@@ -482,6 +784,7 @@ impl Server {
             accept: Some(accept),
             workers,
             watcher,
+            sentinel: Some(sentinel),
             finished_workers,
         })
     }
@@ -529,6 +832,9 @@ impl Server {
         if let Some(watch) = self.watcher.take() {
             let _ = watch.join(); // watcher polls the drain flag too
         }
+        if let Some(sentinel) = self.sentinel.take() {
+            let _ = sentinel.join(); // sentinel polls the drain flag too
+        }
         DrainReport {
             clean: finished >= total,
             stragglers: total - finished.min(total),
@@ -559,10 +865,29 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Arc<S
 }
 
 /// Queue full: answer 429 from the accept thread and close. Short write
-/// timeout so a slow-reading client cannot stall accepting.
+/// timeout so a slow-reading client cannot stall accepting. The shed is an
+/// incident: it lands in the flight recorder and freezes the ring, so the
+/// traffic that saturated the queue stays retrievable afterwards.
 fn shed(stream: TcpStream, state: &Arc<ServeState>) {
     state.metrics.shed.inc();
     state.metrics.on_response(Class::Other, 429);
+    let seq = state.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let summary = RequestSummary {
+        seq,
+        boot_ms: state.boot_ms(),
+        endpoint: Class::Other.label().to_owned(),
+        request: "(shed before parse)".to_owned(),
+        status: 429,
+        decision: None,
+        trace_id: None,
+        latency_us: 0,
+        slow: false,
+    };
+    {
+        let mut flight = state.flight.lock().unwrap_or_else(|e| e.into_inner());
+        flight.record(summary);
+        flight.freeze("shed", state.boot_ms());
+    }
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let mut stream = stream;
     let _ = Response::error(429, "server saturated, retry later")
@@ -647,6 +972,73 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
             }
         }
     }
+}
+
+/// The embedded SLO sentinel thread: naps in short slices so the drain
+/// flag is noticed promptly, then runs one evaluation pass per poll.
+fn sentinel_loop(state: &Arc<ServeState>) {
+    const NAP: Duration = Duration::from_millis(25);
+    while !state.draining() {
+        let mut slept = 0u64;
+        while slept < state.observe.sentinel_poll_ms && !state.draining() {
+            std::thread::sleep(NAP);
+            slept += NAP.as_millis() as u64;
+        }
+        if state.draining() {
+            return;
+        }
+        sentinel_tick(state);
+    }
+}
+
+/// One sentinel evaluation pass, split out so tests can drive it without
+/// waiting on the poll cadence:
+///
+/// 1. mirror the breaker's trip count into `fg_serve_breaker_trips_total`
+///    (the counter the `serve-breaker-trips` rule differentiates),
+/// 2. refresh `fg_http_request_p99_seconds{endpoint}` by exactly merging
+///    each endpoint's per-status histogram cells and reading q0.99,
+/// 3. evaluate the SLO policy on sim-time = milliseconds since boot, and
+/// 4. publish the firing count as `fg_serve_active_alerts`.
+fn sentinel_tick(state: &Arc<ServeState>) {
+    let trips = state.breaker.trips();
+    let mirrored = state.metrics.breaker_trips.get();
+    if trips > mirrored {
+        state.metrics.breaker_trips.add(trips - mirrored);
+    }
+
+    let snap = state.telemetry.metrics().snapshot();
+    for (endpoint, gauge) in &state.metrics.p99 {
+        let mut merged: Option<HistSnapshot> = None;
+        for sample in &snap.latencies {
+            if sample.name.name != "fg_http_request_duration_seconds" {
+                continue;
+            }
+            if !sample
+                .name
+                .labels
+                .iter()
+                .any(|(k, v)| k == "endpoint" && v == endpoint)
+            {
+                continue;
+            }
+            match &mut merged {
+                Some(m) => m.merge(&sample.hist),
+                None => merged = Some(sample.hist.clone()),
+            }
+        }
+        gauge.set(merged.map_or(0.0, |m| m.quantile_seconds(0.99)));
+    }
+
+    // Re-snapshot so the evaluation sees the gauges just refreshed.
+    let snap = state.telemetry.metrics().snapshot();
+    let now = SimTime::from_millis(state.boot_ms());
+    let active = {
+        let mut sentinel = state.sentinel.lock().unwrap_or_else(|e| e.into_inner());
+        sentinel.observe(now, &snap);
+        sentinel.active_alerts()
+    };
+    state.metrics.active_alerts.set(active as f64);
 }
 
 fn watch_loop(path: &std::path::Path, baseline: Option<String>, state: &Arc<ServeState>) {

@@ -13,7 +13,7 @@ use fg_mitigation::policy::PolicyConfig;
 use fg_netsim::ip::IpAddress;
 use fg_scenario::app::{AppConfig, DefendedApp, GateDecision};
 use fg_scenario::workload::WireRequest;
-use fg_telemetry::Telemetry;
+use fg_telemetry::{RequestTrace, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -50,6 +50,7 @@ pub struct ReportAck {
 /// The shared decision core.
 pub struct DecisionService {
     app: Mutex<DefendedApp>,
+    telemetry: Arc<Telemetry>,
     last_tick_ms: AtomicU64,
     reports: AtomicU64,
     decisions: AtomicU64,
@@ -68,10 +69,11 @@ impl DecisionService {
         let app = DefendedApp::with_telemetry(
             AppConfig::airline(config.policy.clone()).with_concurrency(concurrency),
             config.seed,
-            telemetry,
+            telemetry.clone(),
         );
         DecisionService {
             app: Mutex::new(app),
+            telemetry,
             last_tick_ms: AtomicU64::new(0),
             reports: AtomicU64::new(0),
             decisions: AtomicU64::new(0),
@@ -84,8 +86,26 @@ impl DecisionService {
         self.app.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The telemetry hub the decision core records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Decides one wire request, running due housekeeping first.
     pub fn decide(&self, req: &WireRequest) -> GateDecision {
+        let (decision, trace) = self.decide_traced(req);
+        if let Some(tr) = trace {
+            self.telemetry().record_trace(tr);
+        }
+        decision
+    }
+
+    /// Like [`DecisionService::decide`], but returns the finished (not yet
+    /// submitted) request trace so the HTTP layer can append transport
+    /// spans — response status, measured latency, wire trace correlation —
+    /// and pin slow requests before submitting. The decision is identical
+    /// to [`DecisionService::decide`] byte-for-byte.
+    pub fn decide_traced(&self, req: &WireRequest) -> (GateDecision, Option<RequestTrace>) {
         let mut app = self.app();
         let last = self.last_tick_ms.load(Ordering::Relaxed);
         if req.now_ms >= last + TICK_EVERY_MS {
@@ -93,7 +113,7 @@ impl DecisionService {
             self.last_tick_ms.store(req.now_ms, Ordering::Relaxed);
         }
         self.decisions.fetch_add(1, Ordering::Relaxed);
-        app.decide_request(&req.client_request(), req.endpoint, req.booking, req.now())
+        app.decide_request_traced(&req.client_request(), req.endpoint, req.booking, req.now())
     }
 
     /// Folds one outcome report into the reputation ledger.

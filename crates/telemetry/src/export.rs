@@ -38,10 +38,14 @@ impl TelemetrySnapshot {
     /// - **Histograms** with identical bounds sum bucket-wise (plus `count`
     ///   and `sum`); a histogram whose bounds differ from an already-merged
     ///   namesake is kept as a separate entry rather than silently mangled.
-    /// - **Stages** combine by name: `count` and `total_ms` add, the mean is
-    ///   recomputed, `max_us` takes the maximum, and p50/p95/p99 take the
-    ///   count-weighted average — an approximation (true percentiles are not
-    ///   mergeable from summaries), adequate for the ±noise use here.
+    /// - **Latency histograms** (log-linear) sum bucket-wise; exemplars
+    ///   union and re-sort by latency.
+    /// - **Stages** combine by name by merging their log-linear histograms
+    ///   bucket-wise — *exact*: the merged percentiles are the percentiles
+    ///   of the union of the samples (within the layout's
+    ///   [`crate::hist::RELATIVE_ERROR`] bucket error), not a count-weighted
+    ///   average of per-shard percentiles, which skews badly when shards
+    ///   have different tail shapes.
     /// - **Audit** totals (`recorded`, `evicted`, per-decision counts) add;
     ///   retained records concatenate and re-sort by simulation time so the
     ///   merged trail reads chronologically.
@@ -77,6 +81,23 @@ impl TelemetrySnapshot {
         }
         self.metrics.histograms.sort_by(|a, b| a.name.cmp(&b.name));
 
+        for l in &other.metrics.latencies {
+            match self
+                .metrics
+                .latencies
+                .iter_mut()
+                .find(|mine| mine.name == l.name)
+            {
+                Some(mine) => {
+                    mine.hist.merge(&l.hist);
+                    mine.exemplars.extend(l.exemplars.iter().copied());
+                    mine.exemplars.sort_by_key(|e| e.nanos);
+                }
+                None => self.metrics.latencies.push(l.clone()),
+            }
+        }
+        self.metrics.latencies.sort_by(|a, b| a.name.cmp(&b.name));
+
         for (name, help) in &other.metrics.help {
             if !self.metrics.help.iter().any(|(n, _)| n == name) {
                 self.metrics.help.push((name.clone(), help.clone()));
@@ -87,25 +108,8 @@ impl TelemetrySnapshot {
         for s in &other.stages {
             match self.stages.iter_mut().find(|mine| mine.stage == s.stage) {
                 Some(mine) => {
-                    let (n0, n1) = (mine.count as f64, s.count as f64);
-                    let total = n0 + n1;
-                    if total > 0.0 {
-                        for (q0, q1) in [
-                            (&mut mine.p50_us, s.p50_us),
-                            (&mut mine.p95_us, s.p95_us),
-                            (&mut mine.p99_us, s.p99_us),
-                        ] {
-                            *q0 = (*q0 * n0 + q1 * n1) / total;
-                        }
-                    }
-                    mine.count += s.count;
-                    mine.total_ms += s.total_ms;
-                    mine.mean_us = if mine.count == 0 {
-                        0.0
-                    } else {
-                        mine.total_ms * 1e3 / mine.count as f64
-                    };
-                    mine.max_us = mine.max_us.max(s.max_us);
+                    mine.hist.merge(&s.hist);
+                    mine.refresh_derived();
                 }
                 None => self.stages.push(s.clone()),
             }
@@ -210,6 +214,64 @@ impl TelemetrySnapshot {
                 name,
                 render_labels(&h.name, &[]),
                 h.count
+            );
+        }
+
+        for l in &self.metrics.latencies {
+            let name = sanitize(&l.name.name);
+            type_header(&mut out, &name, "histogram");
+            // Exemplars keyed by the rendered bucket they fall in; when two
+            // land in one bucket the slower wins (they arrive sorted).
+            let mut exemplar_at: Vec<(usize, crate::hist::Exemplar)> = Vec::new();
+            for e in &l.exemplars {
+                let idx = crate::hist::bucket_index(e.nanos);
+                match exemplar_at.iter_mut().find(|(i, _)| *i == idx) {
+                    Some(slot) => slot.1 = *e,
+                    None => exemplar_at.push((idx, *e)),
+                }
+            }
+            let mut cumulative = 0u64;
+            for &(idx, bucket_count) in &l.hist.buckets {
+                cumulative += bucket_count;
+                let le = render_f64(crate::hist::bucket_high(idx as usize) as f64 * 1e-9);
+                let _ = write!(
+                    out,
+                    "{}_bucket{} {}",
+                    name,
+                    render_labels(&l.name, &[("le", &le)]),
+                    cumulative
+                );
+                if let Some((_, e)) = exemplar_at.iter().find(|(i, _)| *i == idx as usize) {
+                    // OpenMetrics exemplar: `# {trace_id="…"} value`.
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{:016x}\"}} {}",
+                        e.trace_id,
+                        render_f64(e.nanos as f64 * 1e-9)
+                    );
+                }
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                name,
+                render_labels(&l.name, &[("le", "+Inf")]),
+                l.hist.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                name,
+                render_labels(&l.name, &[]),
+                render_f64(l.hist.sum as f64 * 1e-9)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                name,
+                render_labels(&l.name, &[]),
+                l.hist.count
             );
         }
 
@@ -494,6 +556,105 @@ mod tests {
             .map(|c| c.name.name.as_str())
             .collect();
         assert_eq!(names, ["aa_total", "zz_total"], "re-sorted by identity");
+    }
+
+    /// The regression the merge rewrite exists for: two shards with very
+    /// different tail shapes. Count-weighted averaging of per-shard p99s
+    /// reported ~½ the true fleet p99; bucket-wise histogram merge reports
+    /// the p99 of the union.
+    #[test]
+    fn two_skewed_shards_merge_to_the_true_p99() {
+        // Shard A: 99 fast samples (1 µs). Shard B: 99 slow ones (10 ms).
+        let mut fast = StageProfiler::new();
+        let mut slow = StageProfiler::new();
+        for _ in 0..99 {
+            fast.record_named("policy.decide", Duration::from_micros(1));
+            slow.record_named("policy.decide", Duration::from_millis(10));
+        }
+        let empty = || TelemetrySnapshot {
+            metrics: MetricsRegistry::new().snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        let mut a = empty();
+        a.stages = fast.snapshot();
+        let mut b = empty();
+        b.stages = slow.snapshot();
+
+        // The old count-weighted average would have said:
+        let averaged = (a.stages[0].p99_us * 99.0 + b.stages[0].p99_us * 99.0) / 198.0;
+
+        a.merge(&b);
+        let merged_p99 = a.stages[0].p99_us;
+        // True union: 198 samples, rank ceil(0.99·198)=197 → a 10 ms sample.
+        let exact_us = 10_000.0;
+        assert!(
+            (merged_p99 - exact_us).abs() <= exact_us * crate::hist::RELATIVE_ERROR,
+            "merged p99 {merged_p99} µs should be ~{exact_us} µs"
+        );
+        assert!(
+            averaged < exact_us * 0.6,
+            "the old averaging really was wrong ({averaged} µs)"
+        );
+        assert_eq!(a.stages[0].count, 198);
+    }
+
+    #[test]
+    fn latency_histograms_render_natively_with_exemplars() {
+        let registry = MetricsRegistry::new();
+        registry.set_help("fg_http_request_duration_seconds", "Request latency");
+        let l = registry.latency_with(
+            "fg_http_request_duration_seconds",
+            &[("endpoint", "/v1/decide")],
+        );
+        l.record(Duration::from_micros(80));
+        l.record_with_exemplar(Duration::from_millis(25), 0xDEAD_BEEF);
+        let snap = TelemetrySnapshot {
+            metrics: registry.snapshot(),
+            stages: Vec::new(),
+            audit: AuditTrail::new(4).snapshot(),
+        };
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("# TYPE fg_http_request_duration_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "fg_http_request_duration_seconds_bucket{endpoint=\"/v1/decide\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# {trace_id=\"00000000deadbeef\"}"),
+            "exemplar rendered: {text}"
+        );
+        assert!(
+            text.contains("fg_http_request_duration_seconds_count{endpoint=\"/v1/decide\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn latency_series_merge_bucket_wise_with_exemplar_union() {
+        let mk = |nanos: u64, id: u64| {
+            let registry = MetricsRegistry::new();
+            let l = registry.latency("fg_http_request_duration_seconds");
+            l.record_with_exemplar(Duration::from_nanos(nanos), id);
+            TelemetrySnapshot {
+                metrics: registry.snapshot(),
+                stages: Vec::new(),
+                audit: AuditTrail::new(4).snapshot(),
+            }
+        };
+        let mut a = mk(50_000, 0xA);
+        let b = mk(40_000_000, 0xB);
+        a.merge(&b);
+        let merged = &a.metrics.latencies[0];
+        assert_eq!(merged.hist.count, 2);
+        assert_eq!(merged.exemplars.len(), 2);
+        assert_eq!(merged.exemplars[0].trace_id, 0xA);
+        assert_eq!(merged.exemplars[1].trace_id, 0xB);
     }
 
     #[test]

@@ -48,12 +48,14 @@
 
 pub mod audit;
 pub mod export;
+pub mod hist;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
 pub use audit::{AuditRecord, AuditSnapshot, AuditTrail, SignalScore};
 pub use export::TelemetrySnapshot;
+pub use hist::{AtomicHist, Exemplar, Hist, HistSnapshot};
 pub use metrics::{Counter, Gauge, Histogram, MetricName, MetricsRegistry, MetricsSnapshot};
 pub use profile::{StageProfiler, StageSnapshot};
 pub use trace::{RequestTrace, SpanRecord, TraceConfig, TraceSnapshot, Tracer};

@@ -6,10 +6,12 @@
 //! increment is then a single relaxed atomic write — the registry's mutex is
 //! only taken at registration and snapshot time, never on the hot path.
 
+use crate::hist::{AtomicHist, Exemplar, HistSnapshot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A monotonically increasing counter.
 ///
@@ -172,6 +174,50 @@ impl Histogram {
     }
 }
 
+/// A shared handle to a lock-free log-linear latency histogram
+/// ([`crate::hist::AtomicHist`]): bounded memory, exact bucket-wise merge,
+/// quantiles within [`crate::hist::RELATIVE_ERROR`]. The exporter renders
+/// these as native Prometheus histograms (in seconds) with OpenMetrics
+/// exemplars linking slow buckets to trace ids.
+#[derive(Clone, Debug, Default)]
+pub struct Latency(Arc<AtomicHist>);
+
+impl Latency {
+    /// Creates a detached latency histogram (not yet in any registry).
+    pub fn new() -> Self {
+        Latency::default()
+    }
+
+    /// Records one latency sample. Lock-free.
+    pub fn record(&self, elapsed: Duration) {
+        self.0.record_duration(elapsed);
+    }
+
+    /// Records one latency sample given directly in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.0.record(nanos);
+    }
+
+    /// Records a sample and offers `trace_id` as the exemplar for its
+    /// latency band (ignored when `trace_id` is 0, the "no trace" value).
+    pub fn record_with_exemplar(&self, elapsed: Duration, trace_id: u64) {
+        self.0.record_with_exemplar(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            trace_id,
+        );
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Point-in-time compact histogram plus current exemplars.
+    pub fn snapshot(&self) -> (HistSnapshot, Vec<Exemplar>) {
+        self.0.snapshot()
+    }
+}
+
 /// A metric's identity: base name plus label pairs.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MetricName {
@@ -251,6 +297,7 @@ struct Inner {
     counters: Vec<(MetricName, Counter)>,
     gauges: Vec<(MetricName, Gauge)>,
     histograms: Vec<(MetricName, Histogram)>,
+    latencies: Vec<(MetricName, Latency)>,
     /// Per-base-name help text (`# HELP` in the Prometheus exposition),
     /// keyed by base name only — labelled series share their metric's help.
     help: Vec<(String, String)>,
@@ -342,6 +389,23 @@ impl MetricsRegistry {
         h
     }
 
+    /// Registers (or fetches) an unlabelled latency histogram.
+    pub fn latency(&self, name: &str) -> Latency {
+        self.latency_with(name, &[])
+    }
+
+    /// Registers (or fetches) a labelled latency histogram.
+    pub fn latency_with(&self, name: &str, labels: &[(&str, &str)]) -> Latency {
+        let id = MetricName::with_labels(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, l)) = inner.latencies.iter().find(|(n, _)| *n == id) {
+            return l.clone();
+        }
+        let l = Latency::new();
+        inner.latencies.push((id, l.clone()));
+        l
+    }
+
     /// Attaches help text to a base metric name (`# HELP` in the Prometheus
     /// exposition). The first registration wins; registering the same text
     /// twice is a no-op, so every component can describe the metrics it
@@ -388,12 +452,26 @@ impl MetricsRegistry {
             })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut latencies: Vec<LatencySample> = inner
+            .latencies
+            .iter()
+            .map(|(n, l)| {
+                let (hist, exemplars) = l.snapshot();
+                LatencySample {
+                    name: n.clone(),
+                    hist,
+                    exemplars,
+                }
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.name.cmp(&b.name));
         let mut help = inner.help.clone();
         help.sort();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            latencies,
             help,
         }
     }
@@ -433,6 +511,18 @@ pub struct HistogramSample {
     pub sum: f64,
 }
 
+/// One latency histogram's exported state: the compact log-linear form
+/// plus its current exemplars.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// Metric identity.
+    pub name: MetricName,
+    /// Sparse log-linear buckets, count, sum and max (nanoseconds).
+    pub hist: HistSnapshot,
+    /// Exemplars pinned to latency bands, ascending by latency.
+    pub exemplars: Vec<Exemplar>,
+}
+
 /// A point-in-time capture of every registered metric.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -442,6 +532,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSample>,
     /// All histograms, sorted by identity.
     pub histograms: Vec<HistogramSample>,
+    /// All latency histograms, sorted by identity.
+    pub latencies: Vec<LatencySample>,
     /// Per-base-name help text, sorted by name.
     pub help: Vec<(String, String)>,
 }
@@ -464,6 +556,26 @@ impl MetricsSnapshot {
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         let id = MetricName::with_labels(name, labels);
         self.gauges.iter().find(|g| g.name == id).map(|g| g.value)
+    }
+
+    /// Looks up a latency histogram by base name and labels.
+    pub fn latency_sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LatencySample> {
+        let id = MetricName::with_labels(name, labels);
+        self.latencies.iter().find(|l| l.name == id)
+    }
+
+    /// Merges every latency series sharing `name` (across label sets) into
+    /// one histogram — e.g. the all-endpoint request-latency view. `None`
+    /// when no series matches.
+    pub fn latency_merged(&self, name: &str) -> Option<HistSnapshot> {
+        let mut merged: Option<HistSnapshot> = None;
+        for l in self.latencies.iter().filter(|l| l.name.name == name) {
+            match &mut merged {
+                Some(m) => m.merge(&l.hist),
+                None => merged = Some(l.hist.clone()),
+            }
+        }
+        merged
     }
 }
 

@@ -1,11 +1,13 @@
 //! Per-stage wall-clock profiling of the defence pipeline.
 //!
 //! Each named stage (a detection signal, a policy decision, a team review
-//! pass) accumulates its latencies into an `fg_core::stats::Summary`, which
-//! retains samples for exact nearest-rank percentiles — the p50/p95/p99
-//! reported per stage.
+//! pass) accumulates its latencies into a bounded log-linear histogram
+//! ([`crate::hist::Hist`]): memory stays fixed no matter how long the
+//! process runs, percentiles are within [`crate::hist::RELATIVE_ERROR`]
+//! (1/64) of the exact nearest-rank value, and per-shard snapshots merge
+//! exactly bucket-wise instead of averaging percentiles.
 
-use fg_core::stats::Summary;
+use crate::hist::{Hist, HistSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -17,7 +19,7 @@ pub struct StageId(usize);
 #[derive(Clone, Debug)]
 struct StageStats {
     name: String,
-    nanos: Summary,
+    nanos: Hist,
 }
 
 /// Accumulates wall-clock latencies per named pipeline stage.
@@ -41,7 +43,7 @@ impl StageProfiler {
         let i = self.stages.len();
         self.stages.push(StageStats {
             name: name.to_owned(),
-            nanos: Summary::new(),
+            nanos: Hist::new(),
         });
         self.index.insert(name.to_owned(), i);
         StageId(i)
@@ -49,7 +51,7 @@ impl StageProfiler {
 
     /// Records one latency sample for a pre-registered stage.
     pub fn record(&mut self, id: StageId, elapsed: Duration) {
-        self.stages[id.0].nanos.record(elapsed.as_nanos() as f64);
+        self.stages[id.0].nanos.record_duration(elapsed);
     }
 
     /// Records one latency sample, registering the stage if needed.
@@ -74,24 +76,16 @@ impl StageProfiler {
         self.stages
             .iter()
             .filter(|s| !s.nanos.is_empty())
-            .map(|s| {
-                let us = 1e-3;
-                StageSnapshot {
-                    stage: s.name.clone(),
-                    count: s.nanos.count() as u64,
-                    total_ms: s.nanos.sum() * 1e-6,
-                    mean_us: s.nanos.mean() * us,
-                    p50_us: s.nanos.percentile(50.0).unwrap_or(0.0) * us,
-                    p95_us: s.nanos.percentile(95.0).unwrap_or(0.0) * us,
-                    p99_us: s.nanos.percentile(99.0).unwrap_or(0.0) * us,
-                    max_us: s.nanos.max().unwrap_or(0.0) * us,
-                }
-            })
+            .map(|s| StageSnapshot::from_hist(s.name.clone(), s.nanos.snapshot()))
             .collect()
     }
 }
 
 /// One stage's latency statistics, in microseconds.
+///
+/// The percentile fields are derived from `hist` (the mergeable source of
+/// truth); [`StageSnapshot::refresh_derived`] recomputes them after a
+/// merge.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StageSnapshot {
     /// Stage name, e.g. `detect.ip-velocity`.
@@ -110,11 +104,50 @@ pub struct StageSnapshot {
     pub p99_us: f64,
     /// Worst-case latency, microseconds.
     pub max_us: f64,
+    /// The underlying log-linear histogram; merging two snapshots adds
+    /// these bucket-wise, which is exact (no percentile averaging).
+    pub hist: HistSnapshot,
+}
+
+impl StageSnapshot {
+    /// Builds a snapshot (derived fields included) from a histogram.
+    pub fn from_hist(stage: String, hist: HistSnapshot) -> Self {
+        let mut snap = StageSnapshot {
+            stage,
+            count: 0,
+            total_ms: 0.0,
+            mean_us: 0.0,
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+            hist,
+        };
+        snap.refresh_derived();
+        snap
+    }
+
+    /// Recomputes count/total/mean/percentiles/max from `hist`, after the
+    /// histogram has been merged or replaced.
+    pub fn refresh_derived(&mut self) {
+        self.count = self.hist.count;
+        self.total_ms = self.hist.sum as f64 * 1e-6;
+        self.mean_us = if self.hist.count == 0 {
+            0.0
+        } else {
+            self.hist.sum as f64 * (self.hist.count as f64).recip() * 1e-3
+        };
+        self.p50_us = self.hist.quantile_us(0.50);
+        self.p95_us = self.hist.quantile_us(0.95);
+        self.p99_us = self.hist.quantile_us(0.99);
+        self.max_us = self.hist.max as f64 * 1e-3;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::RELATIVE_ERROR;
 
     #[test]
     fn stages_register_idempotently() {
@@ -136,11 +169,33 @@ mod tests {
         assert_eq!(snap.len(), 1);
         let s = &snap[0];
         assert_eq!(s.count, 100);
-        assert!((s.p50_us - 50.0).abs() < 1e-6, "p50 {}", s.p50_us);
-        assert!((s.p95_us - 95.0).abs() < 1e-6, "p95 {}", s.p95_us);
-        assert!((s.p99_us - 99.0).abs() < 1e-6, "p99 {}", s.p99_us);
+        // Percentiles are bucketed: within the documented relative error of
+        // the exact nearest-rank values (50/95/99 µs); max is exact.
+        for (got, exact) in [(s.p50_us, 50.0), (s.p95_us, 95.0), (s.p99_us, 99.0)] {
+            assert!(
+                (got - exact).abs() <= exact * RELATIVE_ERROR,
+                "{got} vs {exact}"
+            );
+        }
         assert!((s.max_us - 100.0).abs() < 1e-6, "max {}", s.max_us);
         assert!((s.total_ms - 5.05).abs() < 1e-6, "total {}", s.total_ms);
+        assert!((s.mean_us - 50.5).abs() < 1e-6, "mean {}", s.mean_us);
+    }
+
+    #[test]
+    fn memory_is_bounded_regardless_of_sample_count() {
+        // The old Summary retained every sample; the histogram must not.
+        let mut p = StageProfiler::new();
+        let id = p.stage("detect.assess");
+        for i in 0..200_000u64 {
+            p.record(id, Duration::from_nanos(100 + i % 1000));
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap[0].count, 200_000);
+        assert!(
+            snap[0].hist.buckets.len() <= crate::hist::BUCKET_COUNT,
+            "sparse form bounded by the fixed table"
+        );
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub struct RequestTrace {
     at: SimTime,
     decision: String,
     stages: Vec<StageRecord>,
+    pinned: bool,
 }
 
 impl RequestTrace {
@@ -121,12 +122,20 @@ impl RequestTrace {
             at,
             decision: String::new(),
             stages: Vec::new(),
+            pinned: false,
         }
     }
 
     /// The trace id this request runs under.
     pub fn trace_id(&self) -> u64 {
         self.trace_id
+    }
+
+    /// Forces this trace into the always-keep set regardless of its
+    /// decision label — the serving layer pins slow requests and 5xx
+    /// responses so every exemplar cited in `/metrics` stays retrievable.
+    pub fn pin(&mut self) {
+        self.pinned = true;
     }
 
     /// Appends a pipeline-stage span under the request root; returns a
@@ -367,14 +376,16 @@ impl Tracer {
     }
 
     /// Submits a finished request trace. Head+tail rule: non-`allow`
-    /// decisions and pinned sessions are always kept; `allow` traces are
-    /// kept at the configured hash-keyed rate.
+    /// decisions, pinned sessions, and individually pinned traces
+    /// ([`RequestTrace::pin`]) are always kept; `allow` traces are kept at
+    /// the configured hash-keyed rate.
     pub fn submit(&mut self, trace: RequestTrace) {
         let Some(config) = self.config else {
             return;
         };
         self.submitted += 1;
-        let important = trace.decision != "allow" || self.pinned.contains(&trace.session);
+        let important =
+            trace.pinned || trace.decision != "allow" || self.pinned.contains(&trace.session);
         if !important && !Self::sample_keeps(trace.trace_id, config.allow_sample_rate) {
             self.sampled_out += 1;
             return;
@@ -533,6 +544,24 @@ mod tests {
         assert!(snap
             .request_trace_ids()
             .contains(&fg_core::hash::trace_id(7, 1)));
+    }
+
+    #[test]
+    fn pinned_traces_bypass_the_sampling_coin() {
+        let mut tr = Tracer::new();
+        tr.enable(TraceConfig {
+            allow_sample_rate: 0.0,
+            ..TraceConfig::default()
+        });
+        let mut slow_allow = trace(9, 1, "allow");
+        slow_allow.pin();
+        tr.submit(slow_allow);
+        tr.submit(trace(9, 2, "allow"));
+        let snap = tr.snapshot();
+        assert_eq!(snap.request_trace_ids().len(), 1);
+        assert!(snap
+            .request_trace_ids()
+            .contains(&fg_core::hash::trace_id(9, 1)));
     }
 
     #[test]

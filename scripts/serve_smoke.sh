@@ -2,9 +2,12 @@
 # serve-smoke: end-to-end gate for the serving layer.
 #
 # Boots fg-serve from a watched config file, drives it with fg-loadgen,
-# exercises /metrics, proves hot-reload reject-and-keep-old, drains on
-# SIGTERM, and asserts the unified exit-code contract (0/2/3/4) for both
-# binaries. Run from the repository root after
+# exercises /metrics and the live-observability plane (/debug/traces,
+# /debug/flightrecorder, /debug/alerts — every latency exemplar must
+# resolve to a retrievable trace, and the server-side p99 gauge must agree
+# with the wire-side measurement), proves hot-reload reject-and-keep-old,
+# drains on SIGTERM, and asserts the unified exit-code contract (0/2/3/4)
+# for both binaries. Run from the repository root after
 # `cargo build --release -p fg-serve --bins`; CI calls it verbatim.
 #
 # Tunables (env): BIN_DIR, SERVE_PORT, LOAD_DURATION, SERVE_BENCH_OUT.
@@ -46,6 +49,9 @@ import json, sys
 path, addr = sys.argv[1], sys.argv[2]
 c = json.load(open(path))
 c["listen"] = addr
+# A sustained replay pins many non-allow traces; a deep ring keeps every
+# banded exemplar resolvable for the invariant checked below.
+c["observe"]["trace_capacity"] = 65536
 json.dump(c, open(path, "w"), indent=2)
 EOF
 "$BIN/fg-serve" --check --config "$CONFIG"
@@ -88,8 +94,16 @@ expect_exit 3 "$BIN/fg-serve" --config "$CONFIG"
 python3 - "$OUT" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == 1, r
+assert r["schema"] == 2, r
 assert r["ok"] > 0 and r["decisions_per_sec"] > 0, r
+# Schema 2: per-status counts (200 included) and the k slowest exchanges
+# with their decision trace ids.
+assert r["statuses"].get("200", 0) == r["ok"], r["statuses"]
+assert sum(r["statuses"].values()) == r["sent"], r["statuses"]
+assert r["slowest"], "slowest exchanges missing"
+assert all(s["latency_ms"] > 0 for s in r["slowest"]), r["slowest"]
+lat = [s["latency_ms"] for s in r["slowest"]]
+assert lat == sorted(lat, reverse=True), "slowest not worst-first"
 EOF
 echo "serve-smoke: load OK -> $OUT"
 
@@ -102,6 +116,51 @@ METRICS=$(curl -sf "http://$ADDR/metrics")
 echo "$METRICS" | grep -q 'fg_decisions_total' || fail "metrics missing fg_decisions_total"
 echo "$METRICS" | grep -q 'fg_http_requests_total' || fail "metrics missing fg_http_requests_total"
 echo "serve-smoke: /metrics OK"
+
+# --- live observability plane -----------------------------------------
+# Let the embedded sentinel tick at least once past the load, then scrape
+# the debug plane into files; CI uploads them as the debug-snapshot
+# artifact alongside BENCH_serve.json.
+sleep 2
+curl -sf "http://$ADDR/metrics" > serve-metrics.prom
+curl -sf "http://$ADDR/debug/traces" > serve-debug-traces.json
+curl -sf "http://$ADDR/debug/flightrecorder" > serve-debug-flightrecorder.json
+curl -sf "http://$ADDR/debug/alerts" > serve-debug-alerts.json
+python3 - "$OUT" <<'EOF'
+import json, re, sys
+metrics = open("serve-metrics.prom").read()
+traces = json.load(open("serve-debug-traces.json"))
+flight = json.load(open("serve-debug-flightrecorder.json"))
+alerts = json.load(open("serve-debug-alerts.json"))
+bench = json.load(open(sys.argv[1]))
+
+# Every latency exemplar on /metrics must resolve to a trace that
+# /debug/traces can still serve — the metrics->trace pivot is the whole
+# point of exemplars, so a dangling id is a hard failure.
+exemplars = set(re.findall(r'# \{trace_id="([0-9a-f]{16})"\}', metrics))
+assert exemplars, "no exemplars on /metrics after an abusive replay"
+retained = set(traces["retained"])
+dangling = exemplars - retained
+assert not dangling, f"exemplars not resolvable via /debug/traces: {sorted(dangling)}"
+
+# The flight recorder saw the replay and still holds a live tail.
+assert flight["recorded"] > 0 and flight["live"], flight
+
+# The embedded sentinel is evaluating the shipped SLO policy.
+assert "active" in alerts, alerts
+assert any(r.get("id") == "serve-p99-slo" for r in alerts["policy"]["rules"]), alerts["policy"]
+
+# The server-side p99 gauge must agree with the wire-side measurement:
+# positive, and no better than the client saw (client p99 includes
+# loopback + parse overhead, so allow 3x + 50ms of slack, not equality).
+m = re.search(r'fg_http_request_p99_seconds\{endpoint="decide"\} ([0-9.eE+-]+)', metrics)
+assert m, "p99 gauge missing for the decide endpoint"
+server_ms = float(m.group(1)) * 1000.0
+client_ms = bench["latency_ms"]["p99"]
+assert server_ms > 0, "p99 gauge never refreshed by the sentinel"
+assert server_ms <= client_ms * 3 + 50, (server_ms, client_ms)
+EOF
+echo "serve-smoke: observability plane OK (exemplars resolve, p99 agrees)"
 
 # --- hot reload: rejected edit keeps the old config -------------------
 GEN_BEFORE=$(readyz | python3 -c 'import json,sys; print(json.load(sys.stdin)["config_generation"])')

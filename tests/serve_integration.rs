@@ -59,6 +59,63 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, S
     (status, String::from_utf8(body).expect("utf-8 body"))
 }
 
+/// Like [`request`], but sends extra request headers and returns the
+/// response headers (lower-cased names) alongside status and body.
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status present")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("numeric length");
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("utf-8 body"),
+    )
+}
+
 fn sample_decide_body() -> String {
     let workload = generate(&WorkloadConfig {
         seed: 5,
@@ -128,6 +185,120 @@ fn endpoints_answer_with_correct_statuses() {
     assert_eq!(status, 405);
     let (status, _) = request(addr, "GET", "/no/such/path", b"");
     assert_eq!(status, 404);
+
+    let report = server.drain(Duration::from_secs(10));
+    assert!(report.clean, "{report:?}");
+}
+
+#[test]
+fn observability_plane_links_metrics_traces_and_the_flight_recorder() {
+    let server = Server::start(test_config(), Telemetry::shared(), None).expect("boot");
+    let addr = server.addr();
+
+    // Drive a workload with abusive traffic: non-allow decisions are
+    // pinned into the trace ring deterministically (no sampling coin), so
+    // the assertions below don't depend on timing or luck.
+    let workload = generate(&WorkloadConfig {
+        seed: 7,
+        horizon_hours: 2,
+        arrivals_per_day: 600.0,
+        seat_spinner: true,
+        sms_pumper: false,
+    });
+    let wire_trace = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let mut non_allow_id: Option<u64> = None;
+    let mut served = 0u64;
+    for req in workload.requests.iter().take(400) {
+        let body = serde_json::to_string(req).expect("request serializes");
+        let traceparent = format!("00-{wire_trace}-00f067aa0ba902b7-01");
+        let (status, headers, body) = request_full(
+            addr,
+            "POST",
+            "/v1/decide",
+            &[("Traceparent", &traceparent)],
+            body.as_bytes(),
+        );
+        assert_eq!(status, 200, "{body}");
+        served += 1;
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("decision json");
+        let trace_id = parsed
+            .get("trace_id")
+            .and_then(|v| v.as_u64())
+            .expect("decision carries a trace id");
+        // The caller's trace id is echoed back verbatim, with the decision
+        // trace id as the new parent span.
+        let echo = headers
+            .iter()
+            .find(|(name, _)| name == "traceparent")
+            .map(|(_, value)| value.clone())
+            .expect("traceparent echoed");
+        assert_eq!(echo, format!("00-{wire_trace}-{trace_id:016x}-01"));
+        // Wire decisions carry serde's variant spelling ("Allow"), the
+        // observability plane uses the Display labels ("allow").
+        let decision = parsed
+            .get("decision")
+            .and_then(|v| v.as_str())
+            .expect("decision label");
+        if decision != "Allow" && non_allow_id.is_none() {
+            non_allow_id = Some(trace_id);
+        }
+    }
+    let pinned = non_allow_id.expect("abusive workload produced a non-allow decision");
+
+    // The pinned trace is retrievable, spans included, via its hex id.
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/debug/traces?trace_id={pinned:016x}"),
+        b"",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(&format!("{pinned:016x}")), "{body}");
+    assert!(body.contains("\"spans\""), "{body}");
+    assert!(body.contains("serve.http"), "{body}");
+    let (status, _) = request(addr, "GET", "/debug/traces?trace_id=zzz", b"");
+    assert_eq!(status, 400);
+
+    // The flight recorder saw every exchange.
+    let (status, body) = request(addr, "GET", "/debug/flightrecorder", b"");
+    assert_eq!(status, 200, "{body}");
+    let flight: serde_json::Value = serde_json::from_str(&body).expect("flight json");
+    let recorded = flight
+        .get("recorded")
+        .and_then(|v| v.as_u64())
+        .expect("recorded count");
+    assert!(recorded >= served, "{recorded} < {served}");
+
+    // The alert surface answers with the serve SLO policy.
+    let (status, body) = request(addr, "GET", "/debug/alerts", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"active\""), "{body}");
+    assert!(body.contains("serve-p99-slo"), "{body}");
+
+    // The latency grid exposes per-endpoint histograms whose exemplars are
+    // exactly the pinned (non-allow) trace ids — resolvable above.
+    let (status, metrics) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("fg_http_request_duration_seconds_bucket"),
+        "latency grid missing"
+    );
+    assert!(
+        metrics.contains("endpoint=\"decide\",status=\"200\""),
+        "decide row missing"
+    );
+    assert!(
+        metrics.contains("# {trace_id=\""),
+        "exemplars missing from exposition"
+    );
+    assert!(
+        metrics.contains("fg_serve_active_alerts"),
+        "alert gauge missing"
+    );
+
+    // Debug endpoints answer only GET.
+    let (status, _) = request(addr, "POST", "/debug/traces", b"");
+    assert_eq!(status, 405);
 
     let report = server.drain(Duration::from_secs(10));
     assert!(report.clean, "{report:?}");
